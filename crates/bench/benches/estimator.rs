@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the frequency/power/area estimator and the
+//! design-space sweep throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_cells::CellLibrary;
+use sfq_estimator::netdesign::fig5_sweep;
+use sfq_estimator::{estimate, NpuConfig};
+use std::hint::black_box;
+
+fn bench_estimate(c: &mut Criterion) {
+    let lib = CellLibrary::aist_10um();
+    let mut group = c.benchmark_group("estimate");
+    for cfg in [
+        NpuConfig::paper_baseline(),
+        NpuConfig::paper_buffer_opt(),
+        NpuConfig::paper_resource_opt(),
+        NpuConfig::paper_supernpu(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.name.clone()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| estimate(black_box(cfg), black_box(&lib)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_network_sweep(c: &mut Criterion) {
+    let lib = CellLibrary::aist_10um();
+    c.bench_function("netdesign/fig5_sweep", |b| {
+        b.iter(|| fig5_sweep(black_box(8), black_box(&lib)));
+    });
+}
+
+criterion_group!(benches, bench_estimate, bench_network_sweep);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the transient JJ circuit solver — the
+//! workspace's JSIM stand-in. Transient cost scales with node count
+//! cubed (dense MNA), so cell-scale circuits must stay fast for the
+//! characterization loop to be usable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jjsim::stdlib::{dff, jtl_chain, DffParams, JtlParams};
+use jjsim::{SimOptions, Solver};
+use std::hint::black_box;
+
+fn bench_jtl_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jjsim/jtl_chain_150ps");
+    for stages in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &n| {
+            b.iter(|| {
+                let (ckt, _probes) = jtl_chain(n, &JtlParams::default());
+                Solver::new(ckt, SimOptions::default())
+                    .expect("valid circuit")
+                    .try_run(black_box(150e-12))
+                    .expect("converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dff_cycle(c: &mut Criterion) {
+    c.bench_function("jjsim/dff_store_release", |b| {
+        b.iter(|| {
+            let (ckt, _probes) = dff(&[60e-12], &[100e-12], &DffParams::default());
+            Solver::new(ckt, SimOptions::default())
+                .expect("valid circuit")
+                .try_run(black_box(160e-12))
+                .expect("converges")
+        });
+    });
+}
+
+criterion_group!(benches, bench_jtl_chains, bench_dff_cycle);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the cycle simulator: how fast the
+//! framework itself evaluates a design point (the tool-performance
+//! claim behind the paper's design-space exploration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnn_models::zoo;
+use sfq_npu_sim::{simulate_network, SimConfig};
+use std::hint::black_box;
+
+fn bench_networks(c: &mut Criterion) {
+    let cfg = SimConfig::paper_supernpu();
+    let mut group = c.benchmark_group("simulate_network/supernpu");
+    for net in zoo::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(net.name()), &net, |b, net| {
+            b.iter(|| simulate_network(black_box(&cfg), black_box(net)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_designs(c: &mut Criterion) {
+    let resnet = zoo::resnet50();
+    let mut group = c.benchmark_group("simulate_network/resnet50");
+    for cfg in [
+        SimConfig::paper_baseline(),
+        SimConfig::paper_buffer_opt(),
+        SimConfig::paper_resource_opt(),
+        SimConfig::paper_supernpu(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.npu.name.clone()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| simulate_network(black_box(cfg), black_box(&resnet)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tpu_comparator(c: &mut Criterion) {
+    let tpu = scale_sim::CmosNpuConfig::tpu_core();
+    let vgg = zoo::vgg16();
+    c.bench_function("scale_sim/vgg16", |b| {
+        b.iter(|| scale_sim::simulate_network(black_box(&tpu), black_box(&vgg)));
+    });
+}
+
+fn bench_functional_array(c: &mut Criterion) {
+    use dnn_models::Layer;
+    use sfq_npu_sim::functional::{run_conv_ws, Tensor3, Tensor4};
+    let layer = Layer::conv("bench", (8, 8), 5, 13, 3, 1, 1);
+    let ifmap = Tensor3::from_fn(8, 8, 5, |y, x, ch| (y + 2 * x + 3 * ch) as i32 % 7 - 3);
+    let weights = Tensor4::from_fn(13, 3, 3, 5, |k, r, s, ch| (k + r + s + ch) as i32 % 5 - 2);
+    c.bench_function("functional/conv_8x8x5_to_13f", |b| {
+        b.iter(|| {
+            run_conv_ws(
+                black_box(&layer),
+                black_box(&ifmap),
+                black_box(&weights),
+                16,
+                4,
+                2,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_networks,
+    bench_designs,
+    bench_tpu_comparator,
+    bench_functional_array
+);
+criterion_main!(benches);

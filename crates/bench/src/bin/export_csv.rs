@@ -1,0 +1,21 @@
+//! `export_csv` — write every figure's data series to `results/*.csv`,
+//! plot-ready for regenerating the paper's charts.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    supernpu_bench::header("CSV export", "plot-ready series for every figure");
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("creating results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    for d in supernpu::export::all_datasets() {
+        let path = format!("results/{}.csv", d.name);
+        if let Err(e) = std::fs::write(&path, &d.csv) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} bytes)", d.csv.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! `full_report` — run every experiment and write one Markdown report
+//! to `results/report.md` (and stdout).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    supernpu_bench::header("Full report", "every table and figure in one pass");
+    let report = supernpu::summary::full_report();
+    print!("{report}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/report.md", &report))
+    {
+        eprintln!("could not write results/report.md: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("\nwritten to results/report.md");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! `run_all` — run every experiment regenerator in sequence (the
+//! paper's figures and tables, then the extension studies), exactly
+//! what a reviewer runs first.
+
+use std::process::{Command, ExitCode};
+
+/// Every experiment binary, in presentation order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig05_network",
+    "fig07_feedback",
+    "fig08_duplication",
+    "fig13_validation",
+    "fig15_breakdown",
+    "fig17_roofline",
+    "fig20_buffer_opt",
+    "fig21_resource_balance",
+    "fig22_registers",
+    "fig23_performance",
+    "table1_setup",
+    "table2_batches",
+    "table3_power",
+    "ablations",
+    "ext_sensitivity",
+    "ext_accelerators",
+    "ext_characterize",
+    "ext_pareto",
+    "export_csv",
+    "full_report",
+];
+
+fn main() -> ExitCode {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("binary directory");
+    for name in EXPERIMENTS {
+        let bin = dir.join(name);
+        let status = Command::new(&bin).status();
+        match status {
+            Ok(s) if s.success() => println!(),
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("running {name}: {e} (build the workspace first: cargo build --release)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("all {} experiments completed.", EXPERIMENTS.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,135 @@
+//! `simulate` — the paper's simulator front-end as a CLI: takes a DNN
+//! description file and an architecture description file (both JSON,
+//! the inputs of the paper's Fig. 10/14) and reports performance and
+//! power.
+//!
+//! ```text
+//! cargo run -p supernpu-bench --release --bin simulate -- \
+//!     --network my_net.json [--arch my_arch.json] [--batch N] [--json]
+//! ```
+//!
+//! Without `--arch`, the SuperNPU design point is used. `--network`
+//! also accepts the built-in names (alexnet, fasterrcnn, googlenet,
+//! mobilenet, resnet50, vgg16).
+
+use std::process::ExitCode;
+
+use dnn_models::{zoo, Network};
+use sfq_npu_sim::{simulate_network, simulate_network_with_batch, SimConfig};
+
+struct Args {
+    network: String,
+    arch: Option<String>,
+    batch: Option<u32>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        network: String::new(),
+        arch: None,
+        batch: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--network" | "-n" => {
+                args.network = it.next().ok_or("--network needs a value")?;
+            }
+            "--arch" | "-a" => args.arch = Some(it.next().ok_or("--arch needs a value")?),
+            "--batch" | "-b" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                args.batch = Some(v.parse().map_err(|_| format!("bad batch '{v}'"))?);
+            }
+            "--json" => args.json = true,
+            "--emit-arch" => {
+                // Write the SuperNPU architecture description as a
+                // template the user can edit and pass back via --arch.
+                let cfg = SimConfig::paper_supernpu();
+                println!("{}", serde_json::to_string_pretty(&cfg).expect("config serializes"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: simulate --network <file|name> [--arch file] [--batch N] [--json] [--emit-arch]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.network.is_empty() {
+        return Err("missing --network (try --help)".to_owned());
+    }
+    Ok(args)
+}
+
+fn load_network(spec: &str) -> Result<Network, String> {
+    match spec.to_ascii_lowercase().as_str() {
+        "alexnet" => return Ok(zoo::alexnet()),
+        "fasterrcnn" => return Ok(zoo::faster_rcnn()),
+        "googlenet" => return Ok(zoo::googlenet()),
+        "mobilenet" => return Ok(zoo::mobilenet()),
+        "resnet50" => return Ok(zoo::resnet50()),
+        "vgg16" => return Ok(zoo::vgg16()),
+        _ => {}
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+    Network::from_json(&text).map_err(|e| format!("parsing {spec}: {e}"))
+}
+
+fn load_arch(spec: Option<&str>) -> Result<SimConfig, String> {
+    match spec {
+        None => Ok(SimConfig::paper_supernpu()),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match load_network(&args.network) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match load_arch(args.arch.as_deref()) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = match args.batch {
+        Some(b) => simulate_network_with_batch(&cfg, &net, b),
+        None => simulate_network(&cfg, &net),
+    };
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+    } else {
+        println!("{net}");
+        println!("design        : {} @ {:.1} GHz", stats.design, stats.frequency_ghz);
+        println!("batch         : {}", stats.batch);
+        println!("cycles        : {} ({:.1}% preparation)", stats.total_cycles(), 100.0 * stats.prep_fraction());
+        println!("latency       : {:.3} ms", stats.time_s() * 1e3);
+        println!("throughput    : {:.2} TMAC/s ({:.0} images/s)", stats.effective_tmacs(), stats.images_per_s());
+        println!("PE utilization: {:.1}%", 100.0 * stats.pe_utilization());
+        println!("off-chip      : {:.1} MB", stats.dram_bytes() as f64 / 1e6);
+        println!("chip power    : {:.2} W", stats.total_power_w());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,127 @@
+//! `transient` — run a JSIM-style netlist through the transient JJ
+//! simulator and report every junction's SFQ pulse times.
+//!
+//! ```text
+//! cargo run -p supernpu-bench --release --bin transient -- deck.cir
+//! ```
+
+use std::process::ExitCode;
+
+use jjsim::{parse_netlist, Solver};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: transient <netlist.cir> [--trace NODE[,NODE...] --out FILE.csv]");
+        return ExitCode::FAILURE;
+    };
+    let mut trace_nodes: Vec<String> = Vec::new();
+    let mut trace_out = String::from("results/trace.csv");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => {
+                let Some(list) = args.next() else {
+                    eprintln!("--trace needs a node list");
+                    return ExitCode::FAILURE;
+                };
+                trace_nodes = list.split(',').map(|s| s.to_ascii_uppercase()).collect();
+            }
+            "--out" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                trace_out = p;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match parse_netlist(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = parsed.sim_options();
+    for name in &trace_nodes {
+        match parsed.nodes.get(name) {
+            Some(id) => opts.record_nodes.push(*id),
+            None => {
+                eprintln!("unknown node '{name}' (known: {:?})", parsed.nodes.keys().collect::<Vec<_>>());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let solver = match Solver::new(parsed.circuit.clone(), opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("building solver: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match solver.try_run(parsed.stop_time()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transient failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{} nodes, {} junctions, {:.0} ps simulated, {:.3} aJ dissipated",
+        parsed.circuit.node_count() - 1,
+        parsed.circuit.jj_count(),
+        result.t_end * 1e12,
+        result.dissipated_j * 1e18
+    );
+    for (name, id) in &parsed.junctions {
+        let times: Vec<String> = result
+            .pulse_times(*id)
+            .iter()
+            .map(|t| format!("{:.1}", t * 1e12))
+            .collect();
+        println!(
+            "{name}: {} pulse(s) at [{}] ps, final phase {:.2} rad",
+            times.len(),
+            times.join(", "),
+            result.final_phase(*id)
+        );
+    }
+    if !trace_nodes.is_empty() {
+        let mut csv = String::from("time_ps");
+        for n in &trace_nodes {
+            csv.push(',');
+            csv.push_str(n);
+        }
+        csv.push('\n');
+        for (i, t) in result.trace_times.iter().enumerate() {
+            csv.push_str(&format!("{:.3}", t * 1e12));
+            for trace in &result.traces {
+                csv.push_str(&format!(",{:.6e}", trace[i]));
+            }
+            csv.push('\n');
+        }
+        if let Some(dir) = std::path::Path::new(&trace_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&trace_out, csv) {
+            Ok(()) => println!("voltage traces written to {trace_out}"),
+            Err(e) => {
+                eprintln!("writing {trace_out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! # supernpu-bench
+//!
+//! Experiment regenerators for the SuperNPU reproduction: one binary
+//! per paper table/figure (`fig05_network`, …, `table3_power`) plus
+//! Criterion benchmarks of the simulator, estimator and transient
+//! circuit solver.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for b in fig05_network fig07_feedback fig08_duplication fig13_validation \
+//!          fig15_breakdown fig17_roofline fig20_buffer_opt \
+//!          fig21_resource_balance fig22_registers fig23_performance \
+//!          table1_setup table2_batches table3_power; do
+//!     cargo run -p supernpu-bench --release --bin $b
+//! done
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Print the standard experiment header.
+pub fn header(id: &str, paper_ref: &str) {
+    println!("== {id} — reproduces {paper_ref} ==");
+    println!();
+}

@@ -1,0 +1,170 @@
+//! Device-level parameters of the fabrication process.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CellError;
+
+/// How the DC bias current is delivered to every Josephson junction.
+///
+/// This is the only difference between the two technologies modeled by
+/// the paper: RSFQ biases through resistors (constant static
+/// dissipation per junction), ERSFQ biases through junctions with
+/// inductors (zero static power but roughly twice the switching energy
+/// because the bias JJs also switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BiasScheme {
+    /// Rapid single-flux-quantum: resistor biasing, static power ∝ JJ count.
+    #[default]
+    Rsfq,
+    /// Energy-efficient RSFQ: JJ/inductor biasing, zero static power,
+    /// ~2× dynamic energy per switching.
+    Ersfq,
+}
+
+impl BiasScheme {
+    /// Multiplier applied to the RSFQ switching energy under this scheme.
+    pub fn energy_factor(self) -> f64 {
+        match self {
+            BiasScheme::Rsfq => 1.0,
+            BiasScheme::Ersfq => 2.0,
+        }
+    }
+
+    /// Multiplier applied to the RSFQ static power under this scheme.
+    pub fn static_factor(self) -> f64 {
+        match self {
+            BiasScheme::Rsfq => 1.0,
+            BiasScheme::Ersfq => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for BiasScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BiasScheme::Rsfq => f.write_str("RSFQ"),
+            BiasScheme::Ersfq => f.write_str("ERSFQ"),
+        }
+    }
+}
+
+/// Fabrication-process and junction parameters.
+///
+/// Defaults correspond to the AIST 1.0 µm Nb 9-layer process the paper
+/// characterizes (bias voltage 2.5 mV, critical current 70 µA per
+/// junction, 4 K operation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Human-readable process name.
+    pub process: String,
+    /// Lithographic feature size in micrometers.
+    pub feature_um: f64,
+    /// DC bias voltage in millivolts (RSFQ resistor biasing).
+    pub bias_mv: f64,
+    /// Junction critical current in microamperes.
+    pub critical_current_ua: f64,
+    /// Effective chip area per Josephson junction, in µm², including
+    /// the share of wiring/moats. Drives the area model.
+    pub area_per_jj_um2: f64,
+    /// Operating temperature in kelvin.
+    pub temperature_k: f64,
+    /// Bias scheme (RSFQ / ERSFQ).
+    pub bias: BiasScheme,
+}
+
+impl DeviceParams {
+    /// The AIST 1.0 µm Nb process used throughout the paper.
+    pub fn aist_10um() -> Self {
+        DeviceParams {
+            process: "AIST 1.0um Nb 9-layer".to_owned(),
+            feature_um: 1.0,
+            bias_mv: 2.5,
+            critical_current_ua: 70.0,
+            area_per_jj_um2: 100.0,
+            temperature_k: 4.2,
+            bias: BiasScheme::Rsfq,
+        }
+    }
+
+    /// Static power of a single resistor-biased junction in microwatts
+    /// (`V_bias × I_c`); zero under ERSFQ.
+    pub fn static_per_jj_uw(&self) -> f64 {
+        self.bias.static_factor() * self.bias_mv * 1e-3 * self.critical_current_ua
+    }
+
+    /// Validate physical sanity of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidDevice`] if any parameter is
+    /// non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), CellError> {
+        let fields = [
+            ("feature_um", self.feature_um),
+            ("bias_mv", self.bias_mv),
+            ("critical_current_ua", self.critical_current_ua),
+            ("area_per_jj_um2", self.area_per_jj_um2),
+            ("temperature_k", self.temperature_k),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(CellError::InvalidDevice {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::aist_10um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsfq_static_per_jj_matches_bias_point() {
+        let d = DeviceParams::aist_10um();
+        // 2.5 mV × 70 µA = 0.175 µW per junction.
+        assert!((d.static_per_jj_uw() - 0.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ersfq_has_zero_static_and_double_energy() {
+        let mut d = DeviceParams::aist_10um();
+        d.bias = BiasScheme::Ersfq;
+        assert_eq!(d.static_per_jj_uw(), 0.0);
+        assert_eq!(BiasScheme::Ersfq.energy_factor(), 2.0);
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive() {
+        let mut d = DeviceParams::aist_10um();
+        d.feature_um = 0.0;
+        assert!(d.validate().is_err());
+        d.feature_um = f64::NAN;
+        assert!(d.validate().is_err());
+        d.feature_um = 1.0;
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn bias_scheme_display() {
+        assert_eq!(BiasScheme::Rsfq.to_string(), "RSFQ");
+        assert_eq!(BiasScheme::Ersfq.to_string(), "ERSFQ");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = DeviceParams::aist_10um();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the cell library.
+
+use crate::gate::GateKind;
+
+/// Errors produced by cell-library construction and lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// A device parameter was non-positive or non-finite.
+    InvalidDevice {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A gate parameter was non-finite or negative.
+    InvalidGate {
+        /// Which gate.
+        kind: GateKind,
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The library is missing an entry for a gate kind.
+    MissingGate(GateKind),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::InvalidDevice { field, value } => {
+                write!(f, "invalid device parameter {field} = {value}")
+            }
+            CellError::InvalidGate { kind, field, value } => {
+                write!(f, "invalid {kind:?} gate parameter {field} = {value}")
+            }
+            CellError::MissingGate(kind) => write!(f, "library has no entry for gate {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = CellError::MissingGate(GateKind::And);
+        assert!(!e.to_string().is_empty());
+        let e = CellError::InvalidDevice {
+            field: "bias_mv",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("bias_mv"));
+    }
+}

@@ -1,0 +1,186 @@
+//! SFQ gate kinds and their characterized parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CellError;
+
+/// Every SFQ cell the estimator composes microarchitecture from.
+///
+/// Wire cells (JTL, splitter, merger, PTL driver/receiver) carry
+/// pulses; clocked cells latch an SFQ between clock pulses and hence
+/// have setup/hold windows (§II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Josephson transmission line segment (wire repeater).
+    Jtl,
+    /// Pulse splitter: one input pulse → two identical output pulses.
+    Splitter,
+    /// Confluence buffer / merger: two inputs → one output.
+    Merger,
+    /// Delay flip-flop: the basic clocked storage cell.
+    Dff,
+    /// The DAU's special DFF with a statically-controlled bypass line
+    /// (§III-C of the paper).
+    DffBypass,
+    /// Clocked AND.
+    And,
+    /// Clocked OR.
+    Or,
+    /// Clocked XOR.
+    Xor,
+    /// Clocked inverter (NOT).
+    Not,
+    /// Non-destructive read-out cell (register bit that can be read
+    /// repeatedly — used for PE weight registers).
+    Ndro,
+    /// Toggle flip-flop (used by clock distribution / frequency dividers).
+    Tff,
+    /// Passive-transmission-line driver (long-range on-chip wiring).
+    PtlDriver,
+    /// Passive-transmission-line receiver.
+    PtlReceiver,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Jtl,
+        GateKind::Splitter,
+        GateKind::Merger,
+        GateKind::Dff,
+        GateKind::DffBypass,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Not,
+        GateKind::Ndro,
+        GateKind::Tff,
+        GateKind::PtlDriver,
+        GateKind::PtlReceiver,
+    ];
+
+    /// Whether this cell consumes a clock pulse (and therefore has
+    /// setup/hold constraints and participates in gate-pair frequency
+    /// analysis).
+    pub fn class(self) -> GateClass {
+        match self {
+            GateKind::Jtl
+            | GateKind::Splitter
+            | GateKind::Merger
+            | GateKind::Tff
+            | GateKind::PtlDriver
+            | GateKind::PtlReceiver => GateClass::Wire,
+            _ => GateClass::Clocked,
+        }
+    }
+}
+
+/// Coarse classification of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateClass {
+    /// Asynchronous pulse-carrying cell (no clock input).
+    Wire,
+    /// Clock-synchronized cell with latch functionality.
+    Clocked,
+}
+
+/// Characterized parameters of one cell, as produced by the paper's
+/// JSIM runs against the AIST 1.0 µm cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateParams {
+    /// Input-to-output (or clock-to-output for clocked cells)
+    /// propagation delay in picoseconds.
+    pub delay_ps: f64,
+    /// Setup time in picoseconds (clocked cells; 0 for wire cells).
+    pub setup_ps: f64,
+    /// Hold time in picoseconds (clocked cells; 0 for wire cells).
+    pub hold_ps: f64,
+    /// Static (bias) power in microwatts under RSFQ.
+    pub static_uw: f64,
+    /// Average switching energy per access in attojoules under RSFQ.
+    pub energy_aj: f64,
+    /// Number of Josephson junctions in the cell.
+    pub jj_count: u32,
+}
+
+impl GateParams {
+    /// Cell area in µm² given the process's per-junction area.
+    pub fn area_um2(&self, area_per_jj_um2: f64) -> f64 {
+        f64::from(self.jj_count) * area_per_jj_um2
+    }
+
+    /// Validate that every field is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidGate`] naming the offending field.
+    pub fn validate(&self, kind: GateKind) -> Result<(), CellError> {
+        let fields = [
+            ("delay_ps", self.delay_ps),
+            ("setup_ps", self.setup_ps),
+            ("hold_ps", self.hold_ps),
+            ("static_uw", self.static_uw),
+            ("energy_aj", self.energy_aj),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CellError::InvalidGate {
+                    kind,
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocked_vs_wire_classification() {
+        assert_eq!(GateKind::Jtl.class(), GateClass::Wire);
+        assert_eq!(GateKind::Splitter.class(), GateClass::Wire);
+        assert_eq!(GateKind::Dff.class(), GateClass::Clocked);
+        assert_eq!(GateKind::And.class(), GateClass::Clocked);
+        assert_eq!(GateKind::Ndro.class(), GateClass::Clocked);
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        let mut set = std::collections::HashSet::new();
+        for k in GateKind::ALL {
+            assert!(set.insert(k), "duplicate {k:?}");
+        }
+        assert_eq!(set.len(), GateKind::ALL.len());
+    }
+
+    #[test]
+    fn area_scales_with_jj_count() {
+        let g = GateParams {
+            delay_ps: 1.0,
+            setup_ps: 0.0,
+            hold_ps: 0.0,
+            static_uw: 1.0,
+            energy_aj: 1.0,
+            jj_count: 10,
+        };
+        assert_eq!(g.area_um2(100.0), 1000.0);
+    }
+
+    #[test]
+    fn validate_flags_negative_delay() {
+        let g = GateParams {
+            delay_ps: -1.0,
+            setup_ps: 0.0,
+            hold_ps: 0.0,
+            static_uw: 0.0,
+            energy_aj: 0.0,
+            jj_count: 1,
+        };
+        let err = g.validate(GateKind::Jtl).unwrap_err();
+        assert!(err.to_string().contains("delay_ps"));
+    }
+}

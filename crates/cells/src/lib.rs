@@ -1,0 +1,68 @@
+//! # sfq-cells
+//!
+//! Gate-level cell library for single-flux-quantum (SFQ) logic,
+//! reproducing the gate-level estimation layer of the SuperNPU
+//! simulation framework (Ishida, Byun, et al., MICRO 2020, §IV-A.1).
+//!
+//! The crate provides:
+//!
+//! * [`DeviceParams`] — fabrication-process and junction parameters
+//!   (critical current, bias voltage, feature size) for the AIST
+//!   1.0 µm niobium process used by the paper,
+//! * [`GateKind`] / [`GateParams`] — the SFQ gate zoo with per-gate
+//!   propagation delay, setup/hold windows, static power, switching
+//!   energy, Josephson-junction count and area,
+//! * [`CellLibrary`] — a complete characterized library with the
+//!   [RSFQ](BiasScheme::Rsfq) and [ERSFQ](BiasScheme::Ersfq) bias
+//!   schemes (ERSFQ: zero static power, doubled switching energy,
+//!   identical timing — exactly the paper's transformation),
+//! * [`scaling`] — the feature-size scaling rules used by the paper to
+//!   compare a 1.0 µm SFQ chip against 28 nm CMOS (frequency ∝ 1/λ
+//!   down to 200 nm, area ∝ λ²).
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_cells::{CellLibrary, GateKind, BiasScheme};
+//!
+//! let lib = CellLibrary::aist_10um();
+//! let and = lib.gate(GateKind::And);
+//! assert_eq!(and.delay_ps, 8.3);            // the value printed in the paper
+//! assert!(and.static_uw > 0.0);             // RSFQ dissipates static power
+//!
+//! let ersfq = lib.with_bias(BiasScheme::Ersfq);
+//! assert_eq!(ersfq.gate(GateKind::And).static_uw, 0.0);
+//! assert_eq!(ersfq.gate(GateKind::And).energy_aj, 2.0 * and.energy_aj);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod gate;
+mod library;
+pub mod scaling;
+
+pub use device::{BiasScheme, DeviceParams};
+pub use error::CellError;
+pub use gate::{GateClass, GateKind, GateParams};
+pub use library::CellLibrary;
+
+/// Magnetic flux quantum Φ₀ in webers (2.07 × 10⁻¹⁵ Wb).
+pub const PHI0_WB: f64 = 2.067_833_848e-15;
+
+/// Convenience: picoseconds → seconds.
+pub fn ps_to_s(ps: f64) -> f64 {
+    ps * 1e-12
+}
+
+/// Convenience: attojoules → joules.
+pub fn aj_to_j(aj: f64) -> f64 {
+    aj * 1e-18
+}
+
+/// Convenience: microwatts → watts.
+pub fn uw_to_w(uw: f64) -> f64 {
+    uw * 1e-6
+}

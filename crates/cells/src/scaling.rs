@@ -1,0 +1,88 @@
+//! Feature-size scaling rules.
+//!
+//! The paper compares a 1.0 µm SFQ chip against 28 nm CMOS by assuming
+//! the published RSFQ scaling rule: clock frequency grows in proportion
+//! to the junction-size reduction down to 200 nm (Kadin et al.), and
+//! cell area shrinks quadratically with feature size. These helpers
+//! implement exactly that (Table I's "Area (28 nm)" column and
+//! footnote 2).
+
+/// Feature size below which the linear frequency-scaling rule is no
+/// longer claimed to hold (200 nm, per Kadin et al. as cited by the
+/// paper).
+pub const FREQ_SCALING_FLOOR_UM: f64 = 0.2;
+
+/// Frequency multiplier when scaling a design from `from_um` to
+/// `to_um` feature size. Frequency improves ∝ 1/λ only down to the
+/// 200 nm floor; beyond that it saturates.
+///
+/// # Panics
+///
+/// Panics if either feature size is not a positive finite number.
+pub fn frequency_factor(from_um: f64, to_um: f64) -> f64 {
+    assert!(
+        from_um.is_finite() && from_um > 0.0 && to_um.is_finite() && to_um > 0.0,
+        "feature sizes must be positive"
+    );
+    let effective_to = to_um.max(FREQ_SCALING_FLOOR_UM);
+    let effective_from = from_um.max(FREQ_SCALING_FLOOR_UM);
+    effective_from / effective_to
+}
+
+/// Area multiplier when scaling from `from_um` to `to_um` feature size
+/// (quadratic, no floor — the paper scales its 1.0 µm areas to a 28 nm
+/// equivalent for the TPU comparison).
+///
+/// # Panics
+///
+/// Panics if either feature size is not a positive finite number.
+pub fn area_factor(from_um: f64, to_um: f64) -> f64 {
+    assert!(
+        from_um.is_finite() && from_um > 0.0 && to_um.is_finite() && to_um > 0.0,
+        "feature sizes must be positive"
+    );
+    (to_um / from_um).powi(2)
+}
+
+/// Scale an area in mm² from one process to another.
+pub fn scale_area_mm2(area_mm2: f64, from_um: f64, to_um: f64) -> f64 {
+    area_mm2 * area_factor(from_um, to_um)
+}
+
+/// The 28 nm node, in µm, used for the paper's Table I comparison.
+pub const NODE_28NM_UM: f64 = 0.028;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_quadratically() {
+        // 1.0 µm → 28 nm shrinks area by (28/1000)² ≈ 1/1276.
+        let f = area_factor(1.0, NODE_28NM_UM);
+        assert!((f - (0.028f64).powi(2)).abs() < 1e-12);
+        assert!((scale_area_mm2(361_000.0, 1.0, NODE_28NM_UM) - 283.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn frequency_scaling_saturates_at_200nm() {
+        // 1.0 µm → 0.5 µm doubles frequency.
+        assert!((frequency_factor(1.0, 0.5) - 2.0).abs() < 1e-12);
+        // 1.0 µm → 0.2 µm quintuples it.
+        assert!((frequency_factor(1.0, 0.2) - 5.0).abs() < 1e-12);
+        // Going below the floor gives no further gain.
+        assert!((frequency_factor(1.0, 0.028) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_scaling_is_one() {
+        assert_eq!(frequency_factor(1.0, 1.0), 1.0);
+        assert_eq!(area_factor(0.5, 0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_feature() {
+        let _ = area_factor(0.0, 1.0);
+    }
+}

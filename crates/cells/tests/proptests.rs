@@ -1,0 +1,63 @@
+//! Property-based tests of the cell library and scaling rules.
+
+use proptest::prelude::*;
+use sfq_cells::{scaling, BiasScheme, CellLibrary, GateKind, GateParams};
+
+proptest! {
+    /// Any positive-finite gate parameters validate; any negative or
+    /// non-finite field is rejected.
+    #[test]
+    fn gate_validation_total(
+        delay in 0.0f64..100.0,
+        setup in 0.0f64..50.0,
+        hold in 0.0f64..50.0,
+        stat in 0.0f64..100.0,
+        energy in 0.0f64..100.0,
+        jj in 1u32..100,
+    ) {
+        let g = GateParams {
+            delay_ps: delay,
+            setup_ps: setup,
+            hold_ps: hold,
+            static_uw: stat,
+            energy_aj: energy,
+            jj_count: jj,
+        };
+        prop_assert!(g.validate(GateKind::And).is_ok());
+        let bad = GateParams { delay_ps: -delay - 1.0, ..g };
+        prop_assert!(bad.validate(GateKind::And).is_err());
+        let nan = GateParams { energy_aj: f64::NAN, ..g };
+        prop_assert!(nan.validate(GateKind::And).is_err());
+    }
+
+    /// Area scaling is multiplicative and inverts cleanly.
+    #[test]
+    fn area_scaling_inverts(from in 0.05f64..2.0, to in 0.05f64..2.0, area in 0.1f64..1e6) {
+        let there = scaling::scale_area_mm2(area, from, to);
+        let back = scaling::scale_area_mm2(there, to, from);
+        prop_assert!((back - area).abs() / area < 1e-9);
+    }
+
+    /// Frequency scaling is monotone in the target node and never
+    /// exceeds the 200 nm-floor limit.
+    #[test]
+    fn frequency_scaling_monotone(to in 0.02f64..1.0) {
+        let factor = scaling::frequency_factor(1.0, to);
+        prop_assert!(factor >= 1.0 - 1e-12);
+        prop_assert!(factor <= 1.0 / scaling::FREQ_SCALING_FLOOR_UM + 1e-9);
+        let finer = scaling::frequency_factor(1.0, to * 0.9);
+        prop_assert!(finer >= factor - 1e-12);
+    }
+
+    /// The RSFQ → ERSFQ → RSFQ round trip is exact for every gate.
+    #[test]
+    fn bias_roundtrip_exact(_seed in 0u8..1) {
+        let rsfq = CellLibrary::aist_10um();
+        let back = rsfq.with_bias(BiasScheme::Ersfq).with_bias(BiasScheme::Rsfq);
+        for (k, g) in back.iter() {
+            let orig = rsfq.gate(k);
+            prop_assert!((g.energy_aj - orig.energy_aj).abs() < 1e-12);
+            prop_assert!((g.static_uw - orig.static_uw).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's named design points (Table I).
+
+use serde::{Deserialize, Serialize};
+use sfq_estimator::NpuConfig;
+use sfq_npu_sim::SimConfig;
+
+/// The five accelerators compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignPoint {
+    /// Conventional CMOS TPU core (the normalization reference).
+    Tpu,
+    /// Naïve SFQ NPU with TPU-like organization.
+    Baseline,
+    /// Baseline + integrated/divided on-chip buffers.
+    BufferOpt,
+    /// Buffer opt. + narrowed array and enlarged buffers.
+    ResourceOpt,
+    /// Resource opt. + 8 weight registers per PE — the full design.
+    SuperNpu,
+}
+
+impl DesignPoint {
+    /// The four SFQ design points in optimization order.
+    pub const SFQ_DESIGNS: [DesignPoint; 4] = [
+        DesignPoint::Baseline,
+        DesignPoint::BufferOpt,
+        DesignPoint::ResourceOpt,
+        DesignPoint::SuperNpu,
+    ];
+
+    /// All five design points, in the paper's presentation order.
+    pub const ALL: [DesignPoint; 5] = [
+        DesignPoint::Tpu,
+        DesignPoint::Baseline,
+        DesignPoint::BufferOpt,
+        DesignPoint::ResourceOpt,
+        DesignPoint::SuperNpu,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignPoint::Tpu => "TPU",
+            DesignPoint::Baseline => "Baseline",
+            DesignPoint::BufferOpt => "Buffer opt.",
+            DesignPoint::ResourceOpt => "Resource opt.",
+            DesignPoint::SuperNpu => "SuperNPU",
+        }
+    }
+
+    /// Architectural configuration for the SFQ designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DesignPoint::Tpu`], which is a CMOS machine — use
+    /// [`scale_sim::CmosNpuConfig::tpu_core`] instead.
+    pub fn npu_config(self) -> NpuConfig {
+        match self {
+            DesignPoint::Tpu => panic!("the TPU is modeled by scale-sim, not the SFQ estimator"),
+            DesignPoint::Baseline => NpuConfig::paper_baseline(),
+            DesignPoint::BufferOpt => NpuConfig::paper_buffer_opt(),
+            DesignPoint::ResourceOpt => NpuConfig::paper_resource_opt(),
+            DesignPoint::SuperNpu => NpuConfig::paper_supernpu(),
+        }
+    }
+
+    /// Full simulation configuration (RSFQ library, 300 GB/s HBM).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DesignPoint::Tpu`] (see [`DesignPoint::npu_config`]).
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            DesignPoint::Tpu => panic!("the TPU is modeled by scale-sim, not the SFQ simulator"),
+            DesignPoint::Baseline => SimConfig::paper_baseline(),
+            DesignPoint::BufferOpt => SimConfig::paper_buffer_opt(),
+            DesignPoint::ResourceOpt => SimConfig::paper_resource_opt(),
+            DesignPoint::SuperNpu => SimConfig::paper_supernpu(),
+        }
+    }
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_designs_with_stable_labels() {
+        let labels: Vec<&str> = DesignPoint::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(
+            labels,
+            ["TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"]
+        );
+    }
+
+    #[test]
+    fn sfq_designs_build_configs() {
+        for d in DesignPoint::SFQ_DESIGNS {
+            let cfg = d.npu_config();
+            assert_eq!(cfg.name, d.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale-sim")]
+    fn tpu_has_no_sfq_config() {
+        let _ = DesignPoint::Tpu.npu_config();
+    }
+}

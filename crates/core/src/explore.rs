@@ -1,0 +1,304 @@
+//! Design-space exploration sweeps (the paper's §V-B, Figs. 20–22).
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::CellLibrary;
+use sfq_estimator::{estimate, NpuConfig};
+use sfq_npu_sim::{simulate_network, simulate_network_with_batch, SimConfig};
+
+use crate::evaluator::{geomean, paper_workloads};
+
+const MB: u64 = 1024 * 1024;
+
+/// Geomean effective TMAC/s of a config across the six workloads.
+fn geomean_tmacs(cfg: &SimConfig, single_batch: bool) -> f64 {
+    let nets = paper_workloads();
+    let v: Vec<f64> = nets
+        .iter()
+        .map(|n| {
+            let s = if single_batch {
+                simulate_network_with_batch(cfg, n, 1)
+            } else {
+                simulate_network(cfg, n)
+            };
+            s.effective_tmacs()
+        })
+        .collect();
+    geomean(&v)
+}
+
+// ---------------------------------------------------------------- Fig 20
+
+/// One x-position of Fig. 20.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferSweepPoint {
+    /// X-axis label (Baseline, +Integration, +Division N…).
+    pub label: String,
+    /// Division degree of the point.
+    pub division: u32,
+    /// Single-batch performance normalized to Baseline.
+    pub single_batch: f64,
+    /// Max-batch performance normalized to Baseline.
+    pub max_batch: f64,
+    /// Chip area normalized to Baseline.
+    pub area: f64,
+}
+
+/// The buffer-optimization sweep (Fig. 20): buffer integration, then
+/// increasing division degrees, in performance (single and max batch)
+/// and area, all normalized to Baseline.
+pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
+    let lib = CellLibrary::aist_10um();
+    let baseline_cfg = SimConfig::paper_baseline();
+    let base_single = geomean_tmacs(&baseline_cfg, true);
+    let base_max = geomean_tmacs(&baseline_cfg, false);
+    let base_area = estimate(&baseline_cfg.npu, &lib).area_mm2_native;
+
+    let mut points = vec![BufferSweepPoint {
+        label: "Baseline".into(),
+        division: 1,
+        single_batch: 1.0,
+        max_batch: 1.0,
+        area: 1.0,
+    }];
+
+    for division in [2u32, 4, 16, 64, 256, 1024, 4096] {
+        let npu = NpuConfig {
+            name: format!("+Division {division}"),
+            division,
+            ..NpuConfig::paper_buffer_opt()
+        };
+        let label = if division == 2 {
+            "+Integration (Div. 2)".to_owned()
+        } else {
+            format!("+Division {division}")
+        };
+        let cfg = SimConfig::from_npu(npu, &lib);
+        points.push(BufferSweepPoint {
+            label,
+            division,
+            single_batch: geomean_tmacs(&cfg, true) / base_single,
+            max_batch: geomean_tmacs(&cfg, false) / base_max,
+            area: estimate(&cfg.npu, &lib).area_mm2_native / base_area,
+        });
+    }
+    points
+}
+
+// ---------------------------------------------------------------- Fig 21
+
+/// One x-position of Fig. 21.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSweepPoint {
+    /// PE-array width.
+    pub width: u32,
+    /// Total on-chip buffer with the area reinvested, MB.
+    pub buffer_mb: u32,
+    /// Max-batch performance with the 24 MB buffers kept, normalized
+    /// to Baseline.
+    pub max_batch_fixed_buffer: f64,
+    /// Max-batch performance with the freed area reinvested in
+    /// buffers, normalized to Baseline.
+    pub max_batch_added_buffer: f64,
+    /// Geomean computational intensity (batch-weighted MAC/byte)
+    /// normalized to Baseline, with the added buffer.
+    pub intensity: f64,
+}
+
+/// The resource-balancing sweep (Fig. 21): shrink the PE-array width,
+/// reinvest the area into buffer capacity (the paper's capacity
+/// schedule), and measure max-batch performance and intensity.
+pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
+    let lib = CellLibrary::aist_10um();
+    let baseline_cfg = SimConfig::paper_baseline();
+    let base_max = geomean_tmacs(&baseline_cfg, false);
+    let nets = paper_workloads();
+    let base_intensity = geomean(
+        &nets
+            .iter()
+            .map(|n| dnn_models::intensity::network_intensity(n, 1))
+            .collect::<Vec<_>>(),
+    );
+
+    // The paper's width → total-buffer schedule (Fig. 21 x-axis).
+    let schedule: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
+
+    schedule
+        .iter()
+        .map(|&(width, buffer_mb)| {
+            let make = |total_mb: u64| {
+                let npu = NpuConfig {
+                    name: format!("width {width}"),
+                    array_width: width,
+                    ifmap_buf_bytes: total_mb * MB / 2,
+                    output_buf_bytes: total_mb * MB / 2,
+                    psum_buf_bytes: 0,
+                    integrated_output: true,
+                    // Keep chunk lengths constant as width shrinks
+                    // (the paper scales 64 → 256 divisions).
+                    division: 64 * (256 / width).max(1),
+                    ..NpuConfig::paper_baseline()
+                };
+                SimConfig::from_npu(npu, &lib)
+            };
+            let fixed = make(24);
+            let added = make(u64::from(buffer_mb));
+
+            let intensity = geomean(
+                &nets
+                    .iter()
+                    .map(|n| {
+                        let b = sfq_npu_sim::structural_max_batch(&added.npu, n);
+                        dnn_models::intensity::network_intensity(n, b)
+                    })
+                    .collect::<Vec<_>>(),
+            ) / base_intensity;
+
+            ResourceSweepPoint {
+                width,
+                buffer_mb,
+                max_batch_fixed_buffer: geomean_tmacs(&fixed, false) / base_max,
+                max_batch_added_buffer: geomean_tmacs(&added, false) / base_max,
+                intensity,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig 22
+
+/// One bar of Fig. 22.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterSweepPoint {
+    /// PE-array width (the paper compares 64 and 128).
+    pub width: u32,
+    /// Weight registers per PE.
+    pub regs: u32,
+    /// Max-batch performance normalized to Baseline.
+    pub performance: f64,
+}
+
+/// The per-PE register sweep (Fig. 22) at widths 64 and 128 with the
+/// Fig. 21 "added buffer" capacities.
+pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
+    let lib = CellLibrary::aist_10um();
+    let base_max = geomean_tmacs(&SimConfig::paper_baseline(), false);
+    let mut out = Vec::new();
+    for (width, buffer_mb) in [(64u32, 46u64), (128, 38)] {
+        for regs in [1u32, 2, 4, 8, 16, 32] {
+            let npu = NpuConfig {
+                name: format!("w{width} r{regs}"),
+                array_width: width,
+                regs_per_pe: regs,
+                ifmap_buf_bytes: buffer_mb * MB / 2,
+                output_buf_bytes: buffer_mb * MB / 2,
+                psum_buf_bytes: 0,
+                integrated_output: true,
+                division: 64 * (256 / width).max(1),
+                weight_buf_bytes: 16 * 1024 * u64::from(regs),
+                ..NpuConfig::paper_baseline()
+            };
+            let cfg = SimConfig::from_npu(npu, &lib);
+            out.push(RegisterSweepPoint {
+                width,
+                regs,
+                performance: geomean_tmacs(&cfg, false) / base_max,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig20_division_improves_then_area_explodes() {
+        let pts = fig20_buffer_sweep();
+        assert_eq!(pts.len(), 8);
+        // Single-batch performance grows with division and saturates.
+        let d64 = pts.iter().find(|p| p.division == 64).unwrap();
+        assert!(d64.single_batch > 3.0, "d=64 single {:.2}", d64.single_batch);
+        assert!(d64.max_batch > 10.0, "d=64 max {:.2}", d64.max_batch);
+        // Area at 4096 clearly above baseline; at 64 modest.
+        let d4096 = pts.iter().find(|p| p.division == 4096).unwrap();
+        assert!(d4096.area > d64.area);
+        assert!(d64.area < 1.25, "d=64 area {:.2}", d64.area);
+    }
+
+    #[test]
+    fn fig20_monotone_single_batch_until_saturation() {
+        let pts = fig20_buffer_sweep();
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].single_batch >= pair[0].single_batch * 0.98,
+                "{} -> {}: {:.2} -> {:.2}",
+                pair[0].label,
+                pair[1].label,
+                pair[0].single_batch,
+                pair[1].single_batch
+            );
+        }
+    }
+
+    #[test]
+    fn fig21_narrower_width_raises_intensity() {
+        let pts = fig21_resource_sweep();
+        assert_eq!(pts.len(), 5);
+        // Intensity grows monotonically as the array narrows.
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].intensity >= pair[0].intensity * 0.95,
+                "width {} -> {}",
+                pair[0].width,
+                pair[1].width
+            );
+        }
+        // Added buffer always at least matches the fixed buffer.
+        for p in &pts {
+            assert!(
+                p.max_batch_added_buffer >= p.max_batch_fixed_buffer * 0.95,
+                "width {}",
+                p.width
+            );
+        }
+    }
+
+    #[test]
+    fn fig21_best_width_is_64_or_128() {
+        // The paper picks 64 (128 peaks slightly higher but has no
+        // register headroom).
+        let pts = fig21_resource_sweep();
+        let best = pts
+            .iter()
+            .max_by(|a, b| {
+                a.max_batch_added_buffer
+                    .partial_cmp(&b.max_batch_added_buffer)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            best.width == 64 || best.width == 128,
+            "best width {}",
+            best.width
+        );
+    }
+
+    #[test]
+    fn fig22_width64_benefits_from_registers() {
+        let pts = fig22_register_sweep();
+        assert_eq!(pts.len(), 12);
+        let perf = |w: u32, r: u32| {
+            pts.iter()
+                .find(|p| p.width == w && p.regs == r)
+                .unwrap()
+                .performance
+        };
+        // Width 64 gains from 1 → 8 registers (paper Fig. 22).
+        assert!(perf(64, 8) > perf(64, 1), "{} vs {}", perf(64, 8), perf(64, 1));
+        // Width 128 gains less (its intensity is memory-bound).
+        let gain64 = perf(64, 8) / perf(64, 1);
+        let gain128 = perf(128, 8) / perf(128, 1);
+        assert!(gain64 >= gain128 * 0.98, "64: {gain64:.2} 128: {gain128:.2}");
+    }
+}

@@ -1,0 +1,192 @@
+//! CSV export of every figure's data series — plot-ready artifacts
+//! for regenerating the paper's charts with any plotting tool.
+
+use std::fmt::Write as _;
+
+use crate::designs::DesignPoint;
+use crate::evaluator;
+use crate::explore;
+
+/// Render rows as CSV (header + records). Fields containing commas or
+/// quotes are quoted.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |field: &str| {
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_owned()
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+    }
+    out
+}
+
+/// One exported dataset: file stem and CSV contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// File stem, e.g. `fig23_performance`.
+    pub name: String,
+    /// CSV payload.
+    pub csv: String,
+}
+
+/// Produce every figure's data series.
+pub fn all_datasets() -> Vec<Dataset> {
+    let mut out = Vec::new();
+
+    let fig15 = evaluator::fig15_cycle_breakdown();
+    out.push(Dataset {
+        name: "fig15_breakdown".into(),
+        csv: to_csv(
+            &["network", "preparation", "computation"],
+            &fig15
+                .iter()
+                .map(|r| vec![r.network.clone(), r.preparation.to_string(), r.computation.to_string()])
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let fig17 = evaluator::fig17_roofline();
+    out.push(Dataset {
+        name: "fig17_roofline".into(),
+        csv: to_csv(
+            &["network", "mac_per_byte", "roofline_gmacs", "effective_gmacs", "peak_gmacs"],
+            &fig17
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.network.clone(),
+                        r.intensity_mac_per_byte.to_string(),
+                        r.roofline_gmacs.to_string(),
+                        r.effective_gmacs.to_string(),
+                        r.peak_gmacs.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let fig20 = explore::fig20_buffer_sweep();
+    out.push(Dataset {
+        name: "fig20_buffer_opt".into(),
+        csv: to_csv(
+            &["label", "division", "single_batch", "max_batch", "area"],
+            &fig20
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.label.clone(),
+                        p.division.to_string(),
+                        p.single_batch.to_string(),
+                        p.max_batch.to_string(),
+                        p.area.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let fig21 = explore::fig21_resource_sweep();
+    out.push(Dataset {
+        name: "fig21_resource_balance".into(),
+        csv: to_csv(
+            &["width", "buffer_mb", "fixed_buffer", "added_buffer", "intensity"],
+            &fig21
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.width.to_string(),
+                        p.buffer_mb.to_string(),
+                        p.max_batch_fixed_buffer.to_string(),
+                        p.max_batch_added_buffer.to_string(),
+                        p.intensity.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let fig22 = explore::fig22_register_sweep();
+    out.push(Dataset {
+        name: "fig22_registers".into(),
+        csv: to_csv(
+            &["width", "regs", "performance"],
+            &fig22
+                .iter()
+                .map(|p| vec![p.width.to_string(), p.regs.to_string(), p.performance.to_string()])
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let fig23 = evaluator::fig23_performance();
+    out.push(Dataset {
+        name: "fig23_performance".into(),
+        csv: to_csv(
+            &["network", "tpu_tmacs", "baseline_x", "buffer_opt_x", "resource_opt_x", "supernpu_x"],
+            &fig23
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.network.clone(),
+                        r.tpu_tmacs.to_string(),
+                        r.speedup(DesignPoint::Baseline).to_string(),
+                        r.speedup(DesignPoint::BufferOpt).to_string(),
+                        r.speedup(DesignPoint::ResourceOpt).to_string(),
+                        r.speedup(DesignPoint::SuperNpu).to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    let table3 = evaluator::table3_power();
+    out.push(Dataset {
+        name: "table3_power".into(),
+        csv: to_csv(
+            &["variant", "power_w", "perf_per_watt_vs_tpu"],
+            &table3
+                .iter()
+                .map(|r| vec![r.variant.clone(), r.power_w.to_string(), r.perf_per_watt_vs_tpu.to_string()])
+                .collect::<Vec<_>>(),
+        ),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escaping() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["plain".into(), "with,comma".into()], vec!["with\"quote".into(), "x".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn all_datasets_are_parseable_csv() {
+        let sets = all_datasets();
+        assert_eq!(sets.len(), 7);
+        for d in &sets {
+            let mut lines = d.csv.lines();
+            let header_cols = lines.next().expect("header").split(',').count();
+            let mut records = 0;
+            for line in lines {
+                assert_eq!(line.split(',').count(), header_cols, "{}: ragged row", d.name);
+                records += 1;
+            }
+            assert!(records >= 5, "{}: only {records} records", d.name);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Latency/throughput trade-off: the paper maximizes throughput by
+//! batching to buffer capacity, which costs per-image latency —
+//! the axis a serving deployment cares about.
+
+use dnn_models::Network;
+use serde::{Deserialize, Serialize};
+use sfq_npu_sim::{simulate_network_with_batch, structural_max_batch, SimConfig};
+
+/// One batch point of the latency/throughput curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Input batch.
+    pub batch: u32,
+    /// Wall-clock latency of the whole batch, milliseconds.
+    pub batch_latency_ms: f64,
+    /// Per-image latency, milliseconds.
+    pub image_latency_ms: f64,
+    /// Sustained throughput, images/s.
+    pub images_per_s: f64,
+    /// Sustained throughput, TMAC/s.
+    pub tmacs: f64,
+}
+
+/// Sweep batch sizes from 1 up to the structural maximum (powers of
+/// two plus the maximum itself).
+pub fn latency_curve(cfg: &SimConfig, net: &Network) -> Vec<LatencyPoint> {
+    let max_batch = structural_max_batch(&cfg.npu, net);
+    let mut batches: Vec<u32> = std::iter::successors(Some(1u32), |b| Some(b * 2))
+        .take_while(|b| *b < max_batch)
+        .collect();
+    batches.push(max_batch);
+
+    batches
+        .into_iter()
+        .map(|batch| {
+            let s = simulate_network_with_batch(cfg, net, batch);
+            let t_ms = s.time_s() * 1e3;
+            LatencyPoint {
+                batch,
+                batch_latency_ms: t_ms,
+                image_latency_ms: t_ms, // all images finish together
+                images_per_s: s.images_per_s(),
+                tmacs: s.effective_tmacs(),
+            }
+        })
+        .collect()
+}
+
+/// The knee of the curve: the smallest batch achieving at least
+/// `fraction` (e.g. 0.9) of the maximum-batch throughput.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or the curve is empty.
+pub fn knee(curve: &[LatencyPoint], fraction: f64) -> &LatencyPoint {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    assert!(!curve.is_empty(), "empty curve");
+    let best = curve
+        .iter()
+        .map(|p| p.images_per_s)
+        .fold(0.0f64, f64::max);
+    curve
+        .iter()
+        .find(|p| p.images_per_s >= fraction * best)
+        .expect("some point reaches the fraction of its own maximum")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo;
+
+    #[test]
+    fn throughput_monotone_latency_grows() {
+        let cfg = SimConfig::paper_supernpu();
+        let curve = latency_curve(&cfg, &zoo::resnet50());
+        assert!(curve.len() >= 3);
+        for pair in curve.windows(2) {
+            assert!(pair[1].batch > pair[0].batch);
+            assert!(pair[1].images_per_s >= pair[0].images_per_s * 0.999);
+            assert!(pair[1].batch_latency_ms >= pair[0].batch_latency_ms * 0.999);
+        }
+        // The last point is the Table II batch.
+        assert_eq!(curve.last().unwrap().batch, 30);
+    }
+
+    #[test]
+    fn knee_is_below_max_batch() {
+        // Half the throughput arrives well before batch 30 — useful
+        // for latency-sensitive serving (full throughput does need the
+        // full batch: prep amortization keeps paying to the end).
+        let cfg = SimConfig::paper_supernpu();
+        let curve = latency_curve(&cfg, &zoo::googlenet());
+        let k = knee(&curve, 0.5);
+        assert!(k.batch <= 16, "knee at batch {}", k.batch);
+        let k9 = knee(&curve, 0.9);
+        assert!(k9.batch <= 30);
+    }
+
+    #[test]
+    fn sub_millisecond_resnet_inference() {
+        // A 52.6 GHz NPU finishes single-image ResNet-50 in well under
+        // a millisecond.
+        let cfg = SimConfig::paper_supernpu();
+        let curve = latency_curve(&cfg, &zoo::resnet50());
+        assert!(curve[0].image_latency_ms < 1.0, "{} ms", curve[0].image_latency_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let cfg = SimConfig::paper_supernpu();
+        let curve = latency_curve(&cfg, &zoo::alexnet());
+        let _ = knee(&curve, 0.0);
+    }
+}

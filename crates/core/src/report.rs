@@ -1,0 +1,111 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Render a fixed-width table: a header row plus data rows. Columns
+/// are sized to their widest cell; numeric-looking cells are right-
+/// aligned.
+///
+/// # Panics
+///
+/// Panics if any row has a different arity than the header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(
+            r.len(),
+            headers.len(),
+            "row {i} has {} cells, header has {}",
+            r.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let numeric = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || ".-+exX%".contains(c))
+    };
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if numeric(cell) {
+                out.push_str(&format!("{cell:>w$}", w = *w));
+            } else {
+                out.push_str(&format!("{cell:<w$}", w = *w));
+            }
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
+/// Format a float with `digits` decimals.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1.00".into()],
+                vec!["b".into(), "200.50".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned: both rows end at same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn arity_mismatch_panics() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(ratio(22.96), "22.96x");
+        assert_eq!(ratio(490.0), "490x");
+        assert_eq!(pct(0.914), "91.4%");
+    }
+}

@@ -1,0 +1,94 @@
+//! System-level power budgeting.
+//!
+//! The paper's Table III charges only the 4 K chip and its cooling;
+//! a deployed system also powers room-temperature DRAM and the I/O
+//! chain that crosses the thermal boundary. This module composes a
+//! whole-system budget so perf/W claims can be made at the system
+//! rather than the chip level.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cooling::CoolingModel;
+
+/// Power drawn per GB/s of cross-boundary memory traffic, watts —
+/// a representative HBM+PHY figure (~10 pJ/bit ≈ 0.08 W per GB/s).
+pub const MEMORY_W_PER_GBS: f64 = 0.08;
+
+/// A whole-system power budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemBudget {
+    /// Power dissipated at the cold stage, watts.
+    pub cold_chip_w: f64,
+    /// Wall power for cooling it (excluding the chip power itself),
+    /// watts.
+    pub cooling_w: f64,
+    /// Room-temperature memory and I/O power, watts.
+    pub memory_w: f64,
+}
+
+impl SystemBudget {
+    /// Compose a budget from the chip power, its cooling model, and
+    /// the sustained off-chip bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative inputs.
+    pub fn new(cold_chip_w: f64, cooling: &CoolingModel, sustained_gbs: f64) -> Self {
+        assert!(cold_chip_w >= 0.0 && sustained_gbs >= 0.0, "powers must be non-negative");
+        let wall = cooling.wall_power_w(cold_chip_w);
+        SystemBudget {
+            cold_chip_w,
+            cooling_w: (wall - cold_chip_w).max(0.0),
+            memory_w: sustained_gbs * MEMORY_W_PER_GBS,
+        }
+    }
+
+    /// Total wall power, watts.
+    pub fn total_w(&self) -> f64 {
+        self.cold_chip_w + self.cooling_w + self.memory_w
+    }
+
+    /// Fraction of wall power spent on cooling.
+    pub fn cooling_fraction(&self) -> f64 {
+        if self.total_w() == 0.0 {
+            0.0
+        } else {
+            self.cooling_w / self.total_w()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooled_ersfq_system_is_cooling_dominated() {
+        // 2.3 W chip at 400x cooling + 300 GB/s of HBM.
+        let b = SystemBudget::new(2.3, &CoolingModel::holmes_4k(), 300.0);
+        assert!(b.cooling_fraction() > 0.9, "fraction {:.2}", b.cooling_fraction());
+        // Memory power (24 W) is small next to the ~918 W of cooling.
+        assert!((b.memory_w - 24.0).abs() < 1e-9);
+        assert!((b.total_w() - (2.3 * 400.0 + 24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_cooling_makes_memory_dominant() {
+        let b = SystemBudget::new(2.3, &CoolingModel::free(), 300.0);
+        assert_eq!(b.cooling_w, 0.0);
+        assert!(b.memory_w > b.cold_chip_w);
+    }
+
+    #[test]
+    fn zero_system_is_zero() {
+        let b = SystemBudget::new(0.0, &CoolingModel::holmes_4k(), 0.0);
+        assert_eq!(b.total_w(), 0.0);
+        assert_eq!(b.cooling_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        let _ = SystemBudget::new(-1.0, &CoolingModel::free(), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cryocooler wall-power model.
+
+use serde::{Deserialize, Serialize};
+
+/// A cryogenic cooling model: wall power per watt removed at the cold
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingModel {
+    /// Cold-stage temperature, kelvin.
+    pub temperature_k: f64,
+    /// Wall watts per cold watt (the paper's "400 times" factor).
+    pub overhead_factor: f64,
+}
+
+impl CoolingModel {
+    /// The paper's 4 K operating point: 400 W wall per 4 K watt
+    /// (Holmes et al. 2013).
+    pub fn holmes_4k() -> Self {
+        CoolingModel {
+            temperature_k: 4.2,
+            overhead_factor: 400.0,
+        }
+    }
+
+    /// Free cooling — the paper's quantum-computing-facility scenario
+    /// where the cryoplant is already paid for.
+    pub fn free() -> Self {
+        CoolingModel {
+            temperature_k: 4.2,
+            overhead_factor: 1.0,
+        }
+    }
+
+    /// Carnot-limited ideal overhead between `temperature_k` and a
+    /// 300 K ambient, with a practical efficiency fraction
+    /// (large cryoplants reach a few percent of Carnot; 400× at 4 K
+    /// corresponds to ≈18% of Carnot).
+    pub fn carnot(temperature_k: f64, percent_of_carnot: f64) -> Self {
+        assert!(
+            temperature_k > 0.0 && temperature_k < 300.0,
+            "cold stage must be between 0 and 300 K"
+        );
+        assert!(
+            percent_of_carnot > 0.0 && percent_of_carnot <= 100.0,
+            "efficiency must be in (0, 100] percent"
+        );
+        let carnot = (300.0 - temperature_k) / temperature_k;
+        CoolingModel {
+            temperature_k,
+            overhead_factor: carnot / (percent_of_carnot / 100.0),
+        }
+    }
+
+    /// Total wall power for a chip dissipating `chip_w` at the cold
+    /// stage (the paper multiplies chip power by the overhead factor).
+    pub fn wall_power_w(&self, chip_w: f64) -> f64 {
+        chip_w * self.overhead_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_powers_reproduce() {
+        let c = CoolingModel::holmes_4k();
+        // RSFQ-SuperNPU: 964 W chip → ~3.8e5 W wall (Table III).
+        let rsfq = c.wall_power_w(964.0);
+        assert!((rsfq - 3.856e5).abs() / 3.856e5 < 0.01, "{rsfq:.0}");
+        // ERSFQ-SuperNPU: 1.9 W chip → ~760 W wall (Table III: 751 W).
+        let ersfq = c.wall_power_w(1.9);
+        assert!((ersfq - 751.0).abs() / 751.0 < 0.05, "{ersfq:.0}");
+    }
+
+    #[test]
+    fn free_cooling_charges_chip_power_only() {
+        assert_eq!(CoolingModel::free().wall_power_w(1.9), 1.9);
+    }
+
+    #[test]
+    fn carnot_at_18_percent_is_about_400x() {
+        let c = CoolingModel::carnot(4.2, 17.6);
+        assert!(
+            (c.overhead_factor - 400.0).abs() < 20.0,
+            "overhead {:.0}",
+            c.overhead_factor
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cold stage")]
+    fn carnot_rejects_hot_cold_stage() {
+        let _ = CoolingModel::carnot(301.0, 10.0);
+    }
+}

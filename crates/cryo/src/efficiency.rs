@@ -1,0 +1,82 @@
+//! Performance-per-watt accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A (performance, power) point; performance units are caller-chosen
+/// but must match across compared points (the paper uses TMAC/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEfficiency {
+    /// Throughput (e.g., TMAC/s).
+    pub performance: f64,
+    /// Power, watts.
+    pub power_w: f64,
+}
+
+impl PowerEfficiency {
+    /// Construct, validating positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either quantity is non-positive or non-finite.
+    pub fn new(performance: f64, power_w: f64) -> Self {
+        assert!(
+            performance.is_finite() && performance > 0.0,
+            "performance must be positive"
+        );
+        assert!(power_w.is_finite() && power_w > 0.0, "power must be positive");
+        PowerEfficiency {
+            performance,
+            power_w,
+        }
+    }
+
+    /// Performance per watt.
+    pub fn per_watt(&self) -> f64 {
+        self.performance / self.power_w
+    }
+
+    /// This point's perf/W relative to a reference (the paper
+    /// normalizes to the TPU) — Table III's right column.
+    pub fn relative_to(&self, reference: &PowerEfficiency) -> f64 {
+        self.per_watt() / reference.per_watt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduce the structure of Table III with the paper's numbers:
+    /// speed-up 23×, TPU 40 W.
+    #[test]
+    fn table3_normalized_efficiencies() {
+        let tpu = PowerEfficiency::new(1.0, 40.0);
+        // RSFQ without cooling: 23x perf at 964 W → 0.95.
+        let rsfq = PowerEfficiency::new(23.0, 964.0);
+        assert!((rsfq.relative_to(&tpu) - 0.95).abs() < 0.02);
+        // RSFQ with cooling: ~0.002.
+        let rsfq_cool = PowerEfficiency::new(23.0, 964.0 * 400.0);
+        assert!((rsfq_cool.relative_to(&tpu) - 0.0024).abs() < 0.001);
+        // ERSFQ without cooling: 23x at 1.9 W → ≈490.
+        let ersfq = PowerEfficiency::new(23.0, 1.9);
+        let r = ersfq.relative_to(&tpu);
+        assert!((r - 484.0).abs() < 10.0, "{r:.0}");
+        // ERSFQ with cooling: ≈1.2.
+        let ersfq_cool = PowerEfficiency::new(23.0, 1.9 * 400.0);
+        let r = ersfq_cool.relative_to(&tpu);
+        assert!((r - 1.21).abs() < 0.05, "{r:.2}");
+    }
+
+    #[test]
+    fn relative_is_ratio_of_per_watt() {
+        let a = PowerEfficiency::new(10.0, 2.0);
+        let b = PowerEfficiency::new(5.0, 5.0);
+        assert!((a.relative_to(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_panics() {
+        let _ = PowerEfficiency::new(1.0, 0.0);
+    }
+}

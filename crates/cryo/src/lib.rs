@@ -1,0 +1,37 @@
+//! # cryo
+//!
+//! Cooling-cost and performance-per-watt accounting for 4 K
+//! superconducting accelerators, as used in the paper's Table III.
+//!
+//! The paper follows Holmes, Ripple & Manheimer ("Energy-efficient
+//! superconducting computing — power budgets and requirements", IEEE
+//! TAS 2013) and charges **400 W of wall power per watt dissipated at
+//! 4 K**. The same study motivates the "free cooling" scenario — a
+//! facility that already operates a cryoplant (as quantum-computing
+//! installations do) amortizes the cooling away.
+//!
+//! # Example
+//!
+//! ```
+//! use cryo::{CoolingModel, PowerEfficiency};
+//!
+//! let cooling = CoolingModel::holmes_4k();
+//! assert_eq!(cooling.wall_power_w(1.9), 1.9 * 400.0);
+//!
+//! // Table III bottom row: ERSFQ-SuperNPU with cooling vs the TPU.
+//! let sfq = PowerEfficiency::new(23.0, cooling.wall_power_w(1.9));
+//! let tpu = PowerEfficiency::new(1.0, 40.0);
+//! let ratio = sfq.relative_to(&tpu);
+//! assert!(ratio > 1.0, "still ahead of the TPU: {ratio:.2}x");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod cooling;
+mod efficiency;
+
+pub use budget::{SystemBudget, MEMORY_W_PER_GBS};
+pub use cooling::CoolingModel;
+pub use efficiency::PowerEfficiency;

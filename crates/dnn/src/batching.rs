@@ -1,0 +1,84 @@
+//! On-chip batch sizing — the methodology behind the paper's Table II.
+//!
+//! The batch size for each (design, workload) pair is "the maximum
+//! value which can be held by a given on-chip buffer capacity without
+//! additional off-chip memory access", bounded by the layer with the
+//! largest per-image working set, and capped conservatively (the paper
+//! uses 30).
+
+use crate::network::Network;
+
+/// The conservative cap the paper applies to every batch size.
+pub const PAPER_BATCH_CAP: u32 = 30;
+
+/// Maximum batch that fits `capacity_bytes` of activation buffering
+/// for `net`, at least 1, capped at `cap`.
+///
+/// `efficiency` ∈ (0, 1] derates the usable capacity for designs whose
+/// buffer structure strands space (the paper's Fig. 18 scenarios:
+/// monolithic shift registers dedicate whole rows per channel and
+/// flush between filter sets). Pass 1.0 for fully flexible (chunked)
+/// buffers.
+///
+/// # Panics
+///
+/// Panics if `efficiency` is not in `(0, 1]` or `cap` is zero.
+pub fn max_batch(net: &Network, capacity_bytes: u64, efficiency: f64, cap: u32) -> u32 {
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0,1], got {efficiency}"
+    );
+    assert!(cap > 0, "cap must be positive");
+    let usable = (capacity_bytes as f64 * efficiency) as u64;
+    let ws = net.max_working_set_bytes();
+    let b = (usable / ws.max(1)) as u32;
+    b.clamp(1, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn tpu_vgg16_batch_is_3() {
+        // Table II: TPU (24 MB unified buffer) runs VGG16 at batch 3.
+        let b = max_batch(&zoo::vgg16(), 24 * MB, 1.0, PAPER_BATCH_CAP);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn supernpu_vgg16_batch_is_7() {
+        // Table II: SuperNPU (48 MB of activation buffering) runs
+        // VGG16 at batch 7.
+        let b = max_batch(&zoo::vgg16(), 48 * MB, 1.0, PAPER_BATCH_CAP);
+        assert_eq!(b, 7);
+    }
+
+    #[test]
+    fn large_buffers_hit_the_cap() {
+        let b = max_batch(&zoo::mobilenet(), 48 * MB, 1.0, PAPER_BATCH_CAP);
+        assert_eq!(b, PAPER_BATCH_CAP);
+    }
+
+    #[test]
+    fn at_least_one_even_when_oversized() {
+        let b = max_batch(&zoo::vgg16(), 1 * MB, 1.0, PAPER_BATCH_CAP);
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn efficiency_derates_capacity() {
+        let full = max_batch(&zoo::resnet50(), 24 * MB, 1.0, PAPER_BATCH_CAP);
+        let derated = max_batch(&zoo::resnet50(), 24 * MB, 0.2, PAPER_BATCH_CAP);
+        assert!(derated < full, "derated {derated} full {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        let _ = max_batch(&zoo::vgg16(), 24 * MB, 0.0, PAPER_BATCH_CAP);
+    }
+}

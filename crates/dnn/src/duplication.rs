@@ -1,0 +1,130 @@
+//! Ifmap-pixel duplication analysis (the paper's Fig. 8).
+//!
+//! Under weight-stationary mapping onto shift-register buffers, each
+//! ifmap-buffer row feeds one PE-array row, i.e. one weight position.
+//! Adjacent weight positions of a convolution read overlapping ifmap
+//! windows, so without the data-alignment unit (DAU) the buffer would
+//! hold each shared pixel once *per weight position* — massive
+//! duplication. This module computes the unique/duplicated breakdown
+//! that motivates the DAU.
+
+use crate::layer::{Layer, LayerKind};
+use crate::network::Network;
+
+/// Unique/duplicated pixel accounting for one layer or one network.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Duplication {
+    /// Pixels that are distinct ifmap elements.
+    pub unique: u64,
+    /// Extra copies that naive per-weight-row buffering would hold.
+    pub duplicated: u64,
+}
+
+impl Duplication {
+    /// Fraction of buffered data that is duplicated (0 when a layer
+    /// reuses nothing).
+    pub fn duplicated_ratio(&self) -> f64 {
+        let total = self.unique + self.duplicated;
+        if total == 0 {
+            0.0
+        } else {
+            self.duplicated as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for Duplication {
+    type Output = Duplication;
+    fn add(self, rhs: Duplication) -> Duplication {
+        Duplication {
+            unique: self.unique + rhs.unique,
+            duplicated: self.duplicated + rhs.duplicated,
+        }
+    }
+}
+
+/// Per-layer analysis: every weight position (R·S of them) needs the
+/// ifmap patch it slides over — `oh·ow` pixels per input channel —
+/// while the unique data is just the `H·W` input pixels per channel.
+pub fn layer_duplication(layer: &Layer) -> Duplication {
+    match layer.kind() {
+        LayerKind::FullyConnected => Duplication {
+            unique: layer.ifmap_bytes(1),
+            duplicated: 0,
+        },
+        LayerKind::Conv | LayerKind::Depthwise => {
+            let k2 = u64::from(layer.kernel()) * u64::from(layer.kernel());
+            let per_channel_fed = layer.output_pixels() * k2;
+            let channels = u64::from(layer.in_channels());
+            let fed = per_channel_fed * channels;
+            let unique = layer.ifmap_bytes(1);
+            Duplication {
+                unique,
+                duplicated: fed.saturating_sub(unique),
+            }
+        }
+    }
+}
+
+/// Whole-network analysis: sums the per-layer pixel counts, exactly
+/// how the paper aggregates Fig. 8.
+pub fn network_duplication(net: &Network) -> Duplication {
+    net.iter()
+        .map(layer_duplication)
+        .fold(Duplication::default(), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn fc_layer_has_no_duplication() {
+        let l = Layer::fully_connected("fc", 4096, 1000);
+        assert_eq!(layer_duplication(&l).duplicated, 0);
+    }
+
+    #[test]
+    fn vgg_3x3_layer_duplicates_about_8_of_9() {
+        // Stride-1 3x3 "same" conv: each pixel is fed ~9 times.
+        let l = Layer::conv("c", (224, 224), 64, 64, 3, 1, 1);
+        let d = layer_duplication(&l);
+        let r = d.duplicated_ratio();
+        assert!(r > 0.85 && r < 0.92, "ratio {r}");
+    }
+
+    #[test]
+    fn strided_conv_duplicates_less() {
+        let dense = layer_duplication(&Layer::conv("a", (56, 56), 64, 64, 3, 1, 1));
+        let strided = layer_duplication(&Layer::conv("b", (56, 56), 64, 64, 3, 2, 1));
+        assert!(strided.duplicated_ratio() < dense.duplicated_ratio());
+    }
+
+    #[test]
+    fn paper_fig8_ratios_exceed_80_percent() {
+        // Fig. 8: AlexNet, ResNet50, VGG16 all show mostly-duplicated
+        // buffered data (the paper draws >90% for VGG16-class nets).
+        for net in [zoo::alexnet(), zoo::resnet50(), zoo::vgg16()] {
+            let r = network_duplication(&net).duplicated_ratio();
+            assert!(r > 0.5, "{}: ratio {r}", net.name());
+        }
+        let vgg = network_duplication(&zoo::vgg16()).duplicated_ratio();
+        assert!(vgg > 0.85, "VGG16 ratio {vgg}");
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = Duplication { unique: 1, duplicated: 2 };
+        let b = Duplication { unique: 3, duplicated: 4 };
+        let c = a + b;
+        assert_eq!(c.unique, 4);
+        assert_eq!(c.duplicated, 6);
+        assert!((c.duplicated_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(Duplication::default().duplicated_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Computational-intensity accounting for the roofline analysis
+//! (the paper's Fig. 17).
+//!
+//! The paper defines computational intensity as "the number of MAC
+//! operations executed with one weight data mapped on the PE",
+//! including the effect of batch size on data reuse. Off-chip traffic
+//! per layer is the weights (fetched once per layer) plus the ifmap
+//! and ofmap of every image in the batch.
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// MACs per off-chip byte for one layer at the given batch.
+pub fn layer_intensity(layer: &Layer, batch: u32) -> f64 {
+    let traffic = layer.weight_bytes() + layer.ifmap_bytes(batch) + layer.ofmap_bytes(batch);
+    layer.macs(batch) as f64 / traffic as f64
+}
+
+/// MACs per weight element held in a PE — the paper's per-weight reuse
+/// measure: with batch `b`, each mapped weight is used once per output
+/// pixel per image.
+pub fn macs_per_weight(layer: &Layer, batch: u32) -> f64 {
+    (layer.output_pixels() * u64::from(batch)) as f64
+}
+
+/// Whole-network intensity: total MACs over total off-chip traffic.
+pub fn network_intensity(net: &Network, batch: u32) -> f64 {
+    let macs: u64 = net.total_macs(batch);
+    let traffic: u64 = net
+        .iter()
+        .map(|l| l.weight_bytes() + l.ifmap_bytes(batch) + l.ofmap_bytes(batch))
+        .sum();
+    macs as f64 / traffic as f64
+}
+
+/// Roofline-attainable throughput in MAC/s for a machine with
+/// `peak_macs_per_s` and `bandwidth_bytes_per_s`, at the given
+/// intensity (MAC/byte).
+pub fn roofline_macs_per_s(peak_macs_per_s: f64, bandwidth_bytes_per_s: f64, intensity: f64) -> f64 {
+    peak_macs_per_s.min(bandwidth_bytes_per_s * intensity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn batch_raises_network_intensity() {
+        let net = zoo::resnet50();
+        let i1 = network_intensity(&net, 1);
+        let i8 = network_intensity(&net, 8);
+        assert!(i8 > i1, "batch-8 intensity {i8} must exceed batch-1 {i1}");
+    }
+
+    #[test]
+    fn fc_layers_are_memory_bound() {
+        // FC at batch 1: one MAC per weight byte (plus activations) →
+        // intensity just under 1.
+        let l = crate::Layer::fully_connected("fc", 4096, 4096);
+        let i = layer_intensity(&l, 1);
+        assert!(i < 1.0, "intensity {i}");
+        // Large batch amortizes the weights.
+        assert!(layer_intensity(&l, 32) > 10.0 * i);
+    }
+
+    #[test]
+    fn conv_layers_beat_fc_intensity() {
+        let conv = crate::Layer::conv("c", (56, 56), 256, 256, 3, 1, 1);
+        let fc = crate::Layer::fully_connected("fc", 4096, 4096);
+        assert!(layer_intensity(&conv, 1) > 50.0 * layer_intensity(&fc, 1));
+    }
+
+    #[test]
+    fn macs_per_weight_scales_with_batch_and_pixels() {
+        let l = crate::Layer::conv("c", (56, 56), 64, 64, 3, 1, 1);
+        assert_eq!(macs_per_weight(&l, 1), (56 * 56) as f64);
+        assert_eq!(macs_per_weight(&l, 4), (4 * 56 * 56) as f64);
+    }
+
+    #[test]
+    fn roofline_has_two_regimes() {
+        let peak = 3366e12;
+        let bw = 300e9;
+        // Memory-bound region: performance = bw * intensity.
+        assert_eq!(roofline_macs_per_s(peak, bw, 10.0), 3000e9);
+        // Compute-bound region caps at peak.
+        assert_eq!(roofline_macs_per_s(peak, bw, 1e9), peak);
+    }
+
+    #[test]
+    fn vgg_single_batch_is_far_from_sfq_peak() {
+        // The crux of Fig. 17: at batch 1 even the best workload cannot
+        // come close to the 3366 TMAC/s SFQ peak through 300 GB/s.
+        let i = network_intensity(&zoo::vgg16(), 1);
+        let attainable = roofline_macs_per_s(3366e12, 300e9, i);
+        assert!(
+            attainable < 0.1 * 3366e12,
+            "attainable {attainable:e} suspiciously close to peak"
+        );
+    }
+}

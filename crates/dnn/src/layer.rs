@@ -1,0 +1,308 @@
+//! A single network layer, described by shape.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ELEM_BYTES;
+
+/// What kind of computation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution: every filter spans all input channels.
+    Conv,
+    /// Depthwise convolution: one filter per input channel
+    /// (MobileNet's 3×3 stages).
+    Depthwise,
+    /// Fully-connected layer (modeled as a 1×1 convolution over a
+    /// 1×1 spatial extent).
+    FullyConnected,
+}
+
+/// Shape description of one layer.
+///
+/// Constructed through [`Layer::conv`], [`Layer::depthwise`] or
+/// [`Layer::fully_connected`]; all cycle/energy modeling downstream
+/// derives from these shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    in_h: u32,
+    in_w: u32,
+    in_c: u32,
+    out_c: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+}
+
+impl Layer {
+    /// A standard convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel does not fit the
+    /// padded input.
+    pub fn conv(
+        name: &str,
+        in_hw: (u32, u32),
+        in_c: u32,
+        out_c: u32,
+        kernel: u32,
+        stride: u32,
+        padding: u32,
+    ) -> Self {
+        let l = Layer {
+            name: name.to_owned(),
+            kind: LayerKind::Conv,
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+        };
+        l.assert_valid();
+        l
+    }
+
+    /// A depthwise convolution layer (`out_c == in_c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions (see [`Layer::conv`]).
+    pub fn depthwise(name: &str, in_hw: (u32, u32), channels: u32, kernel: u32, stride: u32) -> Self {
+        let l = Layer {
+            name: name.to_owned(),
+            kind: LayerKind::Depthwise,
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            in_c: channels,
+            out_c: channels,
+            kernel,
+            stride,
+            padding: kernel / 2,
+        };
+        l.assert_valid();
+        l
+    }
+
+    /// A fully-connected layer with `inputs` input activations and
+    /// `outputs` output neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn fully_connected(name: &str, inputs: u32, outputs: u32) -> Self {
+        let l = Layer {
+            name: name.to_owned(),
+            kind: LayerKind::FullyConnected,
+            in_h: 1,
+            in_w: 1,
+            in_c: inputs,
+            out_c: outputs,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        l.assert_valid();
+        l
+    }
+
+    fn assert_valid(&self) {
+        assert!(
+            self.in_h > 0 && self.in_w > 0 && self.in_c > 0 && self.out_c > 0,
+            "{}: zero dimension",
+            self.name
+        );
+        assert!(self.kernel > 0 && self.stride > 0, "{}: zero kernel/stride", self.name);
+        assert!(
+            self.in_h + 2 * self.padding >= self.kernel && self.in_w + 2 * self.padding >= self.kernel,
+            "{}: kernel larger than padded input",
+            self.name
+        );
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Input spatial size (height, width).
+    pub fn input_hw(&self) -> (u32, u32) {
+        (self.in_h, self.in_w)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> u32 {
+        self.in_c
+    }
+
+    /// Output channel (filter) count.
+    pub fn out_channels(&self) -> u32 {
+        self.out_c
+    }
+
+    /// Square kernel extent (R = S).
+    pub fn kernel(&self) -> u32 {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn padding(&self) -> u32 {
+        self.padding
+    }
+
+    /// Output spatial size (height, width).
+    pub fn output_hw(&self) -> (u32, u32) {
+        let oh = (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of output pixels per image (oh × ow).
+    pub fn output_pixels(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        u64::from(oh) * u64::from(ow)
+    }
+
+    /// Length of the contraction (reduction) dimension mapped onto the
+    /// PE-array *rows* under weight-stationary dataflow.
+    pub fn contraction_len(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv => u64::from(self.kernel) * u64::from(self.kernel) * u64::from(self.in_c),
+            LayerKind::Depthwise => u64::from(self.kernel) * u64::from(self.kernel),
+            LayerKind::FullyConnected => u64::from(self.in_c),
+        }
+    }
+
+    /// Number of independent filters mapped onto PE-array *columns*.
+    pub fn filter_count(&self) -> u64 {
+        u64::from(self.out_c)
+    }
+
+    /// Multiply-accumulate operations for `batch` images.
+    pub fn macs(&self, batch: u32) -> u64 {
+        let per_pixel = match self.kind {
+            LayerKind::Conv | LayerKind::FullyConnected => {
+                self.contraction_len() * self.filter_count()
+            }
+            LayerKind::Depthwise => self.contraction_len() * u64::from(self.in_c),
+        };
+        self.output_pixels() * per_pixel * u64::from(batch)
+    }
+
+    /// Input feature-map bytes for `batch` images.
+    pub fn ifmap_bytes(&self, batch: u32) -> u64 {
+        u64::from(self.in_h) * u64::from(self.in_w) * u64::from(self.in_c)
+            * u64::from(batch)
+            * ELEM_BYTES
+    }
+
+    /// Output feature-map bytes for `batch` images.
+    pub fn ofmap_bytes(&self, batch: u32) -> u64 {
+        self.output_pixels() * u64::from(self.out_c) * u64::from(batch) * ELEM_BYTES
+    }
+
+    /// Weight bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        let k2 = u64::from(self.kernel) * u64::from(self.kernel);
+        let w = match self.kind {
+            LayerKind::Conv => k2 * u64::from(self.in_c) * u64::from(self.out_c),
+            LayerKind::Depthwise => k2 * u64::from(self.in_c),
+            LayerKind::FullyConnected => u64::from(self.in_c) * u64::from(self.out_c),
+        };
+        w * ELEM_BYTES
+    }
+
+    /// Per-batch working set: ifmap + ofmap of a single image, the
+    /// quantity that limits on-chip batch size (Table II methodology).
+    pub fn working_set_bytes(&self) -> u64 {
+        self.ifmap_bytes(1) + self.ofmap_bytes(1)
+    }
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (oh, ow) = self.output_hw();
+        write!(
+            f,
+            "{} [{:?} {}x{}x{} -> {}x{}x{}, k{} s{}]",
+            self.name, self.kind, self.in_h, self.in_w, self.in_c, oh, ow, self.out_c, self.kernel, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_shape() {
+        // 224x224x3, 96 filters 11x11 stride 4, pad 2 -> 55x55.
+        let l = Layer::conv("conv1", (224, 224), 3, 96, 11, 4, 2);
+        assert_eq!(l.output_hw(), (55, 55));
+        assert_eq!(l.macs(1), 55 * 55 * 11 * 11 * 3 * 96);
+        assert_eq!(l.weight_bytes(), 11 * 11 * 3 * 96);
+    }
+
+    #[test]
+    fn vgg_conv_3x3_same_padding_preserves_hw() {
+        let l = Layer::conv("c", (224, 224), 64, 64, 3, 1, 1);
+        assert_eq!(l.output_hw(), (224, 224));
+        assert_eq!(l.working_set_bytes(), 224 * 224 * 64 * 2);
+    }
+
+    #[test]
+    fn depthwise_macs_scale_with_channels_not_squared() {
+        let l = Layer::depthwise("dw", (112, 112), 32, 3, 1);
+        assert_eq!(l.output_hw(), (112, 112));
+        assert_eq!(l.macs(1), 112 * 112 * 9 * 32);
+        assert_eq!(l.contraction_len(), 9);
+    }
+
+    #[test]
+    fn fully_connected_is_1x1() {
+        let l = Layer::fully_connected("fc6", 9216, 4096);
+        assert_eq!(l.output_hw(), (1, 1));
+        assert_eq!(l.macs(1), 9216 * 4096);
+        assert_eq!(l.macs(4), 4 * 9216 * 4096);
+        assert_eq!(l.weight_bytes(), 9216 * 4096);
+    }
+
+    #[test]
+    fn strided_output_math() {
+        let l = Layer::conv("s2", (112, 112), 64, 128, 3, 2, 1);
+        assert_eq!(l.output_hw(), (56, 56));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_channels_panics() {
+        let _ = Layer::conv("bad", (8, 8), 0, 8, 3, 1, 1);
+    }
+
+    #[test]
+    fn batch_scales_ifmap_and_macs_linearly() {
+        let l = Layer::conv("c", (56, 56), 64, 64, 3, 1, 1);
+        assert_eq!(l.ifmap_bytes(8), 8 * l.ifmap_bytes(1));
+        assert_eq!(l.macs(8), 8 * l.macs(1));
+    }
+
+    #[test]
+    fn display_mentions_name_and_shape() {
+        let l = Layer::conv("conv1", (224, 224), 3, 96, 11, 4, 2);
+        let s = l.to_string();
+        assert!(s.contains("conv1") && s.contains("224"));
+    }
+}

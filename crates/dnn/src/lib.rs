@@ -1,0 +1,51 @@
+//! # dnn-models
+//!
+//! Shape-level descriptions of the six CNN inference workloads the
+//! SuperNPU paper evaluates (AlexNet, Faster R-CNN, GoogLeNet,
+//! MobileNet, ResNet-50, VGG16), together with the shape analyses the
+//! paper performs on them:
+//!
+//! * per-layer/neural-network MAC and byte accounting ([`Layer`],
+//!   [`Network`]),
+//! * computational intensity in MAC/byte for the roofline analysis of
+//!   Fig. 17 ([`intensity`]),
+//! * the unique-vs-duplicated ifmap pixel breakdown of Fig. 8
+//!   ([`duplication`]),
+//! * maximum on-chip batch sizing per buffer capacity, the paper's
+//!   Table II methodology ([`batching`]).
+//!
+//! NPU inference simulation is *shape driven*: cycle counts never
+//! depend on pixel values, so a network is fully described by its
+//! layer geometry — exactly how SCALE-SIM and the paper's simulator
+//! consume workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use dnn_models::zoo;
+//!
+//! let vgg = zoo::vgg16();
+//! assert_eq!(vgg.name(), "VGG16");
+//! // VGG16 performs ~15.5 GMAC per 224x224 image.
+//! let gmac = vgg.total_macs(1) as f64 / 1e9;
+//! assert!(gmac > 14.0 && gmac < 17.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batching;
+pub mod duplication;
+pub mod intensity;
+pub mod stats;
+mod layer;
+mod network;
+pub mod zoo;
+pub mod zoo_ext;
+
+pub use layer::{Layer, LayerKind};
+pub use network::Network;
+
+/// Bytes per tensor element. The paper's NPU datapath is 8-bit
+/// (weights, activations), matching the TPU's int8 inference mode.
+pub const ELEM_BYTES: u64 = 1;

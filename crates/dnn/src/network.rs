@@ -1,0 +1,135 @@
+//! A network: an ordered list of layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// An inference workload: a named, ordered sequence of layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Build a network from its layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "{name}: a network needs at least one layer");
+        Network {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterate over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layer> {
+        self.layers.iter()
+    }
+
+    /// Total MACs for `batch` images.
+    pub fn total_macs(&self, batch: u32) -> u64 {
+        self.layers.iter().map(|l| l.macs(batch)).sum()
+    }
+
+    /// Total weight bytes across all layers.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_bytes).sum()
+    }
+
+    /// The largest per-image working set (ifmap + ofmap of one image)
+    /// over all layers — the quantity that bounds on-chip batch size.
+    pub fn max_working_set_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(Layer::working_set_bytes)
+            .max()
+            .expect("network is non-empty")
+    }
+
+    /// Load a network from a JSON description file — the "DNN
+    /// description" input of the paper's simulator (Fig. 14).
+    ///
+    /// # Errors
+    ///
+    /// Returns a JSON error if the description is malformed.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize to a JSON description.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("network serialization cannot fail")
+    }
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.2} GMAC/image)",
+            self.name,
+            self.layers.len(),
+            self.total_macs(1) as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                Layer::conv("c1", (8, 8), 3, 16, 3, 1, 1),
+                Layer::fully_connected("fc", 1024, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let n = tiny();
+        let want = n.layers()[0].macs(2) + n.layers()[1].macs(2);
+        assert_eq!(n.total_macs(2), want);
+    }
+
+    #[test]
+    fn max_working_set_picks_largest_layer() {
+        let n = tiny();
+        assert_eq!(n.max_working_set_bytes(), n.layers()[0].working_set_bytes());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let n = tiny();
+        let back = Network::from_json(&n.to_json()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = Network::new("empty", vec![]);
+    }
+
+    #[test]
+    fn display_shows_gmac() {
+        assert!(tiny().to_string().contains("GMAC"));
+    }
+}

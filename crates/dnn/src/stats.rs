@@ -1,0 +1,141 @@
+//! Workload composition statistics: where a network's MACs, weights
+//! and activations live — the shape facts behind the paper's per-
+//! workload behaviour (AlexNet's FC tail, MobileNet's depthwise
+//! layers, VGG's huge early activations).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::LayerKind;
+use crate::network::Network;
+
+/// Aggregate composition of one network.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Layers by kind: (conv, depthwise, fully-connected).
+    pub layer_counts: (usize, usize, usize),
+    /// MACs per image by kind.
+    pub conv_macs: u64,
+    /// Depthwise MACs per image.
+    pub depthwise_macs: u64,
+    /// Fully-connected MACs per image.
+    pub fc_macs: u64,
+    /// Total weight bytes.
+    pub weight_bytes: u64,
+    /// Total activation bytes produced per image (sum of ofmaps).
+    pub activation_bytes: u64,
+    /// The single largest layer's weight bytes.
+    pub max_layer_weight_bytes: u64,
+    /// The single largest per-image working set (ifmap + ofmap).
+    pub max_working_set_bytes: u64,
+}
+
+impl NetworkStats {
+    /// Total MACs per image.
+    pub fn total_macs(&self) -> u64 {
+        self.conv_macs + self.depthwise_macs + self.fc_macs
+    }
+
+    /// Fraction of MACs in fully-connected layers.
+    pub fn fc_mac_fraction(&self) -> f64 {
+        if self.total_macs() == 0 {
+            0.0
+        } else {
+            self.fc_macs as f64 / self.total_macs() as f64
+        }
+    }
+
+    /// Fraction of *weights* in fully-connected layers is what makes a
+    /// network memory-bound at small batches; approximated here by the
+    /// weight share of the largest layer.
+    pub fn weight_concentration(&self) -> f64 {
+        if self.weight_bytes == 0 {
+            0.0
+        } else {
+            self.max_layer_weight_bytes as f64 / self.weight_bytes as f64
+        }
+    }
+}
+
+/// Compute composition statistics for `net`.
+pub fn network_stats(net: &Network) -> NetworkStats {
+    let mut s = NetworkStats::default();
+    for l in net.iter() {
+        let macs = l.macs(1);
+        match l.kind() {
+            LayerKind::Conv => {
+                s.layer_counts.0 += 1;
+                s.conv_macs += macs;
+            }
+            LayerKind::Depthwise => {
+                s.layer_counts.1 += 1;
+                s.depthwise_macs += macs;
+            }
+            LayerKind::FullyConnected => {
+                s.layer_counts.2 += 1;
+                s.fc_macs += macs;
+            }
+        }
+        s.weight_bytes += l.weight_bytes();
+        s.activation_bytes += l.ofmap_bytes(1);
+        s.max_layer_weight_bytes = s.max_layer_weight_bytes.max(l.weight_bytes());
+        s.max_working_set_bytes = s.max_working_set_bytes.max(l.working_set_bytes());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn alexnet_is_fc_weight_heavy() {
+        // AlexNet's fc6 (9216×4096) holds most of its 60M parameters.
+        let s = network_stats(&zoo::alexnet());
+        assert_eq!(s.layer_counts, (5, 0, 3));
+        assert!(s.weight_concentration() > 0.5, "{}", s.weight_concentration());
+        // But convs dominate the MACs.
+        assert!(s.fc_mac_fraction() < 0.15, "{}", s.fc_mac_fraction());
+    }
+
+    #[test]
+    fn mobilenet_depthwise_macs_are_small_share() {
+        // Depthwise layers are cheap in MACs despite being half the
+        // layers — the pointwise convs do the heavy lifting.
+        let s = network_stats(&zoo::mobilenet());
+        assert_eq!(s.layer_counts.1, 13);
+        let dw_share = s.depthwise_macs as f64 / s.total_macs() as f64;
+        assert!(dw_share < 0.10, "depthwise share {dw_share}");
+    }
+
+    #[test]
+    fn vgg_has_most_activations() {
+        let vgg = network_stats(&zoo::vgg16());
+        for other in [zoo::alexnet(), zoo::googlenet(), zoo::resnet50()] {
+            let o = network_stats(&other);
+            assert!(
+                vgg.activation_bytes > o.activation_bytes,
+                "{} has more activations than VGG",
+                other.name()
+            );
+        }
+    }
+
+    #[test]
+    fn totals_match_network_methods() {
+        for net in zoo::all() {
+            let s = network_stats(&net);
+            assert_eq!(s.total_macs(), net.total_macs(1), "{}", net.name());
+            assert_eq!(s.weight_bytes, net.total_weight_bytes(), "{}", net.name());
+            assert_eq!(s.max_working_set_bytes, net.max_working_set_bytes(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn googlenet_is_pure_conv_plus_one_fc() {
+        let s = network_stats(&zoo::googlenet());
+        assert_eq!(s.layer_counts.1, 0);
+        assert_eq!(s.layer_counts.2, 1);
+        assert!(s.fc_mac_fraction() < 0.01);
+    }
+}

@@ -1,0 +1,297 @@
+//! The six CNN workloads of the paper's evaluation (§V–VI), described
+//! at the layer-shape level.
+//!
+//! Shapes follow the original publications (AlexNet, VGG16, GoogLeNet,
+//! MobileNet v1, ResNet-50) and, for Faster R-CNN, the standard
+//! VGG16-backbone configuration at a 600×800 test image with its RPN
+//! and detection head.
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// AlexNet (Krizhevsky et al., 2012): 5 conv + 3 FC layers.
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            Layer::conv("conv1", (224, 224), 3, 96, 11, 4, 2),
+            Layer::conv("conv2", (27, 27), 96, 256, 5, 1, 2),
+            Layer::conv("conv3", (13, 13), 256, 384, 3, 1, 1),
+            Layer::conv("conv4", (13, 13), 384, 384, 3, 1, 1),
+            Layer::conv("conv5", (13, 13), 384, 256, 3, 1, 1),
+            Layer::fully_connected("fc6", 9216, 4096),
+            Layer::fully_connected("fc7", 4096, 4096),
+            Layer::fully_connected("fc8", 4096, 1000),
+        ],
+    )
+}
+
+/// VGG16 (Simonyan & Zisserman, 2014): 13 conv + 3 FC layers.
+pub fn vgg16() -> Network {
+    Network::new("VGG16", vgg16_backbone(224, 224, true))
+}
+
+/// The VGG16 convolutional backbone at an arbitrary input size;
+/// `with_head` appends the three FC layers (which assume 224×224).
+fn vgg16_backbone(h: u32, w: u32, with_head: bool) -> Vec<Layer> {
+    let mut layers = Vec::new();
+    let mut hw = (h, w);
+    let mut c = 3u32;
+    let stages: [(u32, u32); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (stage, &(reps, k)) in stages.iter().enumerate() {
+        for r in 0..reps {
+            let name = format!("conv{}_{}", stage + 1, r + 1);
+            layers.push(Layer::conv(&name, hw, c, k, 3, 1, 1));
+            c = k;
+        }
+        // 2×2 max-pool between stages (shape bookkeeping only).
+        hw = (hw.0 / 2, hw.1 / 2);
+    }
+    if with_head {
+        layers.push(Layer::fully_connected("fc6", 7 * 7 * 512, 4096));
+        layers.push(Layer::fully_connected("fc7", 4096, 4096));
+        layers.push(Layer::fully_connected("fc8", 4096, 1000));
+    }
+    layers
+}
+
+/// Faster R-CNN (Ren et al., 2015) with the VGG16 backbone at a
+/// 600×800 test image: backbone through conv5_3, the 3×3 RPN with its
+/// objectness/box heads, and the per-image detection head.
+pub fn faster_rcnn() -> Network {
+    let mut layers = vgg16_backbone(600, 800, false);
+    // Backbone stops after conv5_3 (no pool5): feature map 37x50x512.
+    let feat = (37, 50);
+    layers.push(Layer::conv("rpn_conv", feat, 512, 512, 3, 1, 1));
+    layers.push(Layer::conv("rpn_cls", feat, 512, 18, 1, 1, 0));
+    layers.push(Layer::conv("rpn_bbox", feat, 512, 36, 1, 1, 0));
+    // Detection head on RoI-pooled 7x7x512 features (one
+    // representative RoI batch is folded into the FC shapes).
+    layers.push(Layer::fully_connected("head_fc6", 7 * 7 * 512, 4096));
+    layers.push(Layer::fully_connected("head_fc7", 4096, 4096));
+    layers.push(Layer::fully_connected("head_cls", 4096, 21));
+    layers.push(Layer::fully_connected("head_bbox", 4096, 84));
+    Network::new("FasterRCNN", layers)
+}
+
+/// One GoogLeNet inception module: 1×1, 1×1→3×3, 1×1→5×5 and
+/// pool→1×1 branches.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: (u32, u32),
+    in_c: u32,
+    b1: u32,
+    b2_reduce: u32,
+    b2: u32,
+    b3_reduce: u32,
+    b3: u32,
+    b4: u32,
+) -> u32 {
+    layers.push(Layer::conv(&format!("{name}_1x1"), hw, in_c, b1, 1, 1, 0));
+    layers.push(Layer::conv(&format!("{name}_3x3r"), hw, in_c, b2_reduce, 1, 1, 0));
+    layers.push(Layer::conv(&format!("{name}_3x3"), hw, b2_reduce, b2, 3, 1, 1));
+    layers.push(Layer::conv(&format!("{name}_5x5r"), hw, in_c, b3_reduce, 1, 1, 0));
+    layers.push(Layer::conv(&format!("{name}_5x5"), hw, b3_reduce, b3, 5, 1, 2));
+    layers.push(Layer::conv(&format!("{name}_poolp"), hw, in_c, b4, 1, 1, 0));
+    b1 + b2 + b3 + b4
+}
+
+/// GoogLeNet (Szegedy et al., 2014): stem + 9 inception modules + FC.
+pub fn googlenet() -> Network {
+    let mut layers = vec![
+        Layer::conv("conv1", (224, 224), 3, 64, 7, 2, 3),
+        Layer::conv("conv2_reduce", (56, 56), 64, 64, 1, 1, 0),
+        Layer::conv("conv2", (56, 56), 64, 192, 3, 1, 1),
+    ];
+    let mut c = 192;
+    c = inception(&mut layers, "3a", (28, 28), c, 64, 96, 128, 16, 32, 32);
+    c = inception(&mut layers, "3b", (28, 28), c, 128, 128, 192, 32, 96, 64);
+    c = inception(&mut layers, "4a", (14, 14), c, 192, 96, 208, 16, 48, 64);
+    c = inception(&mut layers, "4b", (14, 14), c, 160, 112, 224, 24, 64, 64);
+    c = inception(&mut layers, "4c", (14, 14), c, 128, 128, 256, 24, 64, 64);
+    c = inception(&mut layers, "4d", (14, 14), c, 112, 144, 288, 32, 64, 64);
+    c = inception(&mut layers, "4e", (14, 14), c, 256, 160, 320, 32, 128, 128);
+    c = inception(&mut layers, "5a", (7, 7), c, 256, 160, 320, 32, 128, 128);
+    c = inception(&mut layers, "5b", (7, 7), c, 384, 192, 384, 48, 128, 128);
+    layers.push(Layer::fully_connected("fc", c, 1000));
+    Network::new("GoogLeNet", layers)
+}
+
+/// MobileNet v1 (Howard et al., 2017), width multiplier 1.0: a 3×3
+/// stem plus 13 depthwise-separable pairs and the classifier.
+pub fn mobilenet() -> Network {
+    let mut layers = vec![Layer::conv("conv1", (224, 224), 3, 32, 3, 2, 1)];
+    // (input hw, in channels, out channels, depthwise stride)
+    let pairs: [(u32, u32, u32, u32); 13] = [
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+    for (i, &(hw, in_c, out_c, s)) in pairs.iter().enumerate() {
+        let out_hw = hw / s;
+        layers.push(Layer::depthwise(&format!("dw{}", i + 1), (hw, hw), in_c, 3, s));
+        layers.push(Layer::conv(
+            &format!("pw{}", i + 1),
+            (out_hw, out_hw),
+            in_c,
+            out_c,
+            1,
+            1,
+            0,
+        ));
+    }
+    layers.push(Layer::fully_connected("fc", 1024, 1000));
+    Network::new("MobileNet", layers)
+}
+
+/// ResNet-50 (He et al., 2015): stem + 16 bottleneck blocks + FC.
+pub fn resnet50() -> Network {
+    let mut layers = vec![Layer::conv("conv1", (224, 224), 3, 64, 7, 2, 3)];
+    // (stage name, blocks, hw, mid channels, out channels, first stride)
+    let stages: [(&str, u32, u32, u32, u32, u32); 4] = [
+        ("conv2", 3, 56, 64, 256, 1),
+        ("conv3", 4, 56, 128, 512, 2),
+        ("conv4", 6, 28, 256, 1024, 2),
+        ("conv5", 3, 14, 512, 2048, 2),
+    ];
+    let mut in_c = 64;
+    for &(stage, blocks, in_hw, mid, out_c, first_stride) in &stages {
+        let mut hw = in_hw;
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let name = |part: &str| format!("{stage}_{}_{part}", b + 1);
+            layers.push(Layer::conv(&name("1x1a"), (hw, hw), in_c, mid, 1, stride, 0));
+            let hw_mid = hw / stride;
+            layers.push(Layer::conv(&name("3x3"), (hw_mid, hw_mid), mid, mid, 3, 1, 1));
+            layers.push(Layer::conv(&name("1x1b"), (hw_mid, hw_mid), mid, out_c, 1, 1, 0));
+            if b == 0 {
+                // Projection shortcut.
+                layers.push(Layer::conv(&name("proj"), (hw, hw), in_c, out_c, 1, stride, 0));
+            }
+            in_c = out_c;
+            hw = hw_mid;
+        }
+    }
+    layers.push(Layer::fully_connected("fc", 2048, 1000));
+    Network::new("ResNet50", layers)
+}
+
+/// All six evaluation workloads in the paper's presentation order.
+pub fn all() -> Vec<Network> {
+    vec![
+        alexnet(),
+        faster_rcnn(),
+        googlenet(),
+        mobilenet(),
+        resnet50(),
+        vgg16(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_workloads() {
+        let nets = all();
+        assert_eq!(nets.len(), 6);
+        let names: Vec<&str> = nets.iter().map(Network::name).collect();
+        assert_eq!(
+            names,
+            ["AlexNet", "FasterRCNN", "GoogLeNet", "MobileNet", "ResNet50", "VGG16"]
+        );
+    }
+
+    #[test]
+    fn alexnet_macs_near_published() {
+        // Single-tower AlexNet (no two-GPU channel split): ~1.1 GMAC
+        // per image; the original split variant is ~0.72.
+        let g = alexnet().total_macs(1) as f64 / 1e9;
+        assert!(g > 0.9 && g < 1.3, "AlexNet GMAC = {g}");
+    }
+
+    #[test]
+    fn vgg16_macs_near_published() {
+        // ~15.5 GMAC per image.
+        let g = vgg16().total_macs(1) as f64 / 1e9;
+        assert!(g > 14.0 && g < 17.0, "VGG16 GMAC = {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_near_published() {
+        // ~3.9-4.1 GMAC per image.
+        let g = resnet50().total_macs(1) as f64 / 1e9;
+        assert!(g > 3.3 && g < 4.6, "ResNet50 GMAC = {g}");
+    }
+
+    #[test]
+    fn googlenet_macs_near_published() {
+        // ~1.5-1.6 GMAC per image.
+        let g = googlenet().total_macs(1) as f64 / 1e9;
+        assert!(g > 1.1 && g < 2.0, "GoogLeNet GMAC = {g}");
+    }
+
+    #[test]
+    fn mobilenet_macs_near_published() {
+        // ~0.57 GMAC per image.
+        let g = mobilenet().total_macs(1) as f64 / 1e9;
+        assert!(g > 0.45 && g < 0.75, "MobileNet GMAC = {g}");
+    }
+
+    #[test]
+    fn vgg16_largest_working_set_is_conv1_2() {
+        // 224*224*64 in + out = 6.4 MB: the layer that limits VGG16's
+        // batch size in Table II.
+        let ws = vgg16().max_working_set_bytes();
+        assert_eq!(ws, 2 * 224 * 224 * 64);
+    }
+
+    #[test]
+    fn resnet_channel_bookkeeping() {
+        let n = resnet50();
+        // 1 stem + (3+4+6+3) blocks×3 + 4 projections + fc = 1+48+4+1 = 54.
+        assert_eq!(n.layers().len(), 54);
+    }
+
+    #[test]
+    fn googlenet_concat_channels() {
+        // After 3a the concat width is 256; encoded in the next module's
+        // input channel counts.
+        let n = googlenet();
+        let l = n
+            .iter()
+            .find(|l| l.name() == "3b_1x1")
+            .expect("module 3b exists");
+        assert_eq!(l.in_channels(), 256);
+    }
+
+    #[test]
+    fn mobilenet_alternates_dw_pw() {
+        let n = mobilenet();
+        let dw = n
+            .iter()
+            .filter(|l| l.kind() == crate::LayerKind::Depthwise)
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn faster_rcnn_backbone_scales_with_input() {
+        let n = faster_rcnn();
+        // Much heavier than plain VGG16 due to the 600x800 input.
+        assert!(n.total_macs(1) > vgg16().total_macs(1) * 3);
+    }
+}

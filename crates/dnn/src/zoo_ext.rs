@@ -1,0 +1,173 @@
+//! Extension workloads beyond the paper's six CNNs.
+//!
+//! The paper targets CNN inference "as the first case study"; these
+//! additional shapes probe how its conclusions carry to other
+//! DNN families:
+//!
+//! * [`resnet18`] / [`resnet101`] — shallower/deeper residual nets
+//!   (basic blocks vs more bottlenecks),
+//! * [`transformer_encoder`] — a BERT-base-class encoder layer as a
+//!   sequence of matmuls: the FC-heavy regime where weight reuse, not
+//!   window reuse, dominates,
+//! * [`mlp_mixer`] — token/channel-mixing MLPs, a middle ground.
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// ResNet-18 (basic residual blocks, 224×224 input).
+pub fn resnet18() -> Network {
+    let mut layers = vec![Layer::conv("conv1", (224, 224), 3, 64, 7, 2, 3)];
+    // (stage, blocks, hw, channels, first stride)
+    let stages: [(&str, u32, u32, u32, u32); 4] = [
+        ("conv2", 2, 56, 64, 1),
+        ("conv3", 2, 56, 128, 2),
+        ("conv4", 2, 28, 256, 2),
+        ("conv5", 2, 14, 512, 2),
+    ];
+    let mut in_c = 64;
+    for &(stage, blocks, in_hw, c, first_stride) in &stages {
+        let mut hw = in_hw;
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let name = |part: &str| format!("{stage}_{}_{part}", b + 1);
+            layers.push(Layer::conv(&name("3x3a"), (hw, hw), in_c, c, 3, stride, 1));
+            let hw2 = hw / stride;
+            layers.push(Layer::conv(&name("3x3b"), (hw2, hw2), c, c, 3, 1, 1));
+            if b == 0 && stride != 1 {
+                layers.push(Layer::conv(&name("proj"), (hw, hw), in_c, c, 1, stride, 0));
+            }
+            in_c = c;
+            hw = hw2;
+        }
+    }
+    layers.push(Layer::fully_connected("fc", 512, 1000));
+    Network::new("ResNet18", layers)
+}
+
+/// ResNet-101: like ResNet-50 but with 23 bottlenecks in conv4.
+pub fn resnet101() -> Network {
+    let mut layers = vec![Layer::conv("conv1", (224, 224), 3, 64, 7, 2, 3)];
+    let stages: [(&str, u32, u32, u32, u32, u32); 4] = [
+        ("conv2", 3, 56, 64, 256, 1),
+        ("conv3", 4, 56, 128, 512, 2),
+        ("conv4", 23, 28, 256, 1024, 2),
+        ("conv5", 3, 14, 512, 2048, 2),
+    ];
+    let mut in_c = 64;
+    for &(stage, blocks, in_hw, mid, out_c, first_stride) in &stages {
+        let mut hw = in_hw;
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let name = |part: &str| format!("{stage}_{}_{part}", b + 1);
+            layers.push(Layer::conv(&name("1x1a"), (hw, hw), in_c, mid, 1, stride, 0));
+            let hw2 = hw / stride;
+            layers.push(Layer::conv(&name("3x3"), (hw2, hw2), mid, mid, 3, 1, 1));
+            layers.push(Layer::conv(&name("1x1b"), (hw2, hw2), mid, out_c, 1, 1, 0));
+            if b == 0 {
+                layers.push(Layer::conv(&name("proj"), (hw, hw), in_c, out_c, 1, stride, 0));
+            }
+            in_c = out_c;
+            hw = hw2;
+        }
+    }
+    layers.push(Layer::fully_connected("fc", 2048, 1000));
+    Network::new("ResNet101", layers)
+}
+
+/// One BERT-base-class Transformer encoder layer at sequence length
+/// `seq`: QKV projections, attention output projection and the two
+/// FFN matmuls, expressed as 1×1 convs over the token axis so each
+/// token is an "output pixel" and weights are reused across tokens.
+///
+/// (Attention score/value products are activation-activation matmuls
+/// the weight-stationary array handles poorly; they are omitted here,
+/// which makes this an optimistic-for-the-NPU projection workload.)
+pub fn transformer_encoder(seq: u32) -> Network {
+    assert!(seq > 0, "sequence length must be positive");
+    let d = 768u32;
+    let layers = vec![
+        Layer::conv("q_proj", (seq, 1), d, d, 1, 1, 0),
+        Layer::conv("k_proj", (seq, 1), d, d, 1, 1, 0),
+        Layer::conv("v_proj", (seq, 1), d, d, 1, 1, 0),
+        Layer::conv("attn_out", (seq, 1), d, d, 1, 1, 0),
+        Layer::conv("ffn_up", (seq, 1), d, 4 * d, 1, 1, 0),
+        Layer::conv("ffn_down", (seq, 1), 4 * d, d, 1, 1, 0),
+    ];
+    Network::new("TransformerEncoder", layers)
+}
+
+/// An MLP-Mixer-style block at 196 tokens × 768 channels: token-mixing
+/// and channel-mixing MLPs.
+pub fn mlp_mixer() -> Network {
+    let tokens = 196u32;
+    let d = 768u32;
+    let layers = vec![
+        // Token mixing: operates across the 196 tokens per channel.
+        Layer::conv("token_up", (d, 1), tokens, 2 * tokens, 1, 1, 0),
+        Layer::conv("token_down", (d, 1), 2 * tokens, tokens, 1, 1, 0),
+        // Channel mixing.
+        Layer::conv("chan_up", (tokens, 1), d, 4 * d, 1, 1, 0),
+        Layer::conv("chan_down", (tokens, 1), 4 * d, d, 1, 1, 0),
+    ];
+    Network::new("MlpMixer", layers)
+}
+
+/// All extension workloads.
+pub fn all_extensions() -> Vec<Network> {
+    vec![
+        resnet18(),
+        resnet101(),
+        transformer_encoder(128),
+        mlp_mixer(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn resnet18_macs_near_published() {
+        // ~1.8 GMAC per image.
+        let g = resnet18().total_macs(1) as f64 / 1e9;
+        assert!(g > 1.4 && g < 2.2, "ResNet18 GMAC = {g}");
+    }
+
+    #[test]
+    fn resnet101_roughly_doubles_resnet50() {
+        let g50 = zoo::resnet50().total_macs(1) as f64;
+        let g101 = resnet101().total_macs(1) as f64;
+        assert!(g101 > 1.7 * g50 && g101 < 2.4 * g50, "ratio {}", g101 / g50);
+    }
+
+    #[test]
+    fn transformer_encoder_macs() {
+        // Per layer at seq 128: 128·(4·768² + 8·768²) = 128·12·768².
+        let want = 128u64 * 12 * 768 * 768;
+        assert_eq!(transformer_encoder(128).total_macs(1), want);
+    }
+
+    #[test]
+    fn transformer_weights_dwarf_activations() {
+        // The FC-heavy regime: weights ≈ 12·768² bytes per layer stack.
+        let net = transformer_encoder(128);
+        let w = net.total_weight_bytes();
+        let a = net.max_working_set_bytes();
+        assert!(w > 10 * a, "weights {w} vs activations {a}");
+    }
+
+    #[test]
+    fn extension_list_is_well_formed() {
+        for net in all_extensions() {
+            assert!(net.total_macs(1) > 0, "{}", net.name());
+            assert!(net.max_working_set_bytes() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn zero_sequence_panics() {
+        let _ = transformer_encoder(0);
+    }
+}

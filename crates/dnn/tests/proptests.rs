@@ -1,0 +1,92 @@
+//! Property-based tests of the workload shape model.
+
+use dnn_models::{batching, duplication, intensity, Layer, Network};
+use proptest::prelude::*;
+
+/// Strategy: a valid conv layer.
+fn conv_layer() -> impl Strategy<Value = Layer> {
+    (
+        4u32..=64,   // input h = w
+        1u32..=64,   // in channels
+        1u32..=128,  // out channels
+        prop_oneof![Just(1u32), Just(3), Just(5), Just(7)],
+        1u32..=2,    // stride
+    )
+        .prop_filter_map("kernel must fit", |(hw, c, k, kernel, stride)| {
+            if hw + 2 * (kernel / 2) < kernel {
+                return None;
+            }
+            Some(Layer::conv("p", (hw, hw), c, k, kernel, stride, kernel / 2))
+        })
+}
+
+proptest! {
+    /// MACs scale exactly linearly with batch.
+    #[test]
+    fn macs_linear_in_batch(l in conv_layer(), b in 1u32..=16) {
+        prop_assert_eq!(l.macs(b), u64::from(b) * l.macs(1));
+    }
+
+    /// Output never has more pixels than the padded input allows, and
+    /// shapes are always non-degenerate.
+    #[test]
+    fn output_shape_sane(l in conv_layer()) {
+        let (oh, ow) = l.output_hw();
+        prop_assert!(oh >= 1 && ow >= 1);
+        let (ih, iw) = l.input_hw();
+        prop_assert!(oh <= ih + 2 * l.padding());
+        prop_assert!(ow <= iw + 2 * l.padding());
+    }
+
+    /// Working set is exactly ifmap + ofmap of one image.
+    #[test]
+    fn working_set_is_if_plus_of(l in conv_layer()) {
+        prop_assert_eq!(l.working_set_bytes(), l.ifmap_bytes(1) + l.ofmap_bytes(1));
+    }
+
+    /// Duplication accounting never goes negative and its ratio stays
+    /// in [0, 1).
+    #[test]
+    fn duplication_ratio_bounded(l in conv_layer()) {
+        let d = duplication::layer_duplication(&l);
+        let r = d.duplicated_ratio();
+        prop_assert!((0.0..1.0).contains(&r), "ratio {}", r);
+    }
+
+    /// Network intensity is monotone non-decreasing in batch: bigger
+    /// batches amortize weights and can only raise MAC/byte.
+    #[test]
+    fn intensity_monotone_in_batch(l in conv_layer(), b in 1u32..=8) {
+        let net = Network::new("p", vec![l]);
+        let i1 = intensity::network_intensity(&net, b);
+        let i2 = intensity::network_intensity(&net, b + 1);
+        prop_assert!(i2 >= i1 * 0.999, "{} -> {}", i1, i2);
+    }
+
+    /// Batch sizing is monotone in capacity and always ≥ 1.
+    #[test]
+    fn max_batch_monotone_in_capacity(l in conv_layer(), mb in 1u64..=64) {
+        let net = Network::new("p", vec![l]);
+        let small = batching::max_batch(&net, mb * 1024 * 1024, 1.0, 30);
+        let big = batching::max_batch(&net, 2 * mb * 1024 * 1024, 1.0, 30);
+        prop_assert!(small >= 1);
+        prop_assert!(big >= small);
+    }
+
+    /// Serde round-trip for arbitrary networks.
+    #[test]
+    fn network_json_roundtrip(layers in prop::collection::vec(conv_layer(), 1..6)) {
+        let net = Network::new("p", layers);
+        let back = Network::from_json(&net.to_json()).unwrap();
+        prop_assert_eq!(net, back);
+    }
+
+    /// Roofline is the min of the two regimes.
+    #[test]
+    fn roofline_is_min(peak in 1.0e9..1.0e15, bw in 1.0e6..1.0e12, i in 0.01f64..1.0e6) {
+        let r = intensity::roofline_macs_per_s(peak, bw, i);
+        prop_assert!(r <= peak * (1.0 + 1e-12));
+        prop_assert!(r <= bw * i * (1.0 + 1e-12));
+        prop_assert!(r >= peak.min(bw * i) * (1.0 - 1e-12));
+    }
+}

@@ -1,0 +1,207 @@
+//! Clocking schemes and the gate-pair frequency model (paper Eq. 1,
+//! Figs. 7 and 11).
+//!
+//! SFQ circuit frequency is set by the timing difference between data
+//! and clock pulse arrival at each clocked gate pair:
+//!
+//! ```text
+//! f = 1 / CCT = 1 / (SetupTime + max(HoldTime, δt)),   δt = τ_data − τ_clock
+//! ```
+//!
+//! *Concurrent-flow* clocking sends the clock along with the data;
+//! with clock skewing the δt term can be tuned out entirely, which is
+//! why a skewed DFF chain reaches 133 GHz. Circuits with feedback
+//! loops cannot use it and fall back to *counter-flow* clocking, whose
+//! cycle time must cover the full data + clock round trip — the
+//! feedback penalty of Fig. 7(c).
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellLibrary, GateKind};
+
+/// How the clock pulse is routed relative to the data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Clocking {
+    /// Clock flows with the data and is skew-tuned so that δt ≈ 0
+    /// (applies to straight pipelines such as shift-register chains).
+    ConcurrentSkewed,
+    /// Clock flows with the data without skew tuning: δt is the full
+    /// data-vs-clock propagation difference (applies when several data
+    /// paths converge and no single skew fits all of them).
+    Concurrent,
+    /// Clock flows against the data; the next clock pulse must wait
+    /// for the full data *and* clock propagation (required by feedback
+    /// loops).
+    CounterFlow,
+}
+
+/// One clocked gate pair: `src` drives `dst` through `data_wire_ps` of
+/// wiring while the clock covers `clock_wire_ps` between their taps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairTiming {
+    /// Driving gate.
+    pub src: GateKind,
+    /// Receiving (clocked) gate.
+    pub dst: GateKind,
+    /// Extra data-path wire delay beyond the source gate delay, ps.
+    pub data_wire_ps: f64,
+    /// Clock-path delay between the two gates' clock taps, ps.
+    pub clock_wire_ps: f64,
+    /// Clocking scheme applied to this pair.
+    pub clocking: Clocking,
+}
+
+impl PairTiming {
+    /// Clock-cycle time of the pair in picoseconds (paper Eq. 1).
+    pub fn cct_ps(&self, lib: &CellLibrary) -> f64 {
+        let src = lib.gate(self.src);
+        let dst = lib.gate(self.dst);
+        let tau_data = src.delay_ps + self.data_wire_ps;
+        match self.clocking {
+            Clocking::ConcurrentSkewed => dst.setup_ps + dst.hold_ps,
+            Clocking::Concurrent => {
+                let dt = (tau_data - self.clock_wire_ps).max(0.0);
+                dst.setup_ps + dst.hold_ps.max(dt)
+            }
+            Clocking::CounterFlow => dst.setup_ps + dst.hold_ps + tau_data + self.clock_wire_ps,
+        }
+    }
+
+    /// Maximum clock frequency of the pair in GHz.
+    pub fn frequency_ghz(&self, lib: &CellLibrary) -> f64 {
+        1000.0 / self.cct_ps(lib)
+    }
+}
+
+/// Result rows of the paper's Fig. 7(c): full adder and shift register
+/// with and without a feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackComparison {
+    /// Full-adder frequency under concurrent-flow clocking (no
+    /// feedback loop), GHz. Paper: ≈66 GHz.
+    pub fa_feedforward_ghz: f64,
+    /// Full-adder frequency with an accumulation feedback loop
+    /// (counter-flow), GHz. Paper: ≈30 GHz.
+    pub fa_feedback_ghz: f64,
+    /// Shift-register frequency, concurrent skew-tuned (no feedback),
+    /// GHz. Paper: ≈133 GHz.
+    pub sr_feedforward_ghz: f64,
+    /// Shift-register frequency with a recirculation feedback path
+    /// (counter-flow), GHz. Paper: ≈71 GHz.
+    pub sr_feedback_ghz: f64,
+}
+
+/// The canonical pair models behind Fig. 7(c).
+pub fn feedback_comparison(lib: &CellLibrary) -> FeedbackComparison {
+    let jtl = lib.gate(GateKind::Jtl).delay_ps;
+    let spl = lib.gate(GateKind::Splitter).delay_ps;
+    let mrg = lib.gate(GateKind::Merger).delay_ps;
+
+    // Full adder, feed-forward: XOR -> XOR through a splitter hop;
+    // converging carry/sum paths prevent skew tuning.
+    let fa_ff = PairTiming {
+        src: GateKind::Xor,
+        dst: GateKind::Xor,
+        data_wire_ps: spl,
+        clock_wire_ps: 0.0,
+        clocking: Clocking::Concurrent,
+    };
+    // Full adder, feedback (accumulator): the carry loop traverses
+    // AND, XOR, a merger and a JTL before re-entering the adder.
+    let fa_fb = PairTiming {
+        src: GateKind::And,
+        dst: GateKind::Xor,
+        data_wire_ps: lib.gate(GateKind::Xor).delay_ps + mrg + jtl,
+        clock_wire_ps: jtl,
+        clocking: Clocking::CounterFlow,
+    };
+    // Shift register, feed-forward: DFF -> DFF, skew-tuned.
+    let sr_ff = PairTiming {
+        src: GateKind::Dff,
+        dst: GateKind::Dff,
+        data_wire_ps: 0.0,
+        clock_wire_ps: 0.0,
+        clocking: Clocking::ConcurrentSkewed,
+    };
+    // Shift register with recirculation: counter-flow clocked DFF
+    // chain; clock tap hop is a half-JTL.
+    let sr_fb = PairTiming {
+        src: GateKind::Dff,
+        dst: GateKind::Dff,
+        data_wire_ps: 0.0,
+        clock_wire_ps: 0.5 * jtl,
+        clocking: Clocking::CounterFlow,
+    };
+    FeedbackComparison {
+        fa_feedforward_ghz: fa_ff.frequency_ghz(lib),
+        fa_feedback_ghz: fa_fb.frequency_ghz(lib),
+        sr_feedforward_ghz: sr_ff.frequency_ghz(lib),
+        sr_feedback_ghz: sr_fb.frequency_ghz(lib),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    #[test]
+    fn skewed_pair_hits_setup_plus_hold() {
+        let lib = CellLibrary::aist_10um();
+        let p = PairTiming {
+            src: GateKind::Dff,
+            dst: GateKind::Dff,
+            data_wire_ps: 10.0,
+            clock_wire_ps: 0.0,
+            clocking: Clocking::ConcurrentSkewed,
+        };
+        let d = lib.gate(GateKind::Dff);
+        assert!((p.cct_ps(&lib) - (d.setup_ps + d.hold_ps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counterflow_pays_round_trip() {
+        let lib = CellLibrary::aist_10um();
+        let base = PairTiming {
+            src: GateKind::Dff,
+            dst: GateKind::Dff,
+            data_wire_ps: 0.0,
+            clock_wire_ps: 0.0,
+            clocking: Clocking::ConcurrentSkewed,
+        };
+        let cf = PairTiming {
+            clocking: Clocking::CounterFlow,
+            ..base
+        };
+        assert!(cf.cct_ps(&lib) > base.cct_ps(&lib));
+    }
+
+    #[test]
+    fn concurrent_delta_t_clamped_nonnegative() {
+        let lib = CellLibrary::aist_10um();
+        // Clock slower than data: δt clamps to 0, hold dominates.
+        let p = PairTiming {
+            src: GateKind::Dff,
+            dst: GateKind::Dff,
+            data_wire_ps: 0.0,
+            clock_wire_ps: 100.0,
+            clocking: Clocking::Concurrent,
+        };
+        let d = lib.gate(GateKind::Dff);
+        assert!((p.cct_ps(&lib) - (d.setup_ps + d.hold_ps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7c_shape_and_magnitudes() {
+        let lib = CellLibrary::aist_10um();
+        let f = feedback_comparison(&lib);
+        // Feedback always costs frequency.
+        assert!(f.fa_feedforward_ghz > f.fa_feedback_ghz);
+        assert!(f.sr_feedforward_ghz > f.sr_feedback_ghz);
+        // Paper values: 66→30 GHz (FA), 133→71 GHz (SR). Allow ±20%.
+        let close = |got: f64, want: f64| (got - want).abs() / want < 0.2;
+        assert!(close(f.fa_feedforward_ghz, 66.0), "FA ff {:.1}", f.fa_feedforward_ghz);
+        assert!(close(f.fa_feedback_ghz, 30.0), "FA fb {:.1}", f.fa_feedback_ghz);
+        assert!(close(f.sr_feedforward_ghz, 133.0), "SR ff {:.1}", f.sr_feedforward_ghz);
+        assert!(close(f.sr_feedback_ghz, 71.0), "SR fb {:.1}", f.sr_feedback_ghz);
+    }
+}

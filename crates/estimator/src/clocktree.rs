@@ -1,0 +1,129 @@
+//! Global clock-distribution model.
+//!
+//! SFQ logic has no clock gating: the clock is itself a stream of SFQ
+//! pulses fanned out through a splitter tree, and every clocked gate
+//! consumes one pulse per cycle (§II-A). The tree therefore costs
+//! junctions (area, static power), switching energy *every cycle*,
+//! and accumulates skew with its depth — all three feed the
+//! architecture-level model.
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellLibrary, GateKind};
+
+use crate::structure::GateCounts;
+
+/// A sized clock-distribution tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    /// Clocked-gate sinks served.
+    pub sinks: u64,
+    /// Splitters in the fan-out tree (`sinks − 1` for a binary tree).
+    pub splitters: u64,
+    /// JTL repeaters along the distribution spine.
+    pub repeaters: u64,
+    /// Tree depth (binary levels).
+    pub depth: u32,
+}
+
+/// JTL repeaters charged per sink for the spine run (a quarter of a
+/// repeater per sink: spines are shared across whole rows of cells).
+pub const REPEATERS_PER_SINK: f64 = 0.25;
+
+/// Residual skew accumulated per tree level after balancing, ps.
+pub const SKEW_PER_LEVEL_PS: f64 = 0.05;
+
+impl ClockTree {
+    /// Size a binary splitter tree for `sinks` clocked gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks == 0`.
+    pub fn for_sinks(sinks: u64) -> Self {
+        assert!(sinks > 0, "a clock tree needs at least one sink");
+        ClockTree {
+            sinks,
+            splitters: sinks.saturating_sub(1),
+            repeaters: (sinks as f64 * REPEATERS_PER_SINK) as u64,
+            depth: 64 - u64::leading_zeros(sinks.next_power_of_two().max(1)),
+        }
+    }
+
+    /// Gate inventory of the tree.
+    pub fn gates(&self) -> GateCounts {
+        let mut g = GateCounts::new();
+        g.add(GateKind::Splitter, self.splitters);
+        g.add(GateKind::Jtl, self.repeaters);
+        g
+    }
+
+    /// Energy the tree dissipates every clock cycle (every splitter
+    /// and repeater forwards one pulse per cycle), joules.
+    pub fn energy_per_cycle_j(&self, lib: &CellLibrary) -> f64 {
+        self.gates().full_switch_energy_j(lib)
+    }
+
+    /// Static power of the tree, watts.
+    pub fn static_w(&self, lib: &CellLibrary) -> f64 {
+        self.gates().static_w(lib)
+    }
+
+    /// Tree area, mm².
+    pub fn area_mm2(&self, lib: &CellLibrary) -> f64 {
+        self.gates().area_mm2(lib)
+    }
+
+    /// Residual skew between the earliest and latest leaf after
+    /// balancing, ps.
+    pub fn skew_ps(&self) -> f64 {
+        f64::from(self.depth) * SKEW_PER_LEVEL_PS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_bookkeeping() {
+        let t = ClockTree::for_sinks(1024);
+        assert_eq!(t.splitters, 1023);
+        assert_eq!(t.depth, 11); // next_power_of_two(1024)=1024 -> 2^10, +1 for the leaf level count
+        assert_eq!(t.repeaters, 256);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_sinks() {
+        let lib = CellLibrary::aist_10um();
+        let small = ClockTree::for_sinks(1_000).energy_per_cycle_j(&lib);
+        let large = ClockTree::for_sinks(1_000_000).energy_per_cycle_j(&lib);
+        let ratio = large / small;
+        assert!((ratio - 1000.0).abs() / 1000.0 < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn chip_scale_tree_burns_watts_at_50ghz() {
+        // ~20M clocked gates (SuperNPU's PE array + DAU) at 52.6 GHz:
+        // the ungated clock alone is watt-scale under ERSFQ — the
+        // dominant term the Table III chip power reflects.
+        let lib = CellLibrary::aist_10um().with_bias(sfq_cells::BiasScheme::Ersfq);
+        let t = ClockTree::for_sinks(20_000_000);
+        let power_w = t.energy_per_cycle_j(&lib) * 52.6e9;
+        assert!(power_w > 0.5 && power_w < 10.0, "clock power {power_w:.2} W");
+    }
+
+    #[test]
+    fn skew_grows_logarithmically() {
+        let small = ClockTree::for_sinks(1_000).skew_ps();
+        let large = ClockTree::for_sinks(1_000_000).skew_ps();
+        assert!(large > small);
+        assert!(large < 3.0 * small, "log growth expected: {small} -> {large}");
+        // And stays well under the 19 ps cycle for any realistic chip.
+        assert!(large < 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn zero_sinks_panics() {
+        let _ = ClockTree::for_sinks(0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Chip floorplanning for the architecture-level layer (§IV-A.3):
+//! "based on the estimated unit-to-unit distance, we calculate the
+//! area of wire cells required to connect each unit and include it to
+//! the final area estimation".
+//!
+//! The layout follows the paper's Fig. 3: the ifmap buffer and DAU sit
+//! left of the PE array, the weight buffer above it, and the output
+//! (psum/ofmap) buffers to its right. Block geometry comes from the
+//! unit areas; inter-unit links are passive transmission lines whose
+//! *latency* does not bound the clock (PTLs hold several pulses in
+//! flight — §II-B.2), but whose residual data-vs-clock skew after
+//! co-routing does.
+
+use serde::{Deserialize, Serialize};
+
+/// One placed block, dimensions in millimeters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Unit name.
+    pub name: String,
+    /// Lower-left x, mm.
+    pub x: f64,
+    /// Lower-left y, mm.
+    pub y: f64,
+    /// Width, mm.
+    pub w: f64,
+    /// Height, mm.
+    pub h: f64,
+}
+
+impl Block {
+    /// Center coordinates, mm.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Block area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A placed chip: blocks plus derived wiring figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    /// Placed blocks.
+    pub blocks: Vec<Block>,
+    /// Total inter-unit link length, mm (sum over the dataflow links).
+    pub wire_length_mm: f64,
+    /// Die width, mm.
+    pub die_w: f64,
+    /// Die height, mm.
+    pub die_h: f64,
+}
+
+/// Residual data-vs-clock skew of a co-routed PTL link, ps per mm.
+/// Co-routing matches the two paths to within a few percent; the
+/// default assumes ~0.1 ps of mismatch accumulates per millimeter.
+pub const PTL_SKEW_PS_PER_MM: f64 = 0.1;
+
+/// One-way PTL propagation delay, ps per mm (pulse velocity ≈ c/3).
+pub const PTL_DELAY_PS_PER_MM: f64 = 10.0;
+
+/// Effective wiring-channel width charged per inter-unit link, mm
+/// (a bundle of PTL tracks plus repeaters).
+pub const WIRE_CHANNEL_MM: f64 = 0.05;
+
+/// Unit areas that feed the floorplan, mm² at one process node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitAreas {
+    /// PE array total.
+    pub pe_array: f64,
+    /// On-chip network total.
+    pub network: f64,
+    /// DAU.
+    pub dau: f64,
+    /// Ifmap buffer.
+    pub ifmap: f64,
+    /// Output (ofmap + psum) buffers.
+    pub output: f64,
+    /// Weight buffer.
+    pub weight: f64,
+}
+
+impl UnitAreas {
+    /// Sum of the block areas.
+    pub fn total(&self) -> f64 {
+        self.pe_array + self.network + self.dau + self.ifmap + self.output + self.weight
+    }
+}
+
+impl Floorplan {
+    /// Place the Fig. 3 layout: `[ifmap | DAU | PE+NW | output]` as a
+    /// row, with the weight buffer spanning the top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any area is negative or all are zero.
+    pub fn place(areas: &UnitAreas) -> Floorplan {
+        assert!(areas.total() > 0.0, "cannot floorplan a zero-area chip");
+        let core = areas.pe_array + areas.network;
+        // Row height: make the core block roughly square.
+        let row_h = core.sqrt().max(1e-6);
+        let strip = |area: f64| area / row_h;
+
+        let w_ifmap = strip(areas.ifmap);
+        let w_dau = strip(areas.dau);
+        let w_core = strip(core);
+        let w_output = strip(areas.output);
+        let row_w = w_ifmap + w_dau + w_core + w_output;
+        let weight_h = areas.weight / row_w.max(1e-9);
+
+        let mut x = 0.0;
+        let block = |name: &str, w: f64, y: f64, h: f64, x: &mut f64| {
+            let b = Block {
+                name: name.to_owned(),
+                x: *x,
+                y,
+                w,
+                h,
+            };
+            *x += w;
+            b
+        };
+        let blocks = vec![
+            block("ifmap", w_ifmap, 0.0, row_h, &mut x),
+            block("dau", w_dau, 0.0, row_h, &mut x),
+            block("pe_array", w_core, 0.0, row_h, &mut x),
+            block("output", w_output, 0.0, row_h, &mut x),
+            Block {
+                name: "weight".to_owned(),
+                x: 0.0,
+                y: row_h,
+                w: row_w,
+                h: weight_h,
+            },
+        ];
+
+        // Dataflow links (Fig. 3 arrows): ifmap→DAU, DAU→PE, weight→PE,
+        // PE→output.
+        let dist = |a: &Block, b: &Block| {
+            let (ax, ay) = a.center();
+            let (bx, by) = b.center();
+            (ax - bx).abs() + (ay - by).abs()
+        };
+        let find = |name: &str| blocks.iter().find(|b| b.name == name).expect("placed");
+        let wire_length_mm = dist(find("ifmap"), find("dau"))
+            + dist(find("dau"), find("pe_array"))
+            + dist(find("weight"), find("pe_array"))
+            + dist(find("pe_array"), find("output"));
+
+        Floorplan {
+            blocks,
+            wire_length_mm,
+            die_w: row_w,
+            die_h: row_h + weight_h,
+        }
+    }
+
+    /// Die area, mm².
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_w * self.die_h
+    }
+
+    /// Extra area charged to inter-unit wiring channels, mm².
+    pub fn wiring_area_mm2(&self) -> f64 {
+        self.wire_length_mm * WIRE_CHANNEL_MM
+    }
+
+    /// Longest single link, mm.
+    pub fn longest_link_mm(&self) -> f64 {
+        // The weight→PE and ifmap→DAU links bracket the extremes; use
+        // the conservative estimate of half the die semi-perimeter.
+        0.5 * (self.die_w + self.die_h) / 2.0
+    }
+
+    /// Residual data-vs-clock skew on the longest inter-unit link, ps.
+    pub fn inter_unit_skew_ps(&self) -> f64 {
+        self.longest_link_mm() * PTL_SKEW_PS_PER_MM
+    }
+
+    /// One-way latency of the longest link, ps (pipelined — informs
+    /// fill latency, not clock rate).
+    pub fn inter_unit_latency_ps(&self) -> f64 {
+        self.longest_link_mm() * PTL_DELAY_PS_PER_MM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas() -> UnitAreas {
+        UnitAreas {
+            pe_array: 40.0,
+            network: 10.0,
+            dau: 5.0,
+            ifmap: 30.0,
+            output: 30.0,
+            weight: 2.0,
+        }
+    }
+
+    #[test]
+    fn blocks_cover_requested_areas() {
+        let a = areas();
+        let fp = Floorplan::place(&a);
+        let sum: f64 = fp.blocks.iter().map(Block::area_mm2).sum();
+        assert!((sum - a.total()).abs() / a.total() < 1e-9);
+        // Die bounds every block.
+        for b in &fp.blocks {
+            assert!(b.x + b.w <= fp.die_w + 1e-9, "{}", b.name);
+            assert!(b.y + b.h <= fp.die_h + 1e-9, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let fp = Floorplan::place(&areas());
+        for (i, a) in fp.blocks.iter().enumerate() {
+            for b in fp.blocks.iter().skip(i + 1) {
+                let overlap_x = (a.x + a.w).min(b.x + b.w) - a.x.max(b.x);
+                let overlap_y = (a.y + a.h).min(b.y + b.h) - a.y.max(b.y);
+                assert!(
+                    overlap_x <= 1e-9 || overlap_y <= 1e-9,
+                    "{} overlaps {}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wiring_scales_with_die_size() {
+        let small = Floorplan::place(&areas());
+        let mut big = areas();
+        big.pe_array *= 4.0;
+        big.ifmap *= 4.0;
+        big.output *= 4.0;
+        let big = Floorplan::place(&big);
+        assert!(big.wire_length_mm > small.wire_length_mm);
+        assert!(big.wiring_area_mm2() > small.wiring_area_mm2());
+        assert!(big.inter_unit_skew_ps() > small.inter_unit_skew_ps());
+    }
+
+    #[test]
+    fn skew_stays_below_clock_budget_for_chip_scale_dies() {
+        // Even a 25 x 25 mm die accumulates only ~1-2 ps of residual
+        // skew: inter-unit links do not bound the 19 ps cycle.
+        let mut a = areas();
+        let scale = (625.0 / a.total()).sqrt();
+        a.pe_array *= scale * scale;
+        a.ifmap *= scale * scale;
+        a.output *= scale * scale;
+        let fp = Floorplan::place(&a);
+        assert!(fp.inter_unit_skew_ps() < 5.0, "skew {:.2} ps", fp.inter_unit_skew_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-area")]
+    fn zero_chip_panics() {
+        let _ = Floorplan::place(&UnitAreas {
+            pe_array: 0.0,
+            network: 0.0,
+            dau: 0.0,
+            ifmap: 0.0,
+            output: 0.0,
+            weight: 0.0,
+        });
+    }
+}

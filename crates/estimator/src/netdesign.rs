@@ -1,0 +1,174 @@
+//! On-chip network design comparison (paper §III-A, Fig. 5): 2D
+//! splitter tree vs 1D splitter tree vs 2D systolic store-and-forward
+//! chain, in critical-path delay and area, versus PE-array width.
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellLibrary, GateKind};
+
+use crate::structure::GateCounts;
+use crate::units::nw_unit_model;
+
+/// The three candidate network structures of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkDesign {
+    /// Fan-out multicast through two global splitter trees (output-
+    /// stationary style).
+    SplitterTree2d,
+    /// Fan-out multicast through per-row splitter trees (weight-
+    /// stationary style).
+    SplitterTree1d,
+    /// Store-and-forward 2D systolic chain (the design the paper
+    /// adopts).
+    Systolic2d,
+}
+
+impl NetworkDesign {
+    /// All three candidates.
+    pub const ALL: [NetworkDesign; 3] = [
+        NetworkDesign::SplitterTree2d,
+        NetworkDesign::SplitterTree1d,
+        NetworkDesign::Systolic2d,
+    ];
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkDesign::SplitterTree2d => "2D splitter tree",
+            NetworkDesign::SplitterTree1d => "1D splitter tree",
+            NetworkDesign::Systolic2d => "Systolic array",
+        }
+    }
+
+    /// Critical-path delay (inverse of maximum frequency) in ps for a
+    /// `width × width` PE array.
+    ///
+    /// The 2D tree's two global trees share one clock, so the data/
+    /// clock arrival mismatch at the leaf PEs grows linearly with the
+    /// array width (≈13.9 ps of splitter+wire delay per PE pitch); the
+    /// 1D tree and the systolic chain have no such accumulation.
+    pub fn critical_path_ps(self, width: u32, lib: &CellLibrary) -> f64 {
+        let dff = lib.gate(GateKind::Dff);
+        let spl = lib.gate(GateKind::Splitter).delay_ps;
+        let jtl = lib.gate(GateKind::Jtl).delay_ps;
+        let pitch_ps = spl + jtl + 2.0 * jtl; // splitter + wire run per PE pitch
+        match self {
+            NetworkDesign::SplitterTree2d => {
+                let mismatch = f64::from(width) * pitch_ps;
+                dff.setup_ps + dff.hold_ps.max(mismatch)
+            }
+            NetworkDesign::SplitterTree1d => dff.setup_ps + dff.hold_ps + 2.0 * spl,
+            NetworkDesign::Systolic2d => dff.setup_ps + dff.hold_ps,
+        }
+    }
+
+    /// Gate inventory for a `width × width` array with a `bits`-wide
+    /// datapath.
+    pub fn gates(self, width: u32, bits: u32) -> GateCounts {
+        let w = u64::from(width);
+        let b = u64::from(bits);
+        let mut g = GateCounts::new();
+        match self {
+            NetworkDesign::Systolic2d => {
+                let per_pe = nw_unit_model(bits).gates;
+                g.add_scaled(&per_pe, w * w);
+            }
+            NetworkDesign::SplitterTree1d | NetworkDesign::SplitterTree2d => {
+                // Per row: a (width−1)-splitter tree per bit, leaf DFFs,
+                // and the long JTL runs that make trees expensive: each
+                // of the `w` leaves sits on average `w/2` PE pitches
+                // from the root, so a row's run length is ~w²/2 pitches
+                // (×w rows), one JTL repeater per pitch.
+                let tree_splitters = (w - 1) * b * w;
+                let leaf_dffs = w * w * b;
+                let jtl_runs = (w * w * w / 2) * b;
+                g.add(GateKind::Splitter, tree_splitters);
+                g.add(GateKind::Dff, leaf_dffs);
+                g.add(GateKind::Jtl, jtl_runs * if self == NetworkDesign::SplitterTree2d { 2 } else { 1 });
+            }
+        }
+        g
+    }
+
+    /// Area in mm² at the library's native feature size.
+    pub fn area_mm2(self, width: u32, bits: u32, lib: &CellLibrary) -> f64 {
+        self.gates(width, bits).area_mm2(lib)
+    }
+}
+
+/// One row of the Fig. 5 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPoint {
+    /// PE-array width.
+    pub width: u32,
+    /// Which design.
+    pub design: NetworkDesign,
+    /// Critical-path delay, ps.
+    pub critical_path_ps: f64,
+    /// Area, mm² (native feature size).
+    pub area_mm2: f64,
+}
+
+/// Sweep all three designs over the paper's widths {4, 8, 16, 32, 64}.
+pub fn fig5_sweep(bits: u32, lib: &CellLibrary) -> Vec<NetworkPoint> {
+    let mut out = Vec::new();
+    for width in [4u32, 8, 16, 32, 64] {
+        for design in NetworkDesign::ALL {
+            out.push(NetworkPoint {
+                width,
+                design,
+                critical_path_ps: design.critical_path_ps(width, lib),
+                area_mm2: design.area_mm2(width, bits, lib),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_wins_both_axes_at_64() {
+        let lib = CellLibrary::aist_10um();
+        let w = 64;
+        let sys_d = NetworkDesign::Systolic2d.critical_path_ps(w, &lib);
+        let t1_d = NetworkDesign::SplitterTree1d.critical_path_ps(w, &lib);
+        let t2_d = NetworkDesign::SplitterTree2d.critical_path_ps(w, &lib);
+        assert!(sys_d <= t1_d && sys_d < t2_d);
+        let sys_a = NetworkDesign::Systolic2d.area_mm2(w, 8, &lib);
+        let t1_a = NetworkDesign::SplitterTree1d.area_mm2(w, 8, &lib);
+        let t2_a = NetworkDesign::SplitterTree2d.area_mm2(w, 8, &lib);
+        assert!(sys_a < t1_a && sys_a < t2_a);
+    }
+
+    #[test]
+    fn tree_2d_delay_exceeds_800ps_at_64() {
+        // The paper's headline observation in Fig. 5(a).
+        let lib = CellLibrary::aist_10um();
+        let d = NetworkDesign::SplitterTree2d.critical_path_ps(64, &lib);
+        assert!(d > 800.0, "2D tree delay {d:.0} ps");
+    }
+
+    #[test]
+    fn systolic_delay_flat_in_width() {
+        let lib = CellLibrary::aist_10um();
+        let d4 = NetworkDesign::Systolic2d.critical_path_ps(4, &lib);
+        let d64 = NetworkDesign::Systolic2d.critical_path_ps(64, &lib);
+        assert_eq!(d4, d64);
+    }
+
+    #[test]
+    fn tree_area_about_3x_systolic_at_64() {
+        let lib = CellLibrary::aist_10um();
+        let ratio = NetworkDesign::SplitterTree1d.area_mm2(64, 8, &lib)
+            / NetworkDesign::Systolic2d.area_mm2(64, 8, &lib);
+        assert!(ratio > 1.8 && ratio < 5.0, "tree/systolic area ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn sweep_covers_15_points() {
+        let lib = CellLibrary::aist_10um();
+        assert_eq!(fig5_sweep(8, &lib).len(), 15);
+    }
+}

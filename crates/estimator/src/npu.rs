@@ -1,0 +1,516 @@
+//! Architecture-level estimation (paper §IV-A.3): integrate the unit
+//! models into whole-NPU frequency, power, area and per-access energy
+//! numbers.
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{scaling, CellLibrary, GateKind};
+
+use crate::clocking::{Clocking, PairTiming};
+use crate::clocktree::ClockTree;
+use crate::floorplan::{Floorplan, UnitAreas};
+use crate::structure::{GateCounts, UnitModel};
+use crate::units::{buffer_model, dau_model, nw_unit_model, pe_model, BufferConfig};
+
+const MB: u64 = 1024 * 1024;
+const KB: u64 = 1024;
+
+/// Architectural configuration of an SFQ NPU — the union of the
+/// paper's "µArchitecture param." and "Architecture param." inputs
+/// (Fig. 10), with presets for every Table I column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Design-point name.
+    pub name: String,
+    /// PE-array height (rows; the contraction dimension).
+    pub array_height: u32,
+    /// PE-array width (columns; the filter dimension).
+    pub array_width: u32,
+    /// Datapath bit width.
+    pub bits: u32,
+    /// Weight registers per PE.
+    pub regs_per_pe: u32,
+    /// Ifmap buffer capacity, bytes.
+    pub ifmap_buf_bytes: u64,
+    /// Output buffer capacity, bytes (the integrated psum+ofmap buffer
+    /// when `integrated_output`, otherwise the ofmap buffer alone).
+    pub output_buf_bytes: u64,
+    /// Separate psum buffer capacity, bytes (0 when integrated).
+    pub psum_buf_bytes: u64,
+    /// Weight buffer capacity, bytes.
+    pub weight_buf_bytes: u64,
+    /// Buffer division degree (chunks per buffer; 1 = monolithic).
+    pub division: u32,
+    /// Whether psum and ofmap share one chunked buffer (SuperNPU's
+    /// first optimization).
+    pub integrated_output: bool,
+}
+
+impl NpuConfig {
+    /// The paper's *Baseline* SFQ NPU (Table I): TPU-like 256×256
+    /// array, three monolithic 8 MB buffers.
+    pub fn paper_baseline() -> Self {
+        NpuConfig {
+            name: "Baseline".into(),
+            array_height: 256,
+            array_width: 256,
+            bits: 8,
+            regs_per_pe: 1,
+            ifmap_buf_bytes: 8 * MB,
+            output_buf_bytes: 8 * MB,
+            psum_buf_bytes: 8 * MB,
+            weight_buf_bytes: 64 * KB,
+            division: 1,
+            integrated_output: false,
+        }
+    }
+
+    /// *Buffer opt.* (Table I): integrated 12 MB + 12 MB buffers,
+    /// division degree 64.
+    pub fn paper_buffer_opt() -> Self {
+        NpuConfig {
+            name: "Buffer opt.".into(),
+            ifmap_buf_bytes: 12 * MB,
+            output_buf_bytes: 12 * MB,
+            psum_buf_bytes: 0,
+            division: 64,
+            integrated_output: true,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// *Resource opt.* (Table I): PE-array width cut to 64, buffers
+    /// grown to 24 MB + 24 MB, division degree 256.
+    pub fn paper_resource_opt() -> Self {
+        NpuConfig {
+            name: "Resource opt.".into(),
+            array_width: 64,
+            ifmap_buf_bytes: 24 * MB,
+            output_buf_bytes: 24 * MB,
+            psum_buf_bytes: 0,
+            weight_buf_bytes: 16 * KB,
+            division: 256,
+            integrated_output: true,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// *SuperNPU* (Table I): Resource opt. plus 8 weight registers per
+    /// PE and a 128 KB weight buffer.
+    pub fn paper_supernpu() -> Self {
+        NpuConfig {
+            name: "SuperNPU".into(),
+            regs_per_pe: 8,
+            weight_buf_bytes: 128 * KB,
+            ..Self::paper_resource_opt()
+        }
+    }
+
+    /// Total PE count.
+    pub fn pe_count(&self) -> u64 {
+        u64::from(self.array_height) * u64::from(self.array_width)
+    }
+
+    /// Total activation buffering (ifmap + output + psum), bytes.
+    pub fn activation_capacity_bytes(&self) -> u64 {
+        self.ifmap_buf_bytes + self.output_buf_bytes + self.psum_buf_bytes
+    }
+
+    /// The ifmap buffer bank configuration.
+    pub fn ifmap_buffer(&self) -> BufferConfig {
+        BufferConfig {
+            capacity_bytes: self.ifmap_buf_bytes,
+            rows: self.array_height,
+            bits: self.bits,
+            division: self.division,
+        }
+    }
+
+    /// The output (psum+ofmap) buffer bank configuration. For
+    /// integrated designs the chunk count is scaled so chunk *length*
+    /// matches the paper's Fig. 19 (width-many chunks of output).
+    pub fn output_buffer(&self) -> BufferConfig {
+        BufferConfig {
+            capacity_bytes: self.output_buf_bytes + self.psum_buf_bytes,
+            rows: self.array_width,
+            bits: self.bits,
+            division: self.division,
+        }
+    }
+}
+
+/// Per-unit contribution to the whole-chip totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitBreakdown {
+    /// Unit name.
+    pub name: String,
+    /// Instances of this unit on the chip.
+    pub count: u64,
+    /// Gates per instance.
+    pub gates_per_instance: u64,
+    /// Total Josephson junctions contributed.
+    pub jj_total: u64,
+    /// Total static power contributed, watts.
+    pub static_w: f64,
+    /// Total area contributed, mm² (native feature size).
+    pub area_mm2: f64,
+    /// Unit-internal maximum frequency, GHz (None for pure wiring).
+    pub frequency_ghz: Option<f64>,
+    /// Energy per access of one instance, joules.
+    pub access_energy_j: f64,
+}
+
+/// Whole-NPU estimate (the estimator's output arrow in Fig. 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuEstimate {
+    /// NPU clock frequency, GHz: the minimum over all unit and
+    /// inter-unit gate pairs.
+    pub frequency_ghz: f64,
+    /// Peak throughput in TMAC/s (`PEs × f`).
+    pub peak_tmacs: f64,
+    /// Total static power, watts (zero under ERSFQ).
+    pub static_w: f64,
+    /// Total Josephson junctions.
+    pub jj_total: u64,
+    /// Area at the native feature size, mm².
+    pub area_mm2_native: f64,
+    /// Area scaled to the 28 nm node for the Table I comparison, mm².
+    pub area_mm2_28nm: f64,
+    /// Energy per PE MAC operation, joules.
+    pub pe_mac_energy_j: f64,
+    /// Energy per single-entry shift of one buffer row lane, joules.
+    pub buffer_shift_energy_j: f64,
+    /// Energy per ifmap element aligned by the DAU, joules.
+    pub dau_energy_j: f64,
+    /// Energy per element-hop through the network unit, joules.
+    pub nw_hop_energy_j: f64,
+    /// Chip-wide clock-distribution energy per clock cycle, joules.
+    /// SFQ clocks are not gated: every clocked gate consumes a clock
+    /// pulse (one splitter tap) every cycle, whether or not data is
+    /// present. Covers the PE array, the DAU and one active chunk per
+    /// buffer.
+    pub clock_energy_per_cycle_j: f64,
+    /// Per-unit breakdown rows.
+    pub units: Vec<UnitBreakdown>,
+    /// The placed floorplan (at the 28 nm-equivalent geometry used for
+    /// the Table I area comparison), from which the inter-unit wire
+    /// skew and wiring area are derived.
+    pub floorplan: Floorplan,
+}
+
+fn breakdown(unit: &UnitModel, count: u64, lib: &CellLibrary) -> UnitBreakdown {
+    let mut total = GateCounts::new();
+    total.add_scaled(&unit.gates, count);
+    UnitBreakdown {
+        name: unit.name.clone(),
+        count,
+        gates_per_instance: unit.gates.total(),
+        jj_total: total.jj_total(lib),
+        static_w: total.static_w(lib),
+        area_mm2: total.area_mm2(lib),
+        frequency_ghz: unit.frequency_ghz(lib),
+        access_energy_j: unit.access_energy_j(lib),
+    }
+}
+
+/// Inter-unit clocked pairs (buffer→NW, NW→PE, PE→output buffer).
+///
+/// Inter-unit links are passive transmission lines that hold several
+/// pulses in flight, so their *latency* never bounds the clock; the
+/// binding quantity is the residual data-vs-clock skew left after
+/// co-routing, which the floorplan supplies from the link geometry.
+fn inter_unit_pairs(lib: &CellLibrary, skew_ps: f64) -> Vec<PairTiming> {
+    let ptl = lib.gate(GateKind::PtlDriver).delay_ps + lib.gate(GateKind::PtlReceiver).delay_ps;
+    let hop = |src: GateKind, dst: GateKind| PairTiming {
+        src,
+        dst,
+        data_wire_ps: ptl + skew_ps,
+        // The clock is co-routed: its tap covers the source delay and
+        // the PTL flight, leaving only the residual skew as δt.
+        clock_wire_ps: lib.gate(src).delay_ps + ptl,
+        clocking: Clocking::Concurrent,
+    };
+    vec![
+        hop(GateKind::Dff, GateKind::Dff),      // buffer tail -> NW unit
+        hop(GateKind::Dff, GateKind::And),      // NW unit -> PE operand port
+        hop(GateKind::Xor, GateKind::Dff),      // PE psum out -> output buffer
+    ]
+}
+
+/// Run the full three-layer estimation for `cfg` under `lib`.
+///
+/// # Panics
+///
+/// Panics if the configuration has zero-sized fields (the unit models
+/// assert their inputs).
+pub fn estimate(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
+    let pe = pe_model(cfg.bits, cfg.regs_per_pe);
+    let nw = nw_unit_model(cfg.bits);
+    let dau = dau_model(cfg.array_height, cfg.bits);
+    let ifmap = buffer_model("ifmap", cfg.ifmap_buffer());
+    let output = buffer_model(
+        if cfg.integrated_output { "output(int)" } else { "ofmap" },
+        cfg.output_buffer(),
+    );
+    let weight = buffer_model(
+        "weight",
+        BufferConfig {
+            capacity_bytes: cfg.weight_buf_bytes,
+            rows: cfg.array_width,
+            bits: cfg.bits,
+            division: 1,
+        },
+    );
+
+    let mut units = vec![
+        breakdown(&pe, cfg.pe_count(), lib),
+        breakdown(&nw, cfg.pe_count(), lib),
+        breakdown(&dau, 1, lib),
+        breakdown(&ifmap, 1, lib),
+        breakdown(&output, 1, lib),
+        breakdown(&weight, 1, lib),
+    ];
+    if !cfg.integrated_output && cfg.psum_buf_bytes > 0 {
+        let psum = buffer_model(
+            "psum",
+            BufferConfig {
+                capacity_bytes: cfg.psum_buf_bytes,
+                rows: cfg.array_width,
+                bits: cfg.bits,
+                division: cfg.division,
+            },
+        );
+        // The separate psum bank replaces half the combined output bank:
+        // rebuild the ofmap row with its own capacity.
+        units[4] = breakdown(
+            &buffer_model(
+                "ofmap",
+                BufferConfig {
+                    capacity_bytes: cfg.output_buf_bytes,
+                    rows: cfg.array_width,
+                    bits: cfg.bits,
+                    division: cfg.division,
+                },
+            ),
+            1,
+            lib,
+        );
+        units.push(breakdown(&psum, 1, lib));
+    }
+
+    // Floorplan at the 28 nm-equivalent geometry (the scale at which
+    // the paper compares dies; the 1.0 µm areas are treated as scaled,
+    // per its footnote 2).
+    let area_scale = sfq_cells::scaling::area_factor(lib.device().feature_um, scaling::NODE_28NM_UM);
+    let scaled = |idx: usize| units[idx].area_mm2 * area_scale;
+    let unit_areas = UnitAreas {
+        pe_array: scaled(0),
+        network: scaled(1),
+        dau: scaled(2),
+        ifmap: scaled(3),
+        output: scaled(4) + if units.len() > 6 { scaled(6) } else { 0.0 },
+        weight: scaled(5),
+    };
+    let floorplan = Floorplan::place(&unit_areas);
+
+    // Frequency: min over unit pairs and inter-unit pairs (the latter
+    // bounded by the floorplan's residual wire skew).
+    let unit_min = [&pe, &nw, &dau, &ifmap, &output, &weight]
+        .iter()
+        .filter_map(|u| u.frequency_ghz(lib))
+        .fold(f64::INFINITY, f64::min);
+    let inter_min = inter_unit_pairs(lib, floorplan.inter_unit_skew_ps())
+        .iter()
+        .map(|p| p.frequency_ghz(lib))
+        .fold(f64::INFINITY, f64::min);
+    let frequency_ghz = unit_min.min(inter_min);
+
+    let static_w: f64 = units.iter().map(|u| u.static_w).sum();
+    let jj_total: u64 = units.iter().map(|u| u.jj_total).sum();
+    // Clock-distribution / power-routing overlay plus the floorplan's
+    // inter-unit wiring channels.
+    let cell_area: f64 = units.iter().map(|u| u.area_mm2).sum();
+    let area_mm2_native: f64 =
+        cell_area * 1.12 + floorplan.wiring_area_mm2() / area_scale;
+    let area_mm2_28nm = scaling::scale_area_mm2(
+        area_mm2_native,
+        lib.device().feature_um,
+        scaling::NODE_28NM_UM,
+    );
+
+    // Per-access energies used by the cycle simulator's power model.
+    let pe_mac_energy_j = pe.access_energy_j(lib);
+    let d = lib.gate(GateKind::Dff);
+    let s = lib.gate(GateKind::Splitter);
+    // One entry-shift of one row lane clocks `bits` storage cells and
+    // their clock splitters.
+    let buffer_shift_energy_j =
+        f64::from(cfg.bits) * (d.energy_aj + s.energy_aj) * 1e-18;
+    let dau_energy_j = {
+        let bp = lib.gate(GateKind::DffBypass);
+        // An aligned element traverses on average half the PE pipeline
+        // depth of bypass cells.
+        let hops = f64::from(crate::units::pe_pipeline_depth(cfg.bits) - 1) / 2.0;
+        f64::from(cfg.bits) * hops * (bp.energy_aj + s.energy_aj) * 1e-18
+    };
+    let nw_hop_energy_j = nw.access_energy_j(lib);
+
+    // Ungated clock distribution: a splitter tree serves every clocked
+    // gate of the logic units each cycle, and the active buffer chunks
+    // take a JTL clock tap per cell (the rest of the buffer's clock
+    // spine is idle while its chunks are unselected).
+    let clock_energy_per_cycle_j = {
+        let jtl_j = lib.gate(GateKind::Jtl).energy_aj * 1e-18;
+        let clocked_in = |gates: &crate::structure::GateCounts| -> u64 {
+            gates
+                .iter()
+                .filter(|(k, _)| k.class() == sfq_cells::GateClass::Clocked)
+                .map(|(_, n)| n)
+                .sum()
+        };
+        let logic_sinks = (clocked_in(&pe.gates) + clocked_in(&nw.gates)) * cfg.pe_count()
+            + clocked_in(&dau.gates);
+        let tree = ClockTree::for_sinks(logic_sinks.max(1));
+        let active_buffer_cells = (cfg.ifmap_buffer().chunk_entries()
+            * u64::from(cfg.array_height)
+            + cfg.output_buffer().chunk_entries() * u64::from(cfg.array_width))
+            as f64
+            * f64::from(cfg.bits);
+        tree.energy_per_cycle_j(lib) + active_buffer_cells * jtl_j
+    };
+
+    NpuEstimate {
+        frequency_ghz,
+        peak_tmacs: cfg.pe_count() as f64 * frequency_ghz * 1e9 / 1e12,
+        static_w,
+        jj_total,
+        area_mm2_native,
+        area_mm2_28nm,
+        pe_mac_energy_j,
+        buffer_shift_energy_j,
+        dau_energy_j,
+        nw_hop_energy_j,
+        clock_energy_per_cycle_j,
+        units,
+        floorplan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::BiasScheme;
+
+    #[test]
+    fn presets_match_table1_shapes() {
+        let b = NpuConfig::paper_baseline();
+        assert_eq!((b.array_height, b.array_width), (256, 256));
+        assert_eq!(b.activation_capacity_bytes(), 24 * MB);
+        let s = NpuConfig::paper_supernpu();
+        assert_eq!((s.array_height, s.array_width), (256, 64));
+        assert_eq!(s.regs_per_pe, 8);
+        assert_eq!(s.activation_capacity_bytes(), 48 * MB);
+        assert!(s.integrated_output);
+    }
+
+    #[test]
+    fn baseline_frequency_near_paper_52_6() {
+        let lib = CellLibrary::aist_10um();
+        let est = estimate(&NpuConfig::paper_baseline(), &lib);
+        assert!(
+            (est.frequency_ghz - 52.6).abs() < 1.5,
+            "frequency {:.2} GHz",
+            est.frequency_ghz
+        );
+        // Peak: 65536 PEs × ~52.6 GHz ≈ 3450 TMAC/s (paper: 3366).
+        assert!(est.peak_tmacs > 3000.0 && est.peak_tmacs < 3700.0);
+    }
+
+    #[test]
+    fn supernpu_peak_quarter_of_baseline() {
+        let lib = CellLibrary::aist_10um();
+        let b = estimate(&NpuConfig::paper_baseline(), &lib);
+        let s = estimate(&NpuConfig::paper_supernpu(), &lib);
+        let ratio = b.peak_tmacs / s.peak_tmacs;
+        assert!((ratio - 4.0).abs() < 0.2, "peak ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn rsfq_static_power_is_hundreds_of_watts() {
+        // Table III: RSFQ-SuperNPU dissipates 964 W of static power.
+        let lib = CellLibrary::aist_10um();
+        let est = estimate(&NpuConfig::paper_supernpu(), &lib);
+        assert!(
+            est.static_w > 600.0 && est.static_w < 1400.0,
+            "static {:.0} W",
+            est.static_w
+        );
+    }
+
+    #[test]
+    fn ersfq_static_power_is_zero() {
+        let lib = CellLibrary::aist_10um().with_bias(BiasScheme::Ersfq);
+        let est = estimate(&NpuConfig::paper_supernpu(), &lib);
+        assert_eq!(est.static_w, 0.0);
+        // But switching energy doubled.
+        let rsfq = estimate(&NpuConfig::paper_supernpu(), &CellLibrary::aist_10um());
+        assert!((est.pe_mac_energy_j / rsfq.pe_mac_energy_j - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_area_comparable_to_tpu_die() {
+        // Table I: every design lands under the TPU core's 330 mm²
+        // when scaled to 28 nm.
+        let lib = CellLibrary::aist_10um();
+        for cfg in [
+            NpuConfig::paper_baseline(),
+            NpuConfig::paper_buffer_opt(),
+            NpuConfig::paper_resource_opt(),
+            NpuConfig::paper_supernpu(),
+        ] {
+            let est = estimate(&cfg, &lib);
+            assert!(
+                est.area_mm2_28nm > 100.0 && est.area_mm2_28nm < 400.0,
+                "{}: {:.0} mm²",
+                cfg.name,
+                est.area_mm2_28nm
+            );
+        }
+    }
+
+    #[test]
+    fn area_ordering_follows_table1() {
+        // Table I: Baseline ≲ Buffer opt. < Resource opt. ≲ SuperNPU.
+        let lib = CellLibrary::aist_10um();
+        let a: Vec<f64> = [
+            NpuConfig::paper_baseline(),
+            NpuConfig::paper_buffer_opt(),
+            NpuConfig::paper_resource_opt(),
+            NpuConfig::paper_supernpu(),
+        ]
+        .iter()
+        .map(|c| estimate(c, &lib).area_mm2_28nm)
+        .collect();
+        assert!(a[1] >= a[0] * 0.98, "buffer opt {:.0} vs baseline {:.0}", a[1], a[0]);
+        assert!(a[3] >= a[2] * 0.98, "supernpu {:.0} vs resource {:.0}", a[3], a[2]);
+    }
+
+    #[test]
+    fn breakdown_rows_sum_to_totals() {
+        let lib = CellLibrary::aist_10um();
+        let est = estimate(&NpuConfig::paper_baseline(), &lib);
+        let sum_static: f64 = est.units.iter().map(|u| u.static_w).sum();
+        assert!((sum_static - est.static_w).abs() < 1e-9);
+        let sum_jj: u64 = est.units.iter().map(|u| u.jj_total).sum();
+        assert_eq!(sum_jj, est.jj_total);
+    }
+
+    #[test]
+    fn chunk_entries_drive_shift_distance() {
+        let cfg = NpuConfig::paper_baseline();
+        // 8 MB / 256 rows = 32 KiB per row, one chunk.
+        assert_eq!(cfg.ifmap_buffer().chunk_entries(), 32 * 1024);
+        let s = NpuConfig::paper_supernpu();
+        // 24 MB / 256 rows / 256 chunks = 384 entries.
+        assert_eq!(s.ifmap_buffer().chunk_entries(), 384);
+    }
+}

@@ -1,0 +1,186 @@
+//! Gate-count bookkeeping shared by all microarchitecture models.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{CellLibrary, GateKind};
+
+use crate::clocking::PairTiming;
+
+/// A multiset of gates.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GateCounts(BTreeMap<GateKind, u64>);
+
+impl GateCounts {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` instances of `kind`.
+    pub fn add(&mut self, kind: GateKind, n: u64) -> &mut Self {
+        *self.0.entry(kind).or_insert(0) += n;
+        self
+    }
+
+    /// Merge another multiset scaled by `factor` instances.
+    pub fn add_scaled(&mut self, other: &GateCounts, factor: u64) -> &mut Self {
+        for (&k, &n) in &other.0 {
+            *self.0.entry(k).or_insert(0) += n * factor;
+        }
+        self
+    }
+
+    /// Count of one gate kind.
+    pub fn count(&self, kind: GateKind) -> u64 {
+        self.0.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total gates.
+    pub fn total(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// Total Josephson junctions.
+    pub fn jj_total(&self, lib: &CellLibrary) -> u64 {
+        self.0
+            .iter()
+            .map(|(&k, &n)| n * u64::from(lib.gate(k).jj_count))
+            .sum()
+    }
+
+    /// Static power in watts under the library's bias scheme.
+    pub fn static_w(&self, lib: &CellLibrary) -> f64 {
+        self.0
+            .iter()
+            .map(|(&k, &n)| n as f64 * lib.gate(k).static_uw * 1e-6)
+            .sum()
+    }
+
+    /// Area in mm² at the library's native feature size.
+    pub fn area_mm2(&self, lib: &CellLibrary) -> f64 {
+        let um2: f64 = self
+            .0
+            .iter()
+            .map(|(&k, &n)| n as f64 * lib.gate_area_um2(k))
+            .sum();
+        um2 * 1e-6
+    }
+
+    /// Energy in joules if *every* gate in the multiset switches once
+    /// (callers scale by an activity factor).
+    pub fn full_switch_energy_j(&self, lib: &CellLibrary) -> f64 {
+        self.0
+            .iter()
+            .map(|(&k, &n)| n as f64 * lib.gate(k).energy_aj * 1e-18)
+            .sum()
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
+        self.0.iter().map(|(&k, &n)| (k, n))
+    }
+}
+
+/// Convenience alias re-exported at the crate root.
+pub type GatePair = PairTiming;
+
+/// A characterized microarchitectural unit: its gate inventory, the
+/// clocked gate pairs that bound its frequency, and the fraction of
+/// its gates that switch on a typical access (drives dynamic energy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitModel {
+    /// Unit name (for reports).
+    pub name: String,
+    /// Gate inventory.
+    pub gates: GateCounts,
+    /// Intra-unit clocked pairs.
+    pub pairs: Vec<PairTiming>,
+    /// Fraction of the unit's gates that switch per access (0..=1).
+    pub activity: f64,
+}
+
+impl UnitModel {
+    /// Unit clock frequency in GHz: the slowest intra-unit pair.
+    /// Units with no clocked pairs (pure wiring) return `None`.
+    pub fn frequency_ghz(&self, lib: &CellLibrary) -> Option<f64> {
+        self.pairs
+            .iter()
+            .map(|p| p.frequency_ghz(lib))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite frequencies"))
+    }
+
+    /// Energy per access in joules: activity × full-switch energy.
+    pub fn access_energy_j(&self, lib: &CellLibrary) -> f64 {
+        self.activity * self.gates.full_switch_energy_j(lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocking::Clocking;
+    use sfq_cells::CellLibrary;
+
+    #[test]
+    fn counts_accumulate_and_scale() {
+        let mut a = GateCounts::new();
+        a.add(GateKind::Dff, 4).add(GateKind::And, 2);
+        let mut b = GateCounts::new();
+        b.add_scaled(&a, 3);
+        assert_eq!(b.count(GateKind::Dff), 12);
+        assert_eq!(b.count(GateKind::And), 6);
+        assert_eq!(b.total(), 18);
+    }
+
+    #[test]
+    fn static_power_and_area_scale_linearly() {
+        let lib = CellLibrary::aist_10um();
+        let mut one = GateCounts::new();
+        one.add(GateKind::Dff, 1);
+        let mut many = GateCounts::new();
+        many.add(GateKind::Dff, 1000);
+        assert!((many.static_w(&lib) - 1000.0 * one.static_w(&lib)).abs() < 1e-12);
+        assert!((many.area_mm2(&lib) - 1000.0 * one.area_mm2(&lib)).abs() < 1e-12);
+        assert_eq!(many.jj_total(&lib), 1000 * one.jj_total(&lib));
+    }
+
+    #[test]
+    fn unit_frequency_is_min_over_pairs() {
+        let lib = CellLibrary::aist_10um();
+        let fast = PairTiming {
+            src: GateKind::Dff,
+            dst: GateKind::Dff,
+            data_wire_ps: 0.0,
+            clock_wire_ps: 0.0,
+            clocking: Clocking::ConcurrentSkewed,
+        };
+        let slow = PairTiming {
+            clocking: Clocking::CounterFlow,
+            ..fast
+        };
+        let unit = UnitModel {
+            name: "t".into(),
+            gates: GateCounts::new(),
+            pairs: vec![fast, slow],
+            activity: 0.5,
+        };
+        let f = unit.frequency_ghz(&lib).unwrap();
+        assert!((f - slow.frequency_ghz(&lib)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_energy_uses_activity() {
+        let lib = CellLibrary::aist_10um();
+        let mut gates = GateCounts::new();
+        gates.add(GateKind::And, 10);
+        let unit = UnitModel {
+            name: "t".into(),
+            gates: gates.clone(),
+            pairs: vec![],
+            activity: 0.5,
+        };
+        assert!((unit.access_energy_j(&lib) - 0.5 * gates.full_switch_energy_j(&lib)).abs() < 1e-30);
+        assert!(unit.frequency_ghz(&lib).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Shift-register on-chip buffer model (paper §II-B.3, §V-B.1).
+//!
+//! SFQ on-chip memory is a bank of serially connected DFFs with a
+//! feedback loop — no random access. SuperNPU divides each buffer
+//! into `division` chunks connected by multiplexer/demultiplexer
+//! trees; this model charges the storage cells, the per-chunk feedback
+//! wiring, and the mux/demux overhead that Fig. 20 shows growing with
+//! the division degree.
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::GateKind;
+
+use crate::clocking::{Clocking, PairTiming};
+use crate::structure::{GateCounts, UnitModel};
+
+/// Configuration of one on-chip buffer bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of parallel rows (one per PE row or column it feeds).
+    pub rows: u32,
+    /// Bits per entry (datapath width).
+    pub bits: u32,
+    /// Number of chunks the buffer is divided into (1 = monolithic).
+    pub division: u32,
+}
+
+impl BufferConfig {
+    /// Entries (elements) per row per chunk — the shift distance that
+    /// dominates preparation cycles.
+    pub fn chunk_entries(&self) -> u64 {
+        let total_entries = self.capacity_bytes * 8 / u64::from(self.bits);
+        (total_entries / u64::from(self.rows) / u64::from(self.division)).max(1)
+    }
+}
+
+/// Mux + demux gate overhead per row-bit lane for a `division`-way
+/// chunked buffer: a `division`-input select needs one gating AND per
+/// chunk and a merger tree to combine, mirrored on the demux side with
+/// splitters.
+pub fn mux_overhead_per_lane(division: u32) -> GateCounts {
+    let d = u64::from(division);
+    let mut g = GateCounts::new();
+    if d > 1 {
+        g.add(GateKind::And, d);
+        g.add(GateKind::Merger, d - 1);
+        g.add(GateKind::Splitter, d - 1);
+        // Control fanout.
+        g.add(GateKind::Jtl, d / 2);
+    }
+    g
+}
+
+/// Structure model of one buffer bank.
+pub fn buffer_model(name: &str, cfg: BufferConfig) -> UnitModel {
+    assert!(cfg.capacity_bytes > 0, "buffer needs capacity");
+    assert!(cfg.rows > 0 && cfg.bits > 0 && cfg.division > 0, "buffer config fields must be positive");
+    let bits_total = cfg.capacity_bytes * 8;
+    let mut g = GateCounts::new();
+    // Storage cells.
+    g.add(GateKind::Dff, bits_total);
+    // Clock distribution: the counter-flow clock rides a JTL chain
+    // along each row with one repeater tap per cell.
+    g.add(GateKind::Jtl, bits_total);
+    // Feedback path per row per chunk per bit: JTL + merger at the
+    // head (to re-inject) and splitter at the tail (to tap the output).
+    let lanes = u64::from(cfg.rows) * u64::from(cfg.bits);
+    let loops = lanes * u64::from(cfg.division);
+    g.add(GateKind::Jtl, loops * 2);
+    g.add(GateKind::Merger, loops);
+    g.add(GateKind::Splitter, loops);
+    // Mux/demux trees: input side + output side per lane.
+    let mux = mux_overhead_per_lane(cfg.division);
+    g.add_scaled(&mux, lanes * 2);
+
+    // Shift registers have a recirculation loop → counter-flow clocked.
+    let hop = PairTiming {
+        src: GateKind::Dff,
+        dst: GateKind::Dff,
+        data_wire_ps: 0.0,
+        clock_wire_ps: 1.65,
+        clocking: Clocking::CounterFlow,
+    };
+    UnitModel {
+        name: format!("{name}[{} MB /{}]", cfg.capacity_bytes / (1024 * 1024), cfg.division),
+        gates: g,
+        pairs: vec![hop],
+        // Per shift cycle only the active chunk's cells are clocked;
+        // activity is accounted per-access by the simulator, so the
+        // unit-level factor covers one full active-chunk shift.
+        activity: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn cfg(division: u32) -> BufferConfig {
+        BufferConfig {
+            capacity_bytes: 8 * MB,
+            rows: 256,
+            bits: 8,
+            division,
+        }
+    }
+
+    #[test]
+    fn chunk_entries_shrink_with_division() {
+        // 8 MB over 256 rows of bytes: 32768 entries per row.
+        assert_eq!(cfg(1).chunk_entries(), 32768);
+        assert_eq!(cfg(64).chunk_entries(), 512);
+        assert_eq!(cfg(4096).chunk_entries(), 8);
+    }
+
+    #[test]
+    fn buffer_frequency_matches_counterflow_sr() {
+        let lib = CellLibrary::aist_10um();
+        let f = buffer_model("ifmap", cfg(1)).frequency_ghz(&lib).unwrap();
+        // The Fig. 7(c) counter-flow shift-register point: ≈71 GHz.
+        assert!((f - 71.0).abs() < 4.0, "buffer frequency {f:.1}");
+    }
+
+    #[test]
+    fn division_adds_area_monotonically() {
+        let lib = CellLibrary::aist_10um();
+        let a1 = buffer_model("b", cfg(1)).gates.area_mm2(&lib);
+        let a64 = buffer_model("b", cfg(64)).gates.area_mm2(&lib);
+        let a4096 = buffer_model("b", cfg(4096)).gates.area_mm2(&lib);
+        assert!(a64 > a1);
+        assert!(a4096 > a64);
+        // Division 64 is cheap (<10% over monolithic); 4096 is not.
+        assert!((a64 - a1) / a1 < 0.10, "d=64 overhead {:.3}", (a64 - a1) / a1);
+        assert!((a4096 - a1) / a1 > 0.25, "d=4096 overhead {:.3}", (a4096 - a1) / a1);
+    }
+
+    #[test]
+    fn storage_dominates_gate_count() {
+        let m = buffer_model("b", cfg(64));
+        let dff = m.gates.count(GateKind::Dff);
+        assert!(dff >= 8 * MB * 8);
+        assert!(dff as f64 / m.gates.total() as f64 > 0.45);
+    }
+
+    #[test]
+    fn monolithic_has_no_mux() {
+        assert_eq!(mux_overhead_per_lane(1).total(), 0);
+        assert!(mux_overhead_per_lane(2).total() > 0);
+    }
+}

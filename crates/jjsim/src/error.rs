@@ -1,0 +1,65 @@
+//! Simulator errors.
+
+/// Errors raised while building or solving a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An element referenced a node that was never created.
+    UnknownNode(usize),
+    /// An element parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which element family.
+        element: &'static str,
+        /// Which parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The circuit has no nodes besides ground.
+    EmptyCircuit,
+    /// Newton iteration failed to converge at a timestep.
+    NoConvergence {
+        /// Simulation time at the failure, seconds.
+        time: f64,
+    },
+    /// The linear solver hit a (numerically) singular matrix — usually
+    /// a floating node.
+    SingularMatrix {
+        /// Simulation time at the failure, seconds.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownNode(n) => write!(f, "element references unknown node {n}"),
+            SimError::InvalidParameter {
+                element,
+                field,
+                value,
+            } => write!(f, "invalid {element} parameter {field} = {value}"),
+            SimError::EmptyCircuit => f.write_str("circuit has no nodes"),
+            SimError::NoConvergence { time } => {
+                write!(f, "newton iteration failed to converge at t = {time:e} s")
+            }
+            SimError::SingularMatrix { time } => {
+                write!(f, "singular conductance matrix at t = {time:e} s (floating node?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        assert!(SimError::UnknownNode(7).to_string().contains('7'));
+        assert!(SimError::NoConvergence { time: 1e-12 }
+            .to_string()
+            .contains("converge"));
+    }
+}

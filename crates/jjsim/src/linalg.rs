@@ -1,0 +1,230 @@
+//! Minimal dense linear algebra: Gaussian elimination with partial
+//! pivoting, sized for cell-scale circuits (tens of nodes).
+
+/// Solve `A·x = b` in place; `a` is row-major `n×n`, `b` has length
+/// `n`. Returns `None` if the matrix is numerically singular.
+///
+/// `a` and `b` are destroyed; the solution is returned in a fresh
+/// vector.
+pub(crate) fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        // A = [[2,1,0],[1,3,1],[0,1,2]], x = [1,2,3] -> b = [4, 10, 8]
+        let mut a = vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
+        let mut b = vec![4.0, 10.0, 8.0];
+        let x = solve_dense(&mut a, &mut b, 3).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0,1],[1,0]] x = [5, 7] -> x = [7, 5]
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![5.0, 7.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spd_systems_roundtrip() {
+        // Deterministic pseudo-random SPD matrices: A = M^T M + n*I.
+        let mut seed = 0x12345678u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for n in [2usize, 5, 9] {
+            let m: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+            let mut a = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = if i == j { n as f64 } else { 0.0 };
+                    for k in 0..n {
+                        s += m[k * n + i] * m[k * n + j];
+                    }
+                    a[i * n + j] = s;
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                b[i] = (0..n).map(|j| a[i * n + j] * x_true[j]).sum();
+            }
+            let mut a_copy = a.clone();
+            let x = solve_dense(&mut a_copy, &mut b, n).unwrap();
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+}
+
+/// Solve `A·x = b` for a banded matrix stored densely (row-major
+/// `n×n`) with half-bandwidth `bw`: `a[i][j] == 0` whenever
+/// `|i−j| > bw`. Gaussian elimination without pivoting touching only
+/// in-band entries — O(n·bw²) instead of O(n³).
+///
+/// MNA matrices of chain-structured SFQ circuits are strongly
+/// diagonally dominant (every node carries a junction shunt or
+/// capacitor companion conductance), so pivoting is unnecessary;
+/// returns `None` on a tiny pivot so callers can fall back to the
+/// dense path.
+pub(crate) fn solve_banded(a: &mut [f64], b: &mut [f64], n: usize, bw: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        let pivot = a[col * n + col];
+        if pivot.abs() < 1e-300 {
+            return None;
+        }
+        let inv = 1.0 / pivot;
+        let row_end = (col + bw + 1).min(n);
+        let k_end = row_end;
+        for row in (col + 1)..row_end {
+            let factor = a[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..k_end {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        let k_end = (row + bw + 1).min(n);
+        for k in (row + 1)..k_end {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod banded_tests {
+    use super::*;
+
+    fn tridiagonal(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Diagonally dominant tridiagonal system with known solution.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 4.0;
+            if i > 0 {
+                a[i * n + i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = -1.0;
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = (0..n).map(|j| a[i * n + j] * x_true[j]).sum();
+        }
+        (a, b, x_true)
+    }
+
+    #[test]
+    fn banded_matches_dense() {
+        for n in [3usize, 10, 40] {
+            let (a, b, x_true) = tridiagonal(n);
+            let mut a1 = a.clone();
+            let mut b1 = b.clone();
+            let banded = solve_banded(&mut a1, &mut b1, n, 1).unwrap();
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            let dense = solve_dense(&mut a2, &mut b2, n).unwrap();
+            for i in 0..n {
+                assert!((banded[i] - x_true[i]).abs() < 1e-9, "n={n} i={i}");
+                assert!((banded[i] - dense[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_band_than_needed_is_harmless() {
+        let (mut a, mut b, x_true) = tridiagonal(12);
+        let x = solve_banded(&mut a, &mut b, 12, 5).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![1.0, 1.0];
+        assert!(solve_banded(&mut a, &mut b, 2, 1).is_none());
+    }
+}

@@ -1,0 +1,508 @@
+//! JSIM-style text netlists.
+//!
+//! The paper's circuit-level golden model, JSIM, consumes SPICE-like
+//! netlists; this module accepts the same flavour so that cell
+//! characterization decks are plain text files:
+//!
+//! ```text
+//! * a two-stage JTL
+//! .model jmain jj(icrit=0.1m, r=2.57, c=0.5p)
+//! B1   n1  0   jmain
+//! B2   n2  0   jmain
+//! L1   in  n1  10p
+//! L2   n1  n2  10p
+//! IB1  0   n1  dc(0.07m)
+//! IB2  0   n2  dc(0.07m)
+//! IIN  0   in  gaussian(60p, 1p, 0.2m)
+//! .tran 0.1p 250p
+//! .end
+//! ```
+//!
+//! Numbers accept SPICE suffixes (`f p n u m k meg g t`). Current
+//! sources support `dc(a)`, `gaussian(t0, sigma, amp)`,
+//! `ramp(t0, rise, amp)` and `clock(start, period, count, amp)`.
+//! `I a b f(...)` drives current from node `a` into node `b`.
+
+use std::collections::BTreeMap;
+
+use crate::circuit::{Circuit, ElementId, JjParams, NodeId};
+use crate::solver::SimOptions;
+use crate::waveform::Waveform;
+
+/// A parsed netlist: the circuit, named probes for every junction, and
+/// the `.tran` directive if present.
+#[derive(Debug, Clone)]
+pub struct ParsedNetlist {
+    /// The circuit, ready for [`crate::Solver`].
+    pub circuit: Circuit,
+    /// Junction name (upper-cased) → element id, for pulse probing.
+    pub junctions: BTreeMap<String, ElementId>,
+    /// Node name → node id (ground is `0` or `GND`).
+    pub nodes: BTreeMap<String, NodeId>,
+    /// `(timestep, stop_time)` seconds from `.tran`, if given.
+    pub tran: Option<(f64, f64)>,
+}
+
+impl ParsedNetlist {
+    /// Solver options honouring the `.tran` timestep (default options
+    /// otherwise).
+    pub fn sim_options(&self) -> SimOptions {
+        let mut opts = SimOptions::default();
+        if let Some((dt, _)) = self.tran {
+            opts.dt = dt;
+        }
+        opts
+    }
+
+    /// Stop time from `.tran`, or a 250 ps default.
+    pub fn stop_time(&self) -> f64 {
+        self.tran.map_or(250e-12, |(_, t)| t)
+    }
+}
+
+/// Netlist parse errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+fn err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a SPICE number with optional suffix.
+fn parse_value(tok: &str, line: usize) -> Result<f64, NetlistError> {
+    let t = tok.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = t.strip_suffix(['f', 'p', 'n', 'u', 'm', 'k', 'g']) {
+        let mult = match t.as_bytes()[t.len() - 1] {
+            b'f' => 1e-15,
+            b'p' => 1e-12,
+            b'n' => 1e-9,
+            b'u' => 1e-6,
+            b'm' => 1e-3,
+            b'k' => 1e3,
+            b'g' => 1e9,
+            _ => unreachable!(),
+        };
+        (stripped, mult)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| err(line, format!("cannot parse number '{tok}'")))
+}
+
+/// Parse `name(arg, arg, ...)`.
+fn parse_call(tok: &str, line: usize) -> Result<(&str, Vec<f64>), NetlistError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected function call, got '{tok}'")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing ')' in '{tok}'")))?;
+    let name = &tok[..open];
+    let args: Result<Vec<f64>, _> = tok[open + 1..close]
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| parse_value(s, line))
+        .collect();
+    Ok((name, args?))
+}
+
+fn parse_waveform(tok: &str, line: usize) -> Result<Waveform, NetlistError> {
+    let (name, args) = parse_call(tok, line)?;
+    let want = |n: usize| -> Result<(), NetlistError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("{name}() takes {n} arguments, got {}", args.len())))
+        }
+    };
+    match name.to_ascii_lowercase().as_str() {
+        "dc" => {
+            want(1)?;
+            Ok(Waveform::Dc(args[0]))
+        }
+        "gaussian" => {
+            want(3)?;
+            Ok(Waveform::Gaussian {
+                t0: args[0],
+                sigma: args[1],
+                amplitude: args[2],
+            })
+        }
+        "ramp" => {
+            want(3)?;
+            Ok(Waveform::Ramp {
+                t0: args[0],
+                rise: args[1],
+                amplitude: args[2],
+            })
+        }
+        "clock" => {
+            want(4)?;
+            let n = args[2] as usize;
+            Ok(Waveform::clock(args[0], args[1], n, args[3]))
+        }
+        other => Err(err(line, format!("unknown source function '{other}'"))),
+    }
+}
+
+#[derive(Debug, Default)]
+struct ModelTable(BTreeMap<String, JjParams>);
+
+impl ModelTable {
+    fn parse_model(&mut self, rest: &str, line: usize) -> Result<(), NetlistError> {
+        // .model NAME jj(icrit=…, r=…, c=…)
+        let mut parts = rest.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| err(line, ".model needs a name"))?
+            .to_ascii_uppercase();
+        let spec: String = parts.collect::<Vec<_>>().join("").to_ascii_lowercase();
+        let Some(body) = spec
+            .strip_prefix("jj(")
+            .and_then(|s| s.strip_suffix(')'))
+        else {
+            return Err(err(line, "only jj(...) models are supported"));
+        };
+        let mut ic = None;
+        let mut r = None;
+        let mut c = None;
+        for kv in body.split(',').filter(|s| !s.trim().is_empty()) {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| err(line, format!("bad model parameter '{kv}'")))?;
+            let v = parse_value(v, line)?;
+            match k.trim().to_ascii_lowercase().as_str() {
+                "icrit" | "ic" => ic = Some(v),
+                "r" | "rn" => r = Some(v),
+                "c" | "cap" => c = Some(v),
+                other => return Err(err(line, format!("unknown model parameter '{other}'"))),
+            }
+        }
+        let ic = ic.ok_or_else(|| err(line, "jj model needs icrit"))?;
+        let params = match (r, c) {
+            (Some(r), Some(c)) => JjParams { ic, r, c },
+            // Unspecified shunt: critically damped defaults.
+            _ => JjParams::critically_damped(ic),
+        };
+        self.0.insert(name, params);
+        Ok(())
+    }
+
+    fn get(&self, name: &str, line: usize) -> Result<JjParams, NetlistError> {
+        self.0
+            .get(&name.to_ascii_uppercase())
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined model '{name}'")))
+    }
+}
+
+/// Parse a netlist into a runnable circuit.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] with the offending line on any syntax or
+/// semantic problem (unknown element, undefined model, bad number…).
+pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
+    let mut circuit = Circuit::new();
+    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
+    nodes.insert("0".to_owned(), NodeId::GROUND);
+    nodes.insert("GND".to_owned(), NodeId::GROUND);
+    let mut junctions = BTreeMap::new();
+    let mut models = ModelTable::default();
+    let mut tran = None;
+
+    let mut node = |circuit: &mut Circuit, name: &str| -> NodeId {
+        let key = name.to_ascii_uppercase();
+        *nodes.entry(key).or_insert_with(|| circuit.node())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split(['*', ';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().expect("non-empty line has a token");
+        let upper = head.to_ascii_uppercase();
+
+        if let Some(directive) = upper.strip_prefix('.') {
+            match directive {
+                "MODEL" => {
+                    let rest = line[".model".len()..].trim();
+                    models.parse_model(rest, lineno)?;
+                }
+                "TRAN" => {
+                    let dt = parse_value(
+                        toks.next().ok_or_else(|| err(lineno, ".tran needs a timestep"))?,
+                        lineno,
+                    )?;
+                    let stop = parse_value(
+                        toks.next().ok_or_else(|| err(lineno, ".tran needs a stop time"))?,
+                        lineno,
+                    )?;
+                    tran = Some((dt, stop));
+                }
+                "END" => break,
+                other => return Err(err(lineno, format!("unknown directive '.{other}'"))),
+            }
+            continue;
+        }
+
+        let mut two_nodes = || -> Result<(NodeId, NodeId), NetlistError> {
+            let a = toks
+                .next()
+                .ok_or_else(|| err(lineno, "missing first node"))?;
+            let b = toks
+                .next()
+                .ok_or_else(|| err(lineno, "missing second node"))?;
+            Ok((node(&mut circuit, a), node(&mut circuit, b)))
+        };
+
+        let as_sim = |e: crate::SimError, lineno: usize| err(lineno, e.to_string());
+
+        match upper.as_bytes()[0] {
+            b'B' => {
+                let (a, b) = two_nodes()?;
+                let model = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "junction needs a model name"))?;
+                let params = models.get(model, lineno)?;
+                let id = circuit.add_jj(a, b, params).map_err(|e| as_sim(e, lineno))?;
+                junctions.insert(upper.clone(), id);
+            }
+            b'L' => {
+                let (a, b) = two_nodes()?;
+                let v = parse_value(
+                    toks.next().ok_or_else(|| err(lineno, "inductor needs a value"))?,
+                    lineno,
+                )?;
+                circuit.add_inductor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+            }
+            b'R' => {
+                let (a, b) = two_nodes()?;
+                let v = parse_value(
+                    toks.next().ok_or_else(|| err(lineno, "resistor needs a value"))?,
+                    lineno,
+                )?;
+                circuit.add_resistor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+            }
+            b'C' => {
+                let (a, b) = two_nodes()?;
+                let v = parse_value(
+                    toks.next().ok_or_else(|| err(lineno, "capacitor needs a value"))?,
+                    lineno,
+                )?;
+                circuit.add_capacitor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+            }
+            b'I' => {
+                let (a, b) = two_nodes()?;
+                // Function calls may contain spaces after commas; glue
+                // the remaining tokens back together.
+                let spec: String = toks.by_ref().collect::<Vec<_>>().concat();
+                if spec.is_empty() {
+                    return Err(err(lineno, "source needs a waveform"));
+                }
+                let wave = parse_waveform(&spec, lineno)?;
+                // Current flows from a into b; a source referenced to
+                // ground on either side injects into the other node.
+                if a == NodeId::GROUND {
+                    circuit.add_source(b, wave).map_err(|e| as_sim(e, lineno))?;
+                } else if b == NodeId::GROUND {
+                    // Pulling current out of `a`.
+                    let negated = negate(wave);
+                    circuit.add_source(a, negated).map_err(|e| as_sim(e, lineno))?;
+                } else {
+                    return Err(err(lineno, "floating current sources are not supported; reference one side to ground"));
+                }
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unknown element type '{}'", other as char),
+                ))
+            }
+        }
+        if let Some(extra) = toks.next() {
+            return Err(err(lineno, format!("unexpected trailing token '{extra}'")));
+        }
+    }
+
+    Ok(ParsedNetlist {
+        circuit,
+        junctions,
+        nodes,
+        tran,
+    })
+}
+
+fn negate(w: Waveform) -> Waveform {
+    match w {
+        Waveform::Dc(a) => Waveform::Dc(-a),
+        Waveform::Gaussian { t0, sigma, amplitude } => Waveform::Gaussian {
+            t0,
+            sigma,
+            amplitude: -amplitude,
+        },
+        Waveform::Train { times, sigma, amplitude } => Waveform::Train {
+            times,
+            sigma,
+            amplitude: -amplitude,
+        },
+        Waveform::Ramp { t0, rise, amplitude } => Waveform::Ramp {
+            t0,
+            rise,
+            amplitude: -amplitude,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+
+    const JTL_DECK: &str = r"
+* two-stage JTL characterization deck
+.model jmain jj(icrit=0.1m, r=2.57, c=0.5p)
+B1   n1  0   jmain
+B2   n2  0   jmain
+L1   in  n1  10p
+L2   n1  n2  10p
+IB1  0   n1  ramp(0, 20p, 0.07m)
+IB2  0   n2  ramp(0, 20p, 0.07m)
+IIN  0   in  gaussian(60p, 1p, 0.2m)
+.tran 0.1p 200p
+.end
+";
+
+    #[test]
+    fn parses_and_simulates_jtl_deck() {
+        let parsed = parse_netlist(JTL_DECK).expect("valid deck");
+        assert_eq!(parsed.circuit.jj_count(), 2);
+        assert_eq!(parsed.tran, Some((0.1e-12, 200e-12)));
+        let out = Solver::new(parsed.circuit.clone(), parsed.sim_options())
+            .expect("solvable")
+            .try_run(parsed.stop_time())
+            .expect("converges");
+        let b1 = parsed.junctions["B1"];
+        let b2 = parsed.junctions["B2"];
+        assert_eq!(out.pulse_count(b1), 1, "stage 1 fires");
+        assert_eq!(out.pulse_count(b2), 1, "stage 2 fires");
+        assert!(out.pulse_times(b2)[0] > out.pulse_times(b1)[0]);
+    }
+
+    #[test]
+    fn spice_suffixes() {
+        let close = |got: f64, want: f64| (got - want).abs() <= 1e-12 * want.abs();
+        assert!(close(parse_value("10p", 1).unwrap(), 10e-12));
+        assert!(close(parse_value("0.1m", 1).unwrap(), 0.1e-3));
+        assert!(close(parse_value("2meg", 1).unwrap(), 2e6));
+        assert!(close(parse_value("3k", 1).unwrap(), 3e3));
+        assert!(close(parse_value("4", 1).unwrap(), 4.0));
+        assert!(close(parse_value("5f", 1).unwrap(), 5e-15));
+        assert!(parse_value("abc", 1).is_err());
+    }
+
+    #[test]
+    fn model_without_shunt_is_critically_damped() {
+        let deck = "
+.model j1 jj(icrit=0.1m)
+B1 a 0 j1
+";
+        let parsed = parse_netlist(deck).unwrap();
+        assert_eq!(parsed.circuit.jj_count(), 1);
+    }
+
+    #[test]
+    fn undefined_model_is_an_error() {
+        let e = parse_netlist("B1 a 0 nosuch\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("undefined model"));
+    }
+
+    #[test]
+    fn unknown_element_reports_line() {
+        let e = parse_netlist("\n\nX1 a b c\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn comments_and_case_are_tolerated() {
+        let deck = "
+* comment line
+.MODEL J1 JJ(ICRIT=0.1M)
+b1 N1 gnd j1    ; trailing comment
+ib 0 n1 DC(0.05m)
+";
+        let parsed = parse_netlist(deck).unwrap();
+        assert!(parsed.junctions.contains_key("B1"));
+        assert_eq!(parsed.nodes["N1"].index(), 1);
+    }
+
+    #[test]
+    fn reversed_source_pulls_current() {
+        // I n1 0 dc(x) pulls current out of n1; with only a resistor
+        // the node settles negative.
+        let deck = "
+R1 n1 0 2
+I1 n1 0 dc(1m)
+.tran 0.1p 50p
+";
+        let parsed = parse_netlist(deck).unwrap();
+        let mut opts = parsed.sim_options();
+        opts.record_nodes = vec![parsed.nodes["N1"]];
+        let out = Solver::new(parsed.circuit.clone(), opts)
+            .unwrap()
+            .try_run(parsed.stop_time())
+            .unwrap();
+        let v = *out.traces[0].last().unwrap();
+        assert!((v + 2e-3).abs() < 1e-5, "v = {v}");
+    }
+
+    #[test]
+    fn floating_source_rejected() {
+        let e = parse_netlist("I1 a b dc(1m)\n").unwrap_err();
+        assert!(e.message.contains("ground"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse_netlist("R1 a 0 5 extra\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn clock_waveform_parses() {
+        let deck = "
+R1 n1 0 1
+ICLK 0 n1 clock(100p, 20p, 4, 0.1m)
+";
+        let parsed = parse_netlist(deck).unwrap();
+        assert_eq!(parsed.circuit.jj_count(), 0);
+        // 4 pulses every 20 ps from 100 ps.
+        // (Indirectly validated through the waveform's evaluation.)
+        assert!(parsed.tran.is_none());
+        assert_eq!(parsed.stop_time(), 250e-12);
+    }
+}

@@ -1,0 +1,615 @@
+//! Standard SFQ circuits: Josephson transmission lines, splitters,
+//! mergers, DFFs and shift registers — the building blocks the paper's
+//! cell library characterizes with JSIM.
+//!
+//! Each builder returns the [`Circuit`] plus the [`ElementId`]s of the
+//! junctions whose phase slips mark the observable events (pulse
+//! arrival at each stage, output emission, …).
+
+use crate::circuit::{Circuit, ElementId, JjParams, NodeId};
+use crate::waveform::Waveform;
+
+/// Parameters of a JTL stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JtlParams {
+    /// Junction critical current, amperes.
+    pub ic: f64,
+    /// Bias fraction of Ic applied per stage.
+    pub bias_frac: f64,
+    /// Inter-stage inductance, henries.
+    pub l: f64,
+    /// Amplitude of the injected trigger pulse, amperes.
+    pub input_amplitude: f64,
+    /// Time of the injected trigger pulse, seconds.
+    pub input_time: f64,
+}
+
+impl Default for JtlParams {
+    fn default() -> Self {
+        JtlParams {
+            ic: 1.0e-4,
+            bias_frac: 0.7,
+            l: 10.0e-12,
+            input_amplitude: 2.0e-4,
+            input_time: 60.0e-12,
+        }
+    }
+}
+
+/// Build an `n`-stage Josephson transmission line with a single input
+/// pulse. Returns the circuit and one junction id per stage; the pulse
+/// arrival time at stage `k` is that junction's phase-slip time.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn jtl_chain(n: usize, p: &JtlParams) -> (Circuit, Vec<ElementId>) {
+    assert!(n > 0, "a JTL needs at least one stage");
+    let mut c = Circuit::new();
+    let jj = JjParams::critically_damped(p.ic);
+    let input = c.node();
+    c.add_source(input, Waveform::sfq_pulse(p.input_time, p.input_amplitude))
+        .expect("valid node");
+    let mut prev = input;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = c.node();
+        c.add_inductor(prev, node, p.l).expect("valid nodes");
+        let id = c.add_jj(node, NodeId::GROUND, jj).expect("valid nodes");
+        c.add_bias(node, p.bias_frac * p.ic).expect("valid node");
+        stages.push(id);
+        prev = node;
+    }
+    (c, stages)
+}
+
+/// Splitter output handles.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitterProbes {
+    /// Input-side junction.
+    pub input: ElementId,
+    /// First output branch junction.
+    pub out_a: ElementId,
+    /// Second output branch junction.
+    pub out_b: ElementId,
+}
+
+/// Build a pulse splitter: an input junction with doubled critical
+/// current drives two branch junctions; one input pulse produces one
+/// pulse on *each* branch.
+pub fn splitter(p: &JtlParams) -> (Circuit, SplitterProbes) {
+    let mut c = Circuit::new();
+    let input = c.node();
+    // The hub junction has doubled critical current, so the trigger is
+    // scaled by the same factor.
+    c.add_source(input, Waveform::sfq_pulse(p.input_time, 2.0 * p.input_amplitude))
+        .expect("valid node");
+
+    let hub = c.node();
+    c.add_inductor(input, hub, p.l / 2.0).expect("valid nodes");
+    // Bigger junction at the hub so it can drive two loads.
+    let jj_hub = JjParams::critically_damped(2.0 * p.ic);
+    let input_jj = c.add_jj(hub, NodeId::GROUND, jj_hub).expect("valid nodes");
+    c.add_bias(hub, 0.7 * 2.0 * p.ic).expect("valid node");
+
+    let jj = JjParams::critically_damped(p.ic);
+    let branch = |c: &mut Circuit| {
+        let node = c.node();
+        c.add_inductor(hub, node, p.l).expect("valid nodes");
+        let id = c.add_jj(node, NodeId::GROUND, jj).expect("valid nodes");
+        c.add_bias(node, p.bias_frac * p.ic).expect("valid node");
+        id
+    };
+    let out_a = branch(&mut c);
+    let out_b = branch(&mut c);
+    (
+        c,
+        SplitterProbes {
+            input: input_jj,
+            out_a,
+            out_b,
+        },
+    )
+}
+
+/// Merger (confluence buffer) probes.
+#[derive(Debug, Clone, Copy)]
+pub struct MergerProbes {
+    /// Junction on input branch A.
+    pub in_a: ElementId,
+    /// Junction on input branch B.
+    pub in_b: ElementId,
+    /// Output junction: one pulse per input pulse on either branch.
+    pub output: ElementId,
+}
+
+/// Build a confluence buffer: pulses arriving on either input emerge on
+/// the single output. The input branch junctions also isolate the
+/// inputs from each other.
+pub fn merger(pulse_a: Option<f64>, pulse_b: Option<f64>, p: &JtlParams) -> (Circuit, MergerProbes) {
+    let mut c = Circuit::new();
+    let jj = JjParams::critically_damped(p.ic);
+
+    let input_branch = |c: &mut Circuit, t: Option<f64>| {
+        let entry = c.node();
+        if let Some(t0) = t {
+            c.add_source(entry, Waveform::sfq_pulse(t0, p.input_amplitude))
+                .expect("valid node");
+        }
+        let stage = c.node();
+        c.add_inductor(entry, stage, p.l).expect("valid nodes");
+        let id = c.add_jj(stage, NodeId::GROUND, jj).expect("valid nodes");
+        c.add_bias(stage, p.bias_frac * p.ic).expect("valid node");
+        (stage, id)
+    };
+    let (na, in_a) = input_branch(&mut c, pulse_a);
+    let (nb, in_b) = input_branch(&mut c, pulse_b);
+
+    let out = c.node();
+    c.add_inductor(na, out, p.l).expect("valid nodes");
+    c.add_inductor(nb, out, p.l).expect("valid nodes");
+    let output = c.add_jj(out, NodeId::GROUND, jj).expect("valid nodes");
+    c.add_bias(out, p.bias_frac * p.ic).expect("valid node");
+    (
+        c,
+        MergerProbes {
+            in_a,
+            in_b,
+            output,
+        },
+    )
+}
+
+/// DFF (destructive-readout storage cell) parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DffParams {
+    /// Input (set) junction critical current, amperes.
+    pub ic_in: f64,
+    /// Output (readout) junction critical current, amperes.
+    pub ic_out: f64,
+    /// Storage-loop inductance, henries. Must satisfy `L·Ic > Φ₀` for
+    /// the loop to hold a fluxon.
+    pub l_store: f64,
+    /// Bias current into the storage node, amperes.
+    pub bias_store: f64,
+    /// Bias current into the readout node, amperes.
+    pub bias_out: f64,
+    /// Amplitude of data/clock trigger pulses, amperes.
+    pub pulse_amplitude: f64,
+}
+
+impl Default for DffParams {
+    fn default() -> Self {
+        DffParams {
+            ic_in: 1.0e-4,
+            ic_out: 1.4e-4,
+            l_store: 26.0e-12,
+            bias_store: 0.5e-4,
+            bias_out: 0.5e-4,
+            pulse_amplitude: 2.8e-4,
+        }
+    }
+}
+
+/// DFF probes.
+#[derive(Debug, Clone, Copy)]
+pub struct DffProbes {
+    /// Input junction (slips when a data pulse is captured).
+    pub input: ElementId,
+    /// Readout junction (slips when the stored fluxon is clocked out —
+    /// this is the cell's output event).
+    pub output: ElementId,
+    /// Output-side JTL junction confirming the released pulse
+    /// propagates onward.
+    pub forward: ElementId,
+    /// The node where data pulses are injected.
+    pub data_node: NodeId,
+    /// The node where clock pulses are injected.
+    pub clock_node: NodeId,
+}
+
+/// Build a destructive-readout D flip-flop.
+///
+/// A data pulse switches the input junction and stores one fluxon in
+/// the quantizing loop; a subsequent clock pulse switches the readout
+/// junction, releasing the fluxon as an output pulse. A clock with no
+/// stored fluxon must produce no output ("0" readout).
+///
+/// `data_times` and `clock_times` give the injection schedules.
+pub fn dff(data_times: &[f64], clock_times: &[f64], p: &DffParams) -> (Circuit, DffProbes) {
+    let mut c = Circuit::new();
+
+    // Data input through a short JTL stage.
+    let data_entry = c.node();
+    for &t in data_times {
+        c.add_source(data_entry, Waveform::sfq_pulse(t, p.pulse_amplitude))
+            .expect("valid node");
+    }
+    let store = c.node();
+    c.add_inductor(data_entry, store, 6.0e-12).expect("valid nodes");
+    let input = c
+        .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
+        .expect("valid nodes");
+    c.add_bias(store, p.bias_store).expect("valid node");
+
+    // Quantizing storage loop from the storage node to the readout node.
+    let read = c.node();
+    c.add_inductor(store, read, p.l_store).expect("valid nodes");
+    let output = c
+        .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
+        .expect("valid nodes");
+    c.add_bias(read, p.bias_out).expect("valid node");
+
+    // Clock injection at the readout node.
+    let clock_node = read;
+    for &t in clock_times {
+        c.add_source(read, Waveform::sfq_pulse(t, p.pulse_amplitude))
+            .expect("valid node");
+    }
+
+    // Output JTL stage to observe the released pulse.
+    let fwd = c.node();
+    c.add_inductor(read, fwd, 10.0e-12).expect("valid nodes");
+    let forward = c
+        .add_jj(fwd, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
+        .expect("valid nodes");
+    c.add_bias(fwd, 0.7e-4).expect("valid node");
+
+    (
+        c,
+        DffProbes {
+            input,
+            output,
+            forward,
+            data_node: data_entry,
+            clock_node,
+        },
+    )
+}
+
+/// Shift-register probes: the readout junction of every stage.
+#[derive(Debug, Clone)]
+pub struct ShiftRegisterProbes {
+    /// Per-stage readout junctions; a slip on stage `k` means the
+    /// datum advanced out of stage `k`.
+    pub stage_outputs: Vec<ElementId>,
+}
+
+/// Build an `n`-stage shift register: a chain of DFF cells sharing a
+/// clock train. A single '1' is injected at `data_time` and should
+/// advance one stage per clock pulse, exactly like the paper's
+/// shift-register-based on-chip memory (Fig. 2(b)).
+///
+/// `clock_times` drives every stage simultaneously (counter-flow
+/// clocking is emulated by skewing the per-stage injection times by
+/// `stage_clock_skew` seconds: stage k fires at `t + k·skew`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(
+    n: usize,
+    data_time: f64,
+    clock_times: &[f64],
+    stage_clock_skew: f64,
+    p: &DffParams,
+) -> (Circuit, ShiftRegisterProbes) {
+    assert!(n > 0, "a shift register needs at least one stage");
+    let mut c = Circuit::new();
+
+    let mut prev = c.node();
+    c.add_source(prev, Waveform::sfq_pulse(data_time, p.pulse_amplitude))
+        .expect("valid node");
+
+    let mut stage_outputs = Vec::with_capacity(n);
+    for k in 0..n {
+        // Storage node.
+        let store = c.node();
+        c.add_inductor(prev, store, 6.0e-12).expect("valid nodes");
+        let _input = c
+            .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
+            .expect("valid nodes");
+        c.add_bias(store, p.bias_store).expect("valid node");
+
+        // Readout node.
+        let read = c.node();
+        c.add_inductor(store, read, p.l_store).expect("valid nodes");
+        let out = c
+            .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
+            .expect("valid nodes");
+        c.add_bias(read, p.bias_out).expect("valid node");
+        // Per-stage clock (counter-flow skew: later stages fire earlier
+        // for negative skew, later for positive).
+        let times: Vec<f64> = clock_times
+            .iter()
+            .map(|t| t + stage_clock_skew * k as f64)
+            .collect();
+        for t in times {
+            c.add_source(read, Waveform::sfq_pulse(t, p.pulse_amplitude))
+                .expect("valid node");
+        }
+        stage_outputs.push(out);
+        prev = read;
+    }
+    (c, ShiftRegisterProbes { stage_outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SimOptions, Solver};
+
+    fn run(c: Circuit, t_end: f64) -> crate::SimResult {
+        Solver::new(c, SimOptions::default())
+            .expect("valid circuit")
+            .try_run(t_end)
+            .expect("simulation converges")
+    }
+
+    #[test]
+    fn jtl_propagates_single_pulse() {
+        let p = JtlParams::default();
+        let (c, stages) = jtl_chain(6, &p);
+        let out = run(c, 150e-12);
+        for (k, jj) in stages.iter().enumerate() {
+            assert_eq!(out.pulse_count(*jj), 1, "stage {k} must fire exactly once");
+        }
+        // Arrival times increase monotonically down the line.
+        let times: Vec<f64> = stages.iter().map(|j| out.pulse_times(*j)[0]).collect();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "pulse must move forward: {times:?}");
+        }
+        // Per-stage delay is ps-scale.
+        let per_stage = (times[5] - times[0]) / 5.0;
+        assert!(
+            per_stage > 0.5e-12 && per_stage < 20e-12,
+            "per-stage delay {per_stage:e}"
+        );
+    }
+
+    #[test]
+    fn jtl_without_input_is_silent() {
+        let p = JtlParams {
+            input_amplitude: 0.0,
+            ..Default::default()
+        };
+        // amplitude 0 is fine for the source wave; build manually to
+        // avoid validation of zero amplitude (allowed).
+        let (c, stages) = jtl_chain(4, &p);
+        let out = run(c, 150e-12);
+        for jj in stages {
+            assert_eq!(out.pulse_count(jj), 0);
+        }
+    }
+
+    #[test]
+    fn splitter_duplicates_pulse() {
+        let (c, probes) = splitter(&JtlParams::default());
+        let out = run(c, 150e-12);
+        assert_eq!(out.pulse_count(probes.input), 1, "hub fires once");
+        assert_eq!(out.pulse_count(probes.out_a), 1, "branch A fires");
+        assert_eq!(out.pulse_count(probes.out_b), 1, "branch B fires");
+    }
+
+    #[test]
+    fn merger_forwards_either_input() {
+        // Note: this simplified confluence buffer exhibits back-action
+        // on the idle branch junction (real cells add isolation JTLs);
+        // the functional contract is one *output* pulse per input.
+        let p = JtlParams::default();
+        let (c, probes) = merger(Some(60e-12), None, &p);
+        let out = run(c, 160e-12);
+        assert_eq!(out.pulse_count(probes.in_a), 1, "driven branch fires");
+        assert_eq!(out.pulse_count(probes.output), 1, "A-side pulse must emerge");
+
+        let (c, probes) = merger(None, Some(80e-12), &p);
+        let out = run(c, 180e-12);
+        assert_eq!(out.pulse_count(probes.in_b), 1, "driven branch fires");
+        assert_eq!(out.pulse_count(probes.output), 1, "B-side pulse must emerge");
+    }
+
+    #[test]
+    fn merger_quiet_without_inputs() {
+        let (c, probes) = merger(None, None, &JtlParams::default());
+        let out = run(c, 160e-12);
+        assert_eq!(out.pulse_count(probes.output), 0);
+    }
+
+    #[test]
+    fn dff_stores_then_releases_on_clock() {
+        let p = DffParams::default();
+        // Data at 60 ps, clock at 100 ps.
+        let (c, probes) = dff(&[60e-12], &[100e-12], &p);
+        let out = run(c, 160e-12);
+        assert_eq!(out.pulse_count(probes.input), 1, "datum captured");
+        assert_eq!(out.pulse_count(probes.output), 1, "datum released by clock");
+        let t_out = out.pulse_times(probes.output)[0];
+        assert!(t_out > 100e-12, "release happens after the clock: {t_out:e}");
+        assert_eq!(out.pulse_count(probes.forward), 1, "pulse propagates out");
+    }
+
+    #[test]
+    fn dff_clock_without_data_reads_zero() {
+        let p = DffParams::default();
+        let (c, probes) = dff(&[], &[100e-12], &p);
+        let out = run(c, 160e-12);
+        assert_eq!(out.pulse_count(probes.output), 0, "no stored fluxon, no output");
+        assert_eq!(out.pulse_count(probes.forward), 0);
+    }
+
+    #[test]
+    fn dff_holds_between_clocks() {
+        let p = DffParams::default();
+        // Data at 60 ps; two clocks. First clock releases it; second
+        // clock reads an empty cell.
+        let (c, probes) = dff(&[60e-12], &[100e-12, 140e-12], &p);
+        let out = run(c, 200e-12);
+        assert_eq!(out.pulse_count(probes.output), 1, "only one release");
+    }
+
+    /// The transient-domain version of the paper's Fig. 7 clocking
+    /// argument: at the tightest working period, counter-flow clock
+    /// skew (later stages clocked earlier) keeps the register correct,
+    /// while a small concurrent-direction skew opens a data/clock race
+    /// and corrupts the shift.
+    #[test]
+    fn counterflow_skew_tolerant_concurrent_races() {
+        let p = DffParams::default();
+        let period = 14e-12;
+        let trial = |skew: f64| {
+            let clocks: Vec<f64> = (0..3).map(|k| 80e-12 + period * k as f64).collect();
+            let (c, pr) = shift_register(3, 60e-12, &clocks, skew, &p);
+            let out = run(c, 80e-12 + period * 4.0 + 60e-12);
+            pr.stage_outputs.iter().all(|j| out.pulse_count(*j) == 1)
+        };
+        assert!(trial(-2e-12), "counter-flow skew must shift correctly");
+        assert!(!trial(2e-12), "concurrent-direction skew must race at this period");
+    }
+
+    #[test]
+    fn clocked_and_truth_table() {
+        let p = AndParams::default();
+        let run = |a: &[f64], b: &[f64]| {
+            let (c, pr) = clocked_and(a, b, &[100e-12], &p);
+            let out = run(c, 160e-12);
+            (
+                out.pulse_count(pr.store_a),
+                out.pulse_count(pr.store_b),
+                out.pulse_count(pr.output),
+            )
+        };
+        // 1·1 = 1
+        assert_eq!(run(&[60e-12], &[60e-12]).2, 1, "11 -> output");
+        // 1·0 = 0 and 0·1 = 0
+        assert_eq!(run(&[60e-12], &[]).2, 0, "10 -> silence");
+        assert_eq!(run(&[], &[60e-12]).2, 0, "01 -> silence");
+        // 0·0 = 0
+        assert_eq!(run(&[], &[]).2, 0, "00 -> silence");
+    }
+
+    #[test]
+    fn clocked_and_captures_both_inputs() {
+        let p = AndParams::default();
+        let (c, pr) = clocked_and(&[60e-12], &[70e-12], &[110e-12], &p);
+        let out = run(c, 170e-12);
+        assert_eq!(out.pulse_count(pr.store_a), 1);
+        assert_eq!(out.pulse_count(pr.store_b), 1);
+        assert_eq!(out.pulse_count(pr.output), 1);
+        let t = out.pulse_times(pr.output)[0];
+        assert!(t > 110e-12, "release after the clock: {t:e}");
+    }
+
+    #[test]
+    fn shift_register_advances_one_stage_per_clock() {
+        let p = DffParams::default();
+        let clocks = [100e-12, 140e-12, 180e-12];
+        let (c, probes) = shift_register(3, 60e-12, &clocks, 0.0, &p);
+        let out = run(c, 240e-12);
+        // The datum leaves stage 0 on the first clock, stage 1 on the
+        // second, stage 2 on the third.
+        for (k, jj) in probes.stage_outputs.iter().enumerate() {
+            assert_eq!(out.pulse_count(*jj), 1, "stage {k} must emit exactly once");
+            let t = out.pulse_times(*jj)[0];
+            assert!(
+                t > clocks[k] && t < clocks[k] + 30e-12,
+                "stage {k} released at {t:e}, clock at {:e}",
+                clocks[k]
+            );
+        }
+    }
+}
+
+/// Clocked-AND probes.
+#[derive(Debug, Clone, Copy)]
+pub struct AndProbes {
+    /// Input-A storage junction.
+    pub store_a: ElementId,
+    /// Input-B storage junction.
+    pub store_b: ElementId,
+    /// Readout junction: fires on clock only when both inputs hold a
+    /// fluxon.
+    pub output: ElementId,
+}
+
+/// Parameters of the clocked AND gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndParams {
+    /// Storage junction critical current per input, amperes.
+    pub ic_store: f64,
+    /// Readout junction critical current, amperes.
+    pub ic_out: f64,
+    /// Storage-loop inductance per input, henries.
+    pub l_store: f64,
+    /// Bias into each storage node, amperes.
+    pub bias_store: f64,
+    /// Bias into the readout node, amperes.
+    pub bias_out: f64,
+    /// Input trigger amplitude, amperes.
+    pub pulse_amplitude: f64,
+    /// Clock trigger amplitude, amperes.
+    pub clock_amplitude: f64,
+}
+
+impl Default for AndParams {
+    fn default() -> Self {
+        AndParams {
+            ic_store: 1.0e-4,
+            ic_out: 2.0e-4,
+            l_store: 26.0e-12,
+            bias_store: 0.5e-4,
+            bias_out: 0.5e-4,
+            pulse_amplitude: 2.8e-4,
+            clock_amplitude: 2.0e-4,
+        }
+    }
+}
+
+/// Build a clocked AND gate: two DFF-style storage loops share a
+/// readout junction sized so that the clock releases an output pulse
+/// only when *both* loops hold a fluxon (their loop currents add at
+/// the readout node). One input alone must read '0'.
+pub fn clocked_and(
+    a_times: &[f64],
+    b_times: &[f64],
+    clock_times: &[f64],
+    p: &AndParams,
+) -> (Circuit, AndProbes) {
+    let mut c = Circuit::new();
+    let read = c.node();
+
+    let input = |c: &mut Circuit, times: &[f64]| {
+        let entry = c.node();
+        for &t in times {
+            c.add_source(entry, Waveform::sfq_pulse(t, p.pulse_amplitude))
+                .expect("valid node");
+        }
+        let store = c.node();
+        c.add_inductor(entry, store, 6.0e-12).expect("valid nodes");
+        let id = c
+            .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_store))
+            .expect("valid nodes");
+        c.add_bias(store, p.bias_store).expect("valid node");
+        c.add_inductor(store, read, p.l_store).expect("valid nodes");
+        id
+    };
+    let store_a = input(&mut c, a_times);
+    let store_b = input(&mut c, b_times);
+
+    let output = c
+        .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
+        .expect("valid nodes");
+    c.add_bias(read, p.bias_out).expect("valid node");
+    for &t in clock_times {
+        c.add_source(read, Waveform::sfq_pulse(t, p.clock_amplitude))
+            .expect("valid node");
+    }
+
+    (
+        c,
+        AndProbes {
+            store_a,
+            store_b,
+            output,
+        },
+    )
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the circuit solver's numerical core and
+//! physical invariants.
+
+use jjsim::stdlib::{jtl_chain, JtlParams};
+use jjsim::{Circuit, JjParams, NodeId, SimOptions, Solver, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Waveforms are bounded by their amplitude.
+    #[test]
+    fn gaussian_bounded(t0 in 0.0..1e-9, sigma in 1e-13..1e-11, amp in 1e-6..1e-3, t in 0.0..2e-9) {
+        let w = Waveform::Gaussian { t0, sigma, amplitude: amp };
+        let v = w.value(t);
+        prop_assert!(v >= 0.0 && v <= amp * (1.0 + 1e-12));
+    }
+
+    /// Ramp is monotone and clamped.
+    #[test]
+    fn ramp_monotone(t0 in 0.0..1e-10, rise in 1e-12..1e-10, amp in 1e-6..1e-3) {
+        let w = Waveform::Ramp { t0, rise, amplitude: amp };
+        let mut prev = -1.0;
+        for k in 0..50 {
+            let v = w.value(t0 + rise * k as f64 / 25.0);
+            prop_assert!(v >= prev);
+            prop_assert!(v <= amp);
+            prev = v;
+        }
+    }
+
+    /// Critically-damped junction construction always yields βc ≈ 1.
+    #[test]
+    fn beta_c_is_one(ic in 1e-5..1e-3) {
+        let p = JjParams::critically_damped(ic);
+        prop_assert!((p.beta_c() - 1.0).abs() < 1e-6);
+    }
+
+    /// Passive linear RC networks never show phantom dissipation in
+    /// excess of the source input: a DC-driven RC settles to V = IR
+    /// regardless of parameters.
+    #[test]
+    fn rc_settles(r in 0.5f64..10.0, c in 1e-13..2e-12, i in 1e-5..1e-3) {
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        ckt.add_resistor(n, NodeId::GROUND, r).unwrap();
+        ckt.add_capacitor(n, NodeId::GROUND, c).unwrap();
+        ckt.add_source(n, Waveform::Dc(i)).unwrap();
+        let opts = SimOptions { record_nodes: vec![n], ..Default::default() };
+        let out = Solver::new(ckt, opts).unwrap().try_run(40.0 * r * c + 50e-12).unwrap();
+        let v_final = *out.traces[0].last().unwrap();
+        prop_assert!(((v_final - i * r) / (i * r)).abs() < 0.01,
+            "v={} want {}", v_final, i * r);
+    }
+
+    /// A biased-below-critical junction never slips on its own, for
+    /// any bias fraction below ~0.9.
+    #[test]
+    fn subcritical_junction_is_stable(bias_frac in 0.1f64..0.85) {
+        let mut ckt = Circuit::new();
+        let n = ckt.node();
+        let jj = ckt.add_jj(n, NodeId::GROUND, JjParams::default()).unwrap();
+        ckt.add_bias(n, bias_frac * 1.0e-4).unwrap();
+        let out = Solver::new(ckt, SimOptions::default()).unwrap().try_run(150e-12).unwrap();
+        prop_assert_eq!(out.pulse_count(jj), 0);
+        // Phase settles to asin(bias fraction).
+        prop_assert!((out.final_phase(jj) - bias_frac.asin()).abs() < 0.1);
+    }
+
+    /// JTL propagation is robust across its measured bias margin
+    /// (the default cell works from ~0.63·Ic to ~0.85·Ic): one pulse
+    /// in, exactly one pulse out per stage.
+    #[test]
+    fn jtl_margins(bias in 0.65f64..0.85) {
+        let p = JtlParams { bias_frac: bias, ..Default::default() };
+        let (ckt, stages) = jtl_chain(4, &p);
+        let out = Solver::new(ckt, SimOptions::default()).unwrap().try_run(200e-12).unwrap();
+        for jj in stages {
+            prop_assert_eq!(out.pulse_count(jj), 1);
+        }
+    }
+}

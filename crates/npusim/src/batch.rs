@@ -1,0 +1,121 @@
+//! Structural batch sizing for SFQ buffer organizations (Table II).
+//!
+//! Monolithic shift-register buffers dedicate each row to one ifmap
+//! channel (paper Fig. 18(c)), so the batch is bounded by whether a
+//! whole channel×batch fits in a single row — for ImageNet-scale
+//! first layers it does not, which is why every Baseline batch in
+//! Table II is 1. Divided buffers pack freely across chunks and are
+//! bounded only by capacity (and the paper's conservative cap of 30).
+
+use dnn_models::{batching::PAPER_BATCH_CAP, LayerKind, Network};
+use serde::{Deserialize, Serialize};
+use sfq_estimator::NpuConfig;
+
+/// How the simulator picks the input batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Always batch 1 (the single-batch series of Figs. 17 and 20).
+    Single,
+    /// The largest batch the on-chip buffers hold without extra
+    /// off-chip traffic (the paper's Table II methodology).
+    MaxOnChip,
+}
+
+/// Maximum on-chip batch for `net` on `npu` under the structural
+/// rules above.
+pub fn structural_max_batch(npu: &NpuConfig, net: &Network) -> u32 {
+    let ifmap_cap = npu.ifmap_buf_bytes;
+    let out_cap = npu.output_buf_bytes + npu.psum_buf_bytes;
+
+    // Ifmap capacity bound: the largest layer's ifmap per image
+    // against its buffer.
+    let max_if = net.iter().map(|l| l.ifmap_bytes(1)).max().unwrap_or(1).max(1);
+    let if_bound = (ifmap_cap / max_if) as u32;
+
+    // Output capacity bound with the Fig. 18(b) width-utilization
+    // effect: the output buffer has one row per PE column, so a layer
+    // with fewer filters than the array width strands the other rows.
+    let out_bound = net
+        .iter()
+        .map(|l| {
+            let k = l.filter_count().min(u64::from(npu.array_width));
+            let eff = out_cap * k / u64::from(npu.array_width);
+            (eff / l.ofmap_bytes(1).max(1)) as u32
+        })
+        .min()
+        .unwrap_or(1);
+
+    let capacity_bound = if_bound.min(out_bound).max(1);
+
+    if npu.division <= 1 {
+        // Row dedication: channel × batch must fit in one buffer row.
+        let row_capacity = ifmap_cap / u64::from(npu.array_height);
+        let row_bound = net
+            .iter()
+            .filter(|l| l.kind() != LayerKind::FullyConnected)
+            .map(|l| {
+                let (h, w) = l.input_hw();
+                let channel_bytes = u64::from(h) * u64::from(w);
+                (row_capacity / channel_bytes.max(1)) as u32
+            })
+            .min()
+            .unwrap_or(capacity_bound);
+        row_bound.min(capacity_bound).clamp(1, PAPER_BATCH_CAP)
+    } else {
+        capacity_bound.clamp(1, PAPER_BATCH_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo;
+
+    #[test]
+    fn baseline_batches_are_all_1() {
+        // Table II, Baseline column.
+        let npu = NpuConfig::paper_baseline();
+        for net in zoo::all() {
+            assert_eq!(structural_max_batch(&npu, &net), 1, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn supernpu_vgg_batch_is_7() {
+        // Table II: SuperNPU runs VGG16 at batch 7.
+        let npu = NpuConfig::paper_supernpu();
+        let b = structural_max_batch(&npu, &zoo::vgg16());
+        assert_eq!(b, 7);
+    }
+
+    #[test]
+    fn supernpu_small_nets_hit_cap() {
+        let npu = NpuConfig::paper_supernpu();
+        for net in [zoo::alexnet(), zoo::googlenet(), zoo::mobilenet(), zoo::resnet50()] {
+            let b = structural_max_batch(&npu, &net);
+            assert_eq!(b, PAPER_BATCH_CAP, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn buffer_opt_beats_baseline() {
+        let base = NpuConfig::paper_baseline();
+        let opt = NpuConfig::paper_buffer_opt();
+        for net in zoo::all() {
+            let b0 = structural_max_batch(&base, &net);
+            let b1 = structural_max_batch(&opt, &net);
+            assert!(b1 >= b0, "{}: {b1} < {b0}", net.name());
+        }
+        assert!(structural_max_batch(&opt, &zoo::resnet50()) > 1);
+    }
+
+    #[test]
+    fn batch_never_zero() {
+        // Even absurdly small buffers give batch 1.
+        let mut npu = NpuConfig::paper_baseline();
+        npu.ifmap_buf_bytes = 1024;
+        npu.output_buf_bytes = 1024;
+        npu.psum_buf_bytes = 0;
+        assert_eq!(structural_max_batch(&npu, &zoo::vgg16()), 1);
+    }
+}

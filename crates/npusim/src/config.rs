@@ -1,0 +1,142 @@
+//! Simulation configuration: architecture + derived physical numbers.
+
+use serde::{Deserialize, Serialize};
+use sfq_cells::{BiasScheme, CellLibrary};
+use sfq_estimator::{estimate, NpuConfig, NpuEstimate};
+
+/// Per-event switching energies and static power, taken from the
+/// estimator (joules / watts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per MAC operation in a PE.
+    pub pe_mac_j: f64,
+    /// Energy per single-entry shift of one buffer row lane.
+    pub buffer_shift_j: f64,
+    /// Energy per ifmap element aligned through the DAU.
+    pub dau_j: f64,
+    /// Energy per element-hop through a network-unit node.
+    pub nw_hop_j: f64,
+    /// Ungated clock-distribution energy per clock cycle (chip-wide).
+    pub clock_per_cycle_j: f64,
+    /// Chip static power, watts (0 for ERSFQ).
+    pub static_w: f64,
+}
+
+impl EnergyModel {
+    /// Pull the energy numbers out of an architecture estimate.
+    pub fn from_estimate(est: &NpuEstimate) -> Self {
+        EnergyModel {
+            pe_mac_j: est.pe_mac_energy_j,
+            buffer_shift_j: est.buffer_shift_energy_j,
+            dau_j: est.dau_energy_j,
+            nw_hop_j: est.nw_hop_energy_j,
+            clock_per_cycle_j: est.clock_energy_per_cycle_j,
+            static_w: est.static_w,
+        }
+    }
+}
+
+/// Everything the cycle simulator needs about the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The architectural configuration.
+    pub npu: NpuConfig,
+    /// Clock frequency, GHz (from the estimator).
+    pub frequency_ghz: f64,
+    /// Off-chip memory bandwidth, GB/s (the paper uses the TPUv2's
+    /// 300 GB/s HBM figure).
+    pub mem_bandwidth_gbs: f64,
+    /// Switching energies / static power.
+    pub energy: EnergyModel,
+}
+
+impl SimConfig {
+    /// Default memory bandwidth (GB/s) used across the paper.
+    pub const PAPER_BANDWIDTH_GBS: f64 = 300.0;
+
+    /// Build a config by running the estimator on `npu` under `lib`.
+    pub fn from_npu(npu: NpuConfig, lib: &CellLibrary) -> Self {
+        let est = estimate(&npu, lib);
+        SimConfig {
+            npu,
+            frequency_ghz: est.frequency_ghz,
+            mem_bandwidth_gbs: Self::PAPER_BANDWIDTH_GBS,
+            energy: EnergyModel::from_estimate(&est),
+        }
+    }
+
+    /// The paper's Baseline design under the RSFQ AIST library.
+    pub fn paper_baseline() -> Self {
+        Self::from_npu(NpuConfig::paper_baseline(), &CellLibrary::aist_10um())
+    }
+
+    /// The paper's Buffer-opt. design.
+    pub fn paper_buffer_opt() -> Self {
+        Self::from_npu(NpuConfig::paper_buffer_opt(), &CellLibrary::aist_10um())
+    }
+
+    /// The paper's Resource-opt. design.
+    pub fn paper_resource_opt() -> Self {
+        Self::from_npu(NpuConfig::paper_resource_opt(), &CellLibrary::aist_10um())
+    }
+
+    /// The full SuperNPU design.
+    pub fn paper_supernpu() -> Self {
+        Self::from_npu(NpuConfig::paper_supernpu(), &CellLibrary::aist_10um())
+    }
+
+    /// Same design point under ERSFQ biasing (Table III's low-power
+    /// variant; performance is unchanged, power is not).
+    pub fn with_bias(&self, bias: BiasScheme) -> Self {
+        let lib = CellLibrary::aist_10um().with_bias(bias);
+        let mut out = Self::from_npu(self.npu.clone(), &lib);
+        out.mem_bandwidth_gbs = self.mem_bandwidth_gbs;
+        out
+    }
+
+    /// DRAM bytes transferred per NPU clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbs / self.frequency_ghz
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_s(&self) -> f64 {
+        1e-9 / self.frequency_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_run_at_52_6ghz() {
+        for cfg in [
+            SimConfig::paper_baseline(),
+            SimConfig::paper_buffer_opt(),
+            SimConfig::paper_resource_opt(),
+            SimConfig::paper_supernpu(),
+        ] {
+            assert!((cfg.frequency_ghz - 52.6).abs() < 1.5, "{}", cfg.npu.name);
+            assert_eq!(cfg.mem_bandwidth_gbs, 300.0);
+        }
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_is_sub_10() {
+        // 300 GB/s at ~52.6 GHz: ~5.7 bytes per cycle — the "fast but
+        // starved" regime the paper highlights.
+        let c = SimConfig::paper_baseline();
+        let bpc = c.dram_bytes_per_cycle();
+        assert!(bpc > 4.0 && bpc < 8.0, "bytes/cycle {bpc}");
+    }
+
+    #[test]
+    fn ersfq_variant_zeroes_static_doubles_mac_energy() {
+        let rsfq = SimConfig::paper_supernpu();
+        let ersfq = rsfq.with_bias(BiasScheme::Ersfq);
+        assert_eq!(ersfq.energy.static_w, 0.0);
+        assert!((ersfq.energy.pe_mac_j / rsfq.energy.pe_mac_j - 2.0).abs() < 1e-9);
+        assert_eq!(ersfq.frequency_ghz, rsfq.frequency_ghz);
+    }
+}

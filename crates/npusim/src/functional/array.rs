@@ -1,0 +1,168 @@
+//! Cycle-stepped weight-stationary systolic array.
+//!
+//! Operands enter at the left edge (row `r` skewed by `r` cycles —
+//! the store-and-forward network's natural alignment) and march one
+//! column per cycle; partial sums descend one row per cycle; each PE
+//! holds `regs` stationary weights and rotates through them, one per
+//! stream slot — the paper's multi-register PE (§V-B.3).
+
+/// The array: geometry plus the stationary weight registers.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    height: usize,
+    width: usize,
+    regs: usize,
+    /// `weights[r][c * regs + j]`.
+    weights: Vec<Vec<i32>>,
+}
+
+impl SystolicArray {
+    /// An array of `height × width` PEs with `regs` weight registers
+    /// each, all weights zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(height: usize, width: usize, regs: usize) -> Self {
+        assert!(height > 0 && width > 0 && regs > 0, "array dimensions must be positive");
+        SystolicArray {
+            height,
+            width,
+            regs,
+            weights: vec![vec![0; width * regs]; height],
+        }
+    }
+
+    /// Geometry `(height, width, regs)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.height, self.width, self.regs)
+    }
+
+    /// Load the stationary weights: `f(row, col, reg)`.
+    pub fn load_weights(&mut self, mut f: impl FnMut(usize, usize, usize) -> i32) {
+        for r in 0..self.height {
+            for c in 0..self.width {
+                for j in 0..self.regs {
+                    self.weights[r][c * self.regs + j] = f(r, c, j);
+                }
+            }
+        }
+    }
+
+    /// Stream `pixels` operand vectors through the array and collect
+    /// the column outputs.
+    ///
+    /// `operand(row, pixel)` supplies the (DAU-selected, zero-padded)
+    /// value for contraction row `row` at output-pixel index `pixel`;
+    /// each pixel occupies `regs` consecutive stream slots so every PE
+    /// applies each of its weights once per pixel.
+    ///
+    /// Returns `out[pixel][col][reg]` — the finished column sums.
+    pub fn stream(&self, pixels: usize, mut operand: impl FnMut(usize, usize) -> i32) -> Vec<Vec<Vec<i32>>> {
+        let (h, w, regs) = (self.height, self.width, self.regs);
+        let slots = pixels * regs;
+        let total_cycles = slots + h + w;
+
+        let mut out = vec![vec![vec![0i32; regs]; w]; pixels];
+
+        // Per-cycle pipeline registers.
+        let mut x_prev = vec![vec![0i32; w]; h];
+        let mut p_prev = vec![vec![0i32; w]; h];
+
+        for t in 0..total_cycles {
+            let mut x_next = vec![vec![0i32; w]; h];
+            let mut p_next = vec![vec![0i32; w]; h];
+            for r in 0..h {
+                for c in 0..w {
+                    // Operand arriving this cycle.
+                    let x = if c == 0 {
+                        // Row skew: slot q enters row r at cycle q + r.
+                        let q = t as isize - r as isize;
+                        if q >= 0 && (q as usize) < slots {
+                            let q = q as usize;
+                            operand(r, q / regs)
+                        } else {
+                            0 // bubble
+                        }
+                    } else {
+                        x_prev[r][c - 1]
+                    };
+                    // Which stationary weight this slot uses.
+                    let q = t as isize - r as isize - c as isize;
+                    let j = if q >= 0 { (q as usize) % regs } else { 0 };
+                    let above = if r == 0 { 0 } else { p_prev[r - 1][c] };
+                    x_next[r][c] = x;
+                    p_next[r][c] = above + self.weights[r][c * regs + j] * x;
+                }
+            }
+            // Collect finished column sums at the array's bottom edge.
+            for c in 0..w {
+                let q = t as isize - (h as isize - 1) - c as isize;
+                if q >= 0 && (q as usize) < slots {
+                    let q = q as usize;
+                    out[q / regs][c][q % regs] = p_next[h - 1][c];
+                }
+            }
+            x_prev = x_next;
+            p_prev = p_next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 array computing a plain matrix product:
+    /// out[col] = Σ_r w[r][col]·x[r].
+    #[test]
+    fn tiny_matrix_vector() {
+        let mut a = SystolicArray::new(2, 2, 1);
+        // w = [[1, 2], [3, 4]] (row r, col c).
+        a.load_weights(|r, c, _| [[1, 2], [3, 4]][r][c]);
+        // Two "pixels": x0 = [10, 20], x1 = [1, 1].
+        let xs = [[10, 20], [1, 1]];
+        let out = a.stream(2, |r, p| xs[p][r]);
+        // pixel 0: col0 = 1*10 + 3*20 = 70; col1 = 2*10 + 4*20 = 100.
+        assert_eq!(out[0][0][0], 70);
+        assert_eq!(out[0][1][0], 100);
+        // pixel 1: col0 = 4, col1 = 6.
+        assert_eq!(out[1][0][0], 4);
+        assert_eq!(out[1][1][0], 6);
+    }
+
+    /// Multi-register PEs: one column holds two filters.
+    #[test]
+    fn register_rotation() {
+        let mut a = SystolicArray::new(2, 1, 2);
+        // reg 0 holds filter A = [1, 1], reg 1 holds filter B = [2, 3].
+        a.load_weights(|r, _c, j| if j == 0 { 1 } else { [2, 3][r] });
+        let xs = [[5, 7]];
+        let out = a.stream(1, |r, p| xs[p][r]);
+        // filter A: 5 + 7 = 12; filter B: 2*5 + 3*7 = 31.
+        assert_eq!(out[0][0][0], 12);
+        assert_eq!(out[0][0][1], 31);
+    }
+
+    /// Tall-array alignment: results must be exact for any height.
+    #[test]
+    fn deep_column_alignment() {
+        for h in [1usize, 3, 7, 16] {
+            let mut a = SystolicArray::new(h, 2, 1);
+            a.load_weights(|r, c, _| (r + 1) as i32 * if c == 0 { 1 } else { -1 });
+            let out = a.stream(3, |r, p| (p + 1) as i32 * (r as i32 + 1));
+            for p in 0..3 {
+                let expect: i32 = (0..h).map(|r| ((r + 1) * (r + 1) * (p + 1)) as i32).sum();
+                assert_eq!(out[p][0][0], expect, "h={h} p={p}");
+                assert_eq!(out[p][1][0], -expect, "h={h} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_array_panics() {
+        let _ = SystolicArray::new(0, 1, 1);
+    }
+}

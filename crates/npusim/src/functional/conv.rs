@@ -1,0 +1,247 @@
+//! Convolution on the systolic array, tiled exactly like the timing
+//! model's weight mappings.
+
+use dnn_models::{Layer, LayerKind};
+use sfq_estimator::NpuConfig;
+
+use crate::mapping::enumerate_mappings;
+
+use super::array::SystolicArray;
+use super::tensor::{Tensor3, Tensor4};
+
+/// Decompose a contraction index into `(dr, ds, dc)` for a standard
+/// convolution with kernel `k` and `c` input channels.
+fn unflatten(ci: usize, k: usize, c: usize) -> (usize, usize, usize) {
+    let dc = ci % c;
+    let rest = ci / c;
+    let ds = rest % k;
+    let dr = rest / k;
+    (dr, ds, dc)
+}
+
+/// Run `layer` on a `height × width × regs` weight-stationary array,
+/// using the *same* mapping enumeration as the cycle/energy model, and
+/// return the output feature map.
+///
+/// Depthwise layers are executed channel-serially (each channel is an
+/// independent 1-filter convolution); the timing model's column-
+/// parallel depthwise mapping assumes a per-column operand select the
+/// functional array does not have.
+///
+/// # Panics
+///
+/// Panics if the tensors disagree with the layer description (see
+/// [`super::golden_conv`] for the shape contract).
+pub fn run_conv_ws(
+    layer: &Layer,
+    ifmap: &Tensor3,
+    weights: &Tensor4,
+    height: u32,
+    width: u32,
+    regs: u32,
+) -> Tensor3 {
+    if layer.kind() == LayerKind::Depthwise {
+        return run_depthwise(layer, ifmap, weights, height, width, regs);
+    }
+
+    let npu = NpuConfig {
+        name: "functional".into(),
+        array_height: height,
+        array_width: width,
+        regs_per_pe: regs,
+        ..NpuConfig::paper_baseline()
+    };
+    let mappings = enumerate_mappings(layer, &npu);
+
+    let (oh, ow) = layer.output_hw();
+    let (oh, ow) = (oh as usize, ow as usize);
+    let kernel = layer.kernel() as usize;
+    let in_c = layer.in_channels() as usize;
+    let stride = layer.stride() as isize;
+    let pad = layer.padding() as isize;
+    let mut out = Tensor3::zeros(oh, ow, layer.out_channels() as usize);
+
+    for m in &mappings {
+        let row_base = (m.row_group * height) as usize;
+        let filter_base = (u64::from(m.col_group) * u64::from(width) * u64::from(regs)) as usize;
+        let active_rows = m.active_rows as usize;
+        let active_cols = m.active_cols as usize;
+        let active_filters = m.active_filters as usize;
+        let reuse = m.reuse_per_pe as usize;
+
+        let mut array = SystolicArray::new(active_rows, active_cols, reuse);
+        array.load_weights(|r, c, j| {
+            // Filter assignment: filter fl sits at column fl % cols,
+            // register fl / cols.
+            let fl = j * active_cols + c;
+            if fl >= active_filters {
+                return 0;
+            }
+            let kf = filter_base + fl;
+            let ci = row_base + r;
+            match layer.kind() {
+                LayerKind::FullyConnected => weights.get(kf, 0, 0, ci),
+                _ => {
+                    let (dr, ds, dc) = unflatten(ci, kernel, in_c);
+                    weights.get(kf, dr, ds, dc)
+                }
+            }
+        });
+
+        let pixels = oh * ow;
+        let outputs = array.stream(pixels, |r, pixel| {
+            // The DAU's data selection: contraction row → the ifmap
+            // element this output pixel needs, zero ("bubble") when
+            // the padded window runs off the input.
+            let ci = row_base + r;
+            match layer.kind() {
+                LayerKind::FullyConnected => ifmap.get(0, 0, ci),
+                _ => {
+                    let (dr, ds, dc) = unflatten(ci, kernel, in_c);
+                    let oy = pixel / ow;
+                    let ox = pixel % ow;
+                    let iy = oy as isize * stride + dr as isize - pad;
+                    let ix = ox as isize * stride + ds as isize - pad;
+                    ifmap.get_padded(iy, ix, dc)
+                }
+            }
+        });
+
+        // Accumulate this row group's partial sums.
+        for (pixel, cols) in outputs.iter().enumerate() {
+            let oy = pixel / ow;
+            let ox = pixel % ow;
+            for (c, regs_out) in cols.iter().enumerate() {
+                for (j, &v) in regs_out.iter().enumerate() {
+                    let fl = j * active_cols + c;
+                    if fl < active_filters {
+                        out.add(oy, ox, filter_base + fl, v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Channel-serial depthwise execution.
+fn run_depthwise(
+    layer: &Layer,
+    ifmap: &Tensor3,
+    weights: &Tensor4,
+    height: u32,
+    width: u32,
+    regs: u32,
+) -> Tensor3 {
+    let (oh, ow) = layer.output_hw();
+    let mut out = Tensor3::zeros(oh as usize, ow as usize, layer.in_channels() as usize);
+    let (h, w) = layer.input_hw();
+    for ch in 0..layer.in_channels() as usize {
+        // One-channel slice as a standard conv with C=1, K=1.
+        let slice_layer = Layer::conv(
+            layer.name(),
+            (h, w),
+            1,
+            1,
+            layer.kernel(),
+            layer.stride(),
+            layer.padding(),
+        );
+        let slice_if = Tensor3::from_fn(h as usize, w as usize, 1, |y, x, _| ifmap.get(y, x, ch));
+        let k = layer.kernel() as usize;
+        let slice_w = Tensor4::from_fn(1, k, k, 1, |_, r, s, _| weights.get(ch, r, s, 0));
+        let slice_out = run_conv_ws(&slice_layer, &slice_if, &slice_w, height, width, regs);
+        for y in 0..oh as usize {
+            for x in 0..ow as usize {
+                out.set(y, x, ch, slice_out.get(y, x, 0));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::golden::golden_conv;
+    use super::*;
+    use dnn_models::Layer;
+
+    /// Deterministic pseudo-random tensor contents.
+    fn fill(seed: u64) -> impl FnMut() -> i32 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 32) as i32 % 17) - 8 // small signed values
+        }
+    }
+
+    fn check(layer: &Layer, height: u32, width: u32, regs: u32) {
+        let (h, w) = layer.input_hw();
+        let mut gen = fill(layer.name().len() as u64 + u64::from(height * 131 + width));
+        let ifmap = Tensor3::from_fn(h as usize, w as usize, layer.in_channels() as usize, |_, _, _| gen());
+        let wc = if layer.kind() == dnn_models::LayerKind::Depthwise { 1 } else { layer.in_channels() as usize };
+        let weights = Tensor4::from_fn(
+            layer.out_channels() as usize,
+            layer.kernel() as usize,
+            layer.kernel() as usize,
+            wc,
+            |_, _, _, _| gen(),
+        );
+        let golden = golden_conv(layer, &ifmap, &weights);
+        let systolic = run_conv_ws(layer, &ifmap, &weights, height, width, regs);
+        assert_eq!(systolic, golden, "{} on {height}x{width}x{regs}", layer.name());
+    }
+
+    #[test]
+    fn pointwise_conv_matches_golden() {
+        check(&Layer::conv("1x1", (5, 5), 4, 6, 1, 1, 0), 8, 4, 1);
+    }
+
+    #[test]
+    fn same_padded_3x3_matches_golden() {
+        check(&Layer::conv("3x3", (6, 6), 3, 5, 3, 1, 1), 32, 8, 1);
+    }
+
+    #[test]
+    fn strided_conv_matches_golden() {
+        check(&Layer::conv("s2", (7, 7), 2, 3, 3, 2, 1), 32, 4, 1);
+    }
+
+    #[test]
+    fn row_tiling_matches_golden() {
+        // Contraction 3·3·4 = 36 over an 8-tall array → 5 row groups.
+        check(&Layer::conv("tall", (5, 5), 4, 3, 3, 1, 1), 8, 4, 1);
+    }
+
+    #[test]
+    fn column_tiling_matches_golden() {
+        // 10 filters over a 3-wide array → 4 column groups.
+        check(&Layer::conv("wide", (4, 4), 2, 10, 3, 1, 1), 32, 3, 1);
+    }
+
+    #[test]
+    fn multi_register_matches_golden() {
+        // 10 filters, 3 columns, 2 regs: reuse factor 2 and a ragged
+        // last register bank.
+        check(&Layer::conv("regs", (4, 4), 2, 10, 3, 1, 1), 32, 3, 2);
+        check(&Layer::conv("regs8", (3, 3), 3, 17, 1, 1, 0), 16, 2, 8);
+    }
+
+    #[test]
+    fn fully_connected_matches_golden() {
+        check(&Layer::fully_connected("fc", 24, 9), 8, 4, 2);
+    }
+
+    #[test]
+    fn depthwise_matches_golden() {
+        check(&Layer::depthwise("dw", (5, 5), 4, 3, 1), 16, 4, 1);
+    }
+
+    #[test]
+    fn everything_tiled_at_once() {
+        // Rows, columns and registers all tile simultaneously.
+        check(&Layer::conv("all", (5, 5), 5, 13, 3, 2, 1), 7, 3, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Golden direct convolution — the reference the systolic dataflow is
+//! checked against.
+
+use dnn_models::{Layer, LayerKind};
+
+use super::tensor::{Tensor3, Tensor4};
+
+/// Direct convolution of `ifmap` with `weights` under `layer`'s
+/// geometry (stride, padding). Supports standard convs and FC layers
+/// (1×1 spatial); depthwise uses the `k == c` channel pairing.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with the layer description.
+pub fn golden_conv(layer: &Layer, ifmap: &Tensor3, weights: &Tensor4) -> Tensor3 {
+    let (ih, iw, ic) = ifmap.dims();
+    let (k, r, s, wc) = weights.dims();
+    let (lh, lw) = layer.input_hw();
+    assert_eq!((ih, iw), (lh as usize, lw as usize), "ifmap spatial shape");
+    assert_eq!(ic, layer.in_channels() as usize, "ifmap channels");
+    assert_eq!(k, layer.out_channels() as usize, "filter count");
+    assert_eq!(r, layer.kernel() as usize, "kernel height");
+    assert_eq!(s, layer.kernel() as usize, "kernel width");
+    match layer.kind() {
+        LayerKind::Depthwise => assert_eq!(wc, 1, "depthwise weights have one channel"),
+        _ => assert_eq!(wc, ic, "weight channels"),
+    }
+
+    let (oh, ow) = layer.output_hw();
+    let stride = layer.stride() as isize;
+    let pad = layer.padding() as isize;
+    let mut out = Tensor3::zeros(oh as usize, ow as usize, k);
+
+    for oy in 0..oh as usize {
+        for ox in 0..ow as usize {
+            for kf in 0..k {
+                let mut acc: i32 = 0;
+                for ry in 0..r {
+                    for sx in 0..s {
+                        let iy = oy as isize * stride + ry as isize - pad;
+                        let ix = ox as isize * stride + sx as isize - pad;
+                        match layer.kind() {
+                            LayerKind::Depthwise => {
+                                acc += ifmap.get_padded(iy, ix, kf) * weights.get(kf, ry, sx, 0);
+                            }
+                            _ => {
+                                for ci in 0..ic {
+                                    acc += ifmap.get_padded(iy, ix, ci)
+                                        * weights.get(kf, ry, sx, ci);
+                                }
+                            }
+                        }
+                    }
+                }
+                out.set(oy, ox, kf, acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::Layer;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity channel mixing copies the input.
+        let l = Layer::conv("id", (3, 3), 2, 2, 1, 1, 0);
+        let ifmap = Tensor3::from_fn(3, 3, 2, |y, x, c| (y * 10 + x + c * 100) as i32);
+        let w = Tensor4::from_fn(2, 1, 1, 2, |k, _, _, c| i32::from(k == c));
+        let out = golden_conv(&l, &ifmap, &w);
+        assert_eq!(out, ifmap);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        // 3x3 all-ones kernel, single channel, "same" padding: each
+        // output is the sum of the 3x3 neighbourhood.
+        let l = Layer::conv("box", (3, 3), 1, 1, 3, 1, 1);
+        let ifmap = Tensor3::from_fn(3, 3, 1, |_, _, _| 1);
+        let w = Tensor4::from_fn(1, 3, 3, 1, |_, _, _, _| 1);
+        let out = golden_conv(&l, &ifmap, &w);
+        // Center sees 9 ones; corners see 4.
+        assert_eq!(out.get(1, 1, 0), 9);
+        assert_eq!(out.get(0, 0, 0), 4);
+        assert_eq!(out.get(0, 1, 0), 6);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let l = Layer::conv("s2", (4, 4), 1, 1, 1, 2, 0);
+        let ifmap = Tensor3::from_fn(4, 4, 1, |y, x, _| (y * 4 + x) as i32);
+        let w = Tensor4::from_fn(1, 1, 1, 1, |_, _, _, _| 1);
+        let out = golden_conv(&l, &ifmap, &w);
+        assert_eq!(out.dims(), (2, 2, 1));
+        assert_eq!(out.get(0, 0, 0), 0);
+        assert_eq!(out.get(0, 1, 0), 2);
+        assert_eq!(out.get(1, 1, 0), 10);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let l = Layer::depthwise("dw", (2, 2), 2, 1, 1);
+        let ifmap = Tensor3::from_fn(2, 2, 2, |_, _, c| (c + 1) as i32);
+        let w = Tensor4::from_fn(2, 1, 1, 1, |k, _, _, _| (k + 1) as i32 * 10);
+        let out = golden_conv(&l, &ifmap, &w);
+        assert_eq!(out.get(0, 0, 0), 10);
+        assert_eq!(out.get(0, 0, 1), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter count")]
+    fn shape_mismatch_panics() {
+        let l = Layer::conv("c", (2, 2), 1, 2, 1, 1, 0);
+        let ifmap = Tensor3::zeros(2, 2, 1);
+        let w = Tensor4::zeros(1, 1, 1, 1); // wrong k
+        let _ = golden_conv(&l, &ifmap, &w);
+    }
+}

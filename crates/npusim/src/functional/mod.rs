@@ -1,0 +1,25 @@
+//! Functional (value-level) simulation of the weight-stationary
+//! systolic array.
+//!
+//! The paper's SFQ-NPU simulator is timing-only; this module proves
+//! the *semantics* of the modeled dataflow: an explicit cycle-stepped
+//! PE grid — weights stationary in per-PE registers, ifmap values
+//! marching across columns, partial sums descending rows, the DAU
+//! selecting and zero-padding each row's operand stream — computes
+//! bit-exact convolutions against a golden direct implementation, for
+//! every tiling the mapper produces (row groups, column groups,
+//! multi-register PEs).
+//!
+//! This is how the repository demonstrates that the cycle counts in
+//! [`crate::simulate_layer`] correspond to a dataflow that actually
+//! produces the right numbers.
+
+mod array;
+mod conv;
+mod golden;
+mod tensor;
+
+pub use array::SystolicArray;
+pub use conv::run_conv_ws;
+pub use golden::golden_conv;
+pub use tensor::{Tensor3, Tensor4};

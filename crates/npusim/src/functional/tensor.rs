@@ -1,0 +1,182 @@
+//! Minimal dense tensors for the functional model.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `(h, w, c)` activation tensor of `i32` values (int8 data
+/// widened so partial sums never clip inside the model).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    h: usize,
+    w: usize,
+    c: usize,
+    data: Vec<i32>,
+}
+
+impl Tensor3 {
+    /// A zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn zeros(h: usize, w: usize, c: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0, "tensor dimensions must be positive");
+        Tensor3 {
+            h,
+            w,
+            c,
+            data: vec![0; h * w * c],
+        }
+    }
+
+    /// Build from a generator `f(y, x, ch)`.
+    pub fn from_fn(h: usize, w: usize, c: usize, mut f: impl FnMut(usize, usize, usize) -> i32) -> Self {
+        let mut t = Self::zeros(h, w, c);
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    let v = f(y, x, ch);
+                    t.set(y, x, ch, v);
+                }
+            }
+        }
+        t
+    }
+
+    /// Dimensions `(h, w, c)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.h, self.w, self.c)
+    }
+
+    fn idx(&self, y: usize, x: usize, ch: usize) -> usize {
+        debug_assert!(y < self.h && x < self.w && ch < self.c);
+        (y * self.w + x) * self.c + ch
+    }
+
+    /// Read one element.
+    pub fn get(&self, y: usize, x: usize, ch: usize) -> i32 {
+        self.data[self.idx(y, x, ch)]
+    }
+
+    /// Read with zero padding outside the bounds (signed coordinates).
+    pub fn get_padded(&self, y: isize, x: isize, ch: usize) -> i32 {
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            0
+        } else {
+            self.get(y as usize, x as usize, ch)
+        }
+    }
+
+    /// Write one element.
+    pub fn set(&mut self, y: usize, x: usize, ch: usize, v: i32) {
+        let i = self.idx(y, x, ch);
+        self.data[i] = v;
+    }
+
+    /// Add into one element.
+    pub fn add(&mut self, y: usize, x: usize, ch: usize, v: i32) {
+        let i = self.idx(y, x, ch);
+        self.data[i] += v;
+    }
+}
+
+/// A dense `(k, r, s, c)` weight tensor: `k` filters of `r×s×c`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    k: usize,
+    r: usize,
+    s: usize,
+    c: usize,
+    data: Vec<i32>,
+}
+
+impl Tensor4 {
+    /// A zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn zeros(k: usize, r: usize, s: usize, c: usize) -> Self {
+        assert!(k > 0 && r > 0 && s > 0 && c > 0, "tensor dimensions must be positive");
+        Tensor4 {
+            k,
+            r,
+            s,
+            c,
+            data: vec![0; k * r * s * c],
+        }
+    }
+
+    /// Build from a generator `f(k, r, s, c)`.
+    pub fn from_fn(
+        k: usize,
+        r: usize,
+        s: usize,
+        c: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> i32,
+    ) -> Self {
+        let mut t = Self::zeros(k, r, s, c);
+        for ki in 0..k {
+            for ri in 0..r {
+                for si in 0..s {
+                    for ci in 0..c {
+                        let v = f(ki, ri, si, ci);
+                        t.set(ki, ri, si, ci, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Dimensions `(k, r, s, c)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.k, self.r, self.s, self.c)
+    }
+
+    fn idx(&self, k: usize, r: usize, s: usize, c: usize) -> usize {
+        debug_assert!(k < self.k && r < self.r && s < self.s && c < self.c);
+        ((k * self.r + r) * self.s + s) * self.c + c
+    }
+
+    /// Read one element.
+    pub fn get(&self, k: usize, r: usize, s: usize, c: usize) -> i32 {
+        self.data[self.idx(k, r, s, c)]
+    }
+
+    /// Write one element.
+    pub fn set(&mut self, k: usize, r: usize, s: usize, c: usize, v: i32) {
+        let i = self.idx(k, r, s, c);
+        self.data[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_padding() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        t.set(1, 2, 3, 42);
+        assert_eq!(t.get(1, 2, 3), 42);
+        assert_eq!(t.get_padded(1, 2, 3), 42);
+        assert_eq!(t.get_padded(-1, 0, 0), 0);
+        assert_eq!(t.get_padded(0, 3, 0), 0);
+        t.add(1, 2, 3, 8);
+        assert_eq!(t.get(1, 2, 3), 50);
+    }
+
+    #[test]
+    fn from_fn_orders_indices() {
+        let t = Tensor3::from_fn(2, 2, 2, |y, x, c| (y * 100 + x * 10 + c) as i32);
+        assert_eq!(t.get(1, 0, 1), 101);
+        let w = Tensor4::from_fn(2, 1, 1, 2, |k, _, _, c| (k * 10 + c) as i32);
+        assert_eq!(w.get(1, 0, 0, 1), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = Tensor3::zeros(0, 1, 1);
+    }
+}

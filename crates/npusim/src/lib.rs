@@ -1,0 +1,56 @@
+//! # sfq-npu-sim
+//!
+//! The performance half of the SuperNPU framework: a cycle-based
+//! simulator for weight-stationary SFQ NPUs with shift-register
+//! on-chip buffers (paper §IV-B and §V).
+//!
+//! For every weight mapping of every layer the simulator charges:
+//!
+//! * **preparation cycles** — the SFQ-specific cost: weight loading,
+//!   shift-register rotation/rewind of the ifmap buffer (a full row
+//!   pass for monolithic buffers, one chunk for divided buffers),
+//!   psum migration between separate psum/ofmap buffers, and ofmap
+//!   flushes when no spare chunk exists,
+//! * **computation cycles** — systolic streaming of `batch × output
+//!   pixels` (times the per-PE register reuse factor) plus pipeline
+//!   fill,
+//! * **memory stalls** — DRAM traffic over a fixed bandwidth,
+//!   overlapped with on-chip shifting (`max(shift, dram)`),
+//!
+//! and integrates per-event switching energies from the estimator into
+//! chip power.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_npu_sim::{SimConfig, simulate_network};
+//! use dnn_models::zoo;
+//!
+//! let cfg = SimConfig::paper_supernpu();
+//! let stats = simulate_network(&cfg, &zoo::resnet50());
+//! assert!(stats.effective_tmacs() > 1.0, "SuperNPU sustains TMAC/s-scale throughput");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+pub mod functional;
+mod layersim;
+mod mapping;
+mod memory;
+mod netsim;
+mod stall;
+mod stats;
+mod trace;
+
+pub use batch::{structural_max_batch, BatchPolicy};
+pub use config::{EnergyModel, SimConfig};
+pub use layersim::simulate_layer;
+pub use mapping::{enumerate_mappings, WeightMapping};
+pub use memory::DramModel;
+pub use netsim::{simulate_network, simulate_network_with_batch};
+pub use stall::{analyze_stalls, StallReport};
+pub use stats::{EnergyBreakdown, LayerStats, NetworkStats};
+pub use trace::{trace_layer, AccessKind, LayerTrace, TraceEvent};

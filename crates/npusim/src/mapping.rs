@@ -1,0 +1,162 @@
+//! Weight-mapping enumeration for the weight-stationary dataflow.
+//!
+//! A conv layer's `R·S·C` contraction elements map onto PE-array rows
+//! and its `K` filters onto columns; with `nreg` weight registers per
+//! PE a column holds `nreg` filters. Every (row-group, column-group)
+//! pair is one *weight mapping* — the unit of work whose preparation
+//! overhead dominates naïve SFQ designs (paper Fig. 15).
+
+use dnn_models::Layer;
+use serde::{Deserialize, Serialize};
+use sfq_estimator::NpuConfig;
+
+/// One weight mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightMapping {
+    /// Row-group index (which slice of the contraction dimension).
+    pub row_group: u32,
+    /// Column-group index (which slice of the filter dimension).
+    pub col_group: u32,
+    /// Contraction elements actually mapped (≤ array height).
+    pub active_rows: u32,
+    /// Filters actually mapped (≤ width × regs).
+    pub active_filters: u32,
+    /// Physical columns occupied.
+    pub active_cols: u32,
+    /// Filters resident per PE in this mapping (1..=regs): the ifmap
+    /// stream repeats this many times per pixel.
+    pub reuse_per_pe: u32,
+    /// Whether partial sums from a previous row group must be
+    /// re-accumulated (triggers psum migration on separate-buffer
+    /// designs).
+    pub accumulates: bool,
+}
+
+impl WeightMapping {
+    /// MAC operations this mapping performs for `batch` images of a
+    /// layer producing `out_pixels` pixels per image.
+    pub fn macs(&self, out_pixels: u64, batch: u32) -> u64 {
+        out_pixels * u64::from(batch) * u64::from(self.active_rows) * u64::from(self.active_filters)
+    }
+}
+
+/// Enumerate all weight mappings of `layer` on `npu`.
+///
+/// Depthwise layers map their `R·S` per-channel contraction onto rows
+/// and their channels onto columns, so the mapping count is driven by
+/// the channel count (the paper's MobileNet discussion).
+pub fn enumerate_mappings(layer: &Layer, npu: &NpuConfig) -> Vec<WeightMapping> {
+    let height = u64::from(npu.array_height);
+    let width = u64::from(npu.array_width);
+    let regs = u64::from(npu.regs_per_pe);
+
+    let contraction = layer.contraction_len();
+    let filters = layer.filter_count();
+    let cols_capacity = width * regs;
+
+    let row_groups = contraction.div_ceil(height);
+    let col_groups = filters.div_ceil(cols_capacity);
+
+    let mut out = Vec::with_capacity((row_groups * col_groups) as usize);
+    for gc in 0..col_groups {
+        for gr in 0..row_groups {
+            let active_rows = (contraction - gr * height).min(height) as u32;
+            let active_filters = (filters - gc * cols_capacity).min(cols_capacity) as u32;
+            // Spread filters across physical columns first; only stack
+            // into the per-PE registers when the width is exhausted
+            // (stacking costs ifmap stream repetitions).
+            let active_cols = u64::from(active_filters).min(width) as u32;
+            let reuse_per_pe = u64::from(active_filters).div_ceil(u64::from(active_cols)) as u32;
+            out.push(WeightMapping {
+                row_group: gr as u32,
+                col_group: gc as u32,
+                active_rows,
+                active_filters,
+                active_cols,
+                reuse_per_pe,
+                accumulates: gr > 0,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::Layer;
+
+    fn baseline() -> NpuConfig {
+        NpuConfig::paper_baseline()
+    }
+
+    #[test]
+    fn small_layer_is_one_mapping() {
+        // 3x3x16 contraction = 144 rows ≤ 256; 64 filters ≤ 256 cols.
+        let l = Layer::conv("c", (28, 28), 16, 64, 3, 1, 1);
+        let m = enumerate_mappings(&l, &baseline());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].active_rows, 144);
+        assert_eq!(m[0].active_filters, 64);
+        assert!(!m[0].accumulates);
+    }
+
+    #[test]
+    fn deep_layer_tiles_rows() {
+        // 3x3x512 = 4608 contraction over 256 rows = 18 row groups.
+        let l = Layer::conv("c", (14, 14), 512, 512, 3, 1, 1);
+        let m = enumerate_mappings(&l, &baseline());
+        assert_eq!(m.len(), 18 * 2);
+        // All but the first row group of each column group accumulate.
+        let accum = m.iter().filter(|w| w.accumulates).count();
+        assert_eq!(accum, 17 * 2);
+    }
+
+    #[test]
+    fn registers_shrink_column_groups() {
+        let l = Layer::conv("c", (14, 14), 512, 512, 3, 1, 1);
+        let super_npu = NpuConfig::paper_supernpu(); // width 64, 8 regs
+        let m = enumerate_mappings(&l, &super_npu);
+        // 512 filters / (64 × 8) = 1 column group.
+        assert_eq!(m.iter().map(|w| w.col_group).max().unwrap(), 0);
+        assert_eq!(m[0].reuse_per_pe, 8);
+    }
+
+    #[test]
+    fn mapping_macs_sum_to_layer_macs() {
+        for npu in [NpuConfig::paper_baseline(), NpuConfig::paper_supernpu()] {
+            for l in [
+                Layer::conv("a", (28, 28), 192, 64, 1, 1, 0),
+                Layer::conv("b", (14, 14), 512, 512, 3, 1, 1),
+                Layer::depthwise("d", (56, 56), 128, 3, 1),
+                Layer::fully_connected("f", 9216, 4096),
+            ] {
+                let batch = 3;
+                let total: u64 = enumerate_mappings(&l, &npu)
+                    .iter()
+                    .map(|m| m.macs(l.output_pixels(), batch))
+                    .sum();
+                assert_eq!(total, l.macs(batch), "{} on {}", l.name(), npu.name);
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_uses_few_rows() {
+        let l = Layer::depthwise("dw", (14, 14), 512, 3, 1);
+        let m = enumerate_mappings(&l, &baseline());
+        assert!(m.iter().all(|w| w.active_rows == 9));
+        // 512 channels over 256 columns = 2 column groups.
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn reuse_never_exceeds_regs() {
+        let npu = NpuConfig::paper_supernpu();
+        let l = Layer::conv("c", (7, 7), 832, 384, 1, 1, 0);
+        for m in enumerate_mappings(&l, &npu) {
+            assert!(m.reuse_per_pe >= 1 && m.reuse_per_pe <= npu.regs_per_pe);
+            assert!(m.active_cols <= npu.array_width);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Off-chip memory model: a fixed-bandwidth HBM channel, as in the
+//! paper ("the simulator also models the memory stall incurred by
+//! limited memory bandwidth by taking memory bandwidth as its input").
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth-only DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Link bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// NPU clock, GHz (to convert bytes to cycles).
+    pub frequency_ghz: f64,
+}
+
+impl DramModel {
+    /// Construct, validating positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth or frequency.
+    pub fn new(bandwidth_gbs: f64, frequency_ghz: f64) -> Self {
+        assert!(bandwidth_gbs > 0.0 && frequency_ghz > 0.0, "DRAM model needs positive parameters");
+        DramModel {
+            bandwidth_gbs,
+            frequency_ghz,
+        }
+    }
+
+    /// Cycles to move `bytes` over the link.
+    pub fn cycles_for(&self, bytes: u64) -> u64 {
+        let bytes_per_cycle = self.bandwidth_gbs / self.frequency_ghz;
+        (bytes as f64 / bytes_per_cycle).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_bytes() {
+        let m = DramModel::new(300.0, 50.0); // 6 B/cycle
+        assert_eq!(m.cycles_for(0), 0);
+        assert_eq!(m.cycles_for(6), 1);
+        assert_eq!(m.cycles_for(600), 100);
+        assert_eq!(m.cycles_for(601), 101);
+    }
+
+    #[test]
+    fn slower_clock_means_fewer_stall_cycles() {
+        let fast = DramModel::new(300.0, 52.6);
+        let slow = DramModel::new(300.0, 0.7);
+        assert!(fast.cycles_for(1_000_000) > slow.cycles_for(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = DramModel::new(0.0, 1.0);
+    }
+}

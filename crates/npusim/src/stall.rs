@@ -1,0 +1,125 @@
+//! Stall analysis — the "Stall analyzer" box of the paper's Fig. 14.
+//!
+//! Classifies every cycle of a network's execution into the paper's
+//! §V-A bottleneck categories, so the three optimization targets
+//! (data movement, idle compute, buffer waste) can be read directly
+//! off a simulation.
+
+use dnn_models::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::netsim::simulate_network_with_batch;
+
+/// Where a design's cycles go, whole-network.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StallReport {
+    /// Useful systolic streaming + pipeline fill.
+    pub compute_cycles: u64,
+    /// Shift-register data movement (ifmap rotation + psum moves +
+    /// weight loads) — the paper's Bottleneck 1.
+    pub data_movement_cycles: u64,
+    /// Pure DRAM stalls beyond the shifting overlap — part of the
+    /// paper's Bottleneck 2 (fast but idle compute).
+    pub memory_stall_cycles: u64,
+}
+
+impl StallReport {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.compute_cycles + self.data_movement_cycles + self.memory_stall_cycles
+    }
+
+    /// Fraction of cycles in each class: (compute, movement, memory).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.compute_cycles as f64 / t,
+            self.data_movement_cycles as f64 / t,
+            self.memory_stall_cycles as f64 / t,
+        )
+    }
+
+    /// The dominant bottleneck class as a label.
+    pub fn dominant(&self) -> &'static str {
+        let (c, d, m) = (
+            self.compute_cycles,
+            self.data_movement_cycles,
+            self.memory_stall_cycles,
+        );
+        if d >= c && d >= m {
+            "on-chip data movement"
+        } else if m >= c {
+            "memory bandwidth"
+        } else {
+            "compute"
+        }
+    }
+}
+
+/// Analyze a network run at an explicit batch.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn analyze_stalls(cfg: &SimConfig, net: &Network, batch: u32) -> StallReport {
+    let stats = simulate_network_with_batch(cfg, net, batch);
+    let mut r = StallReport::default();
+    for l in &stats.layers {
+        r.compute_cycles += l.compute_cycles;
+        r.data_movement_cycles += l.prep_cycles;
+        r.memory_stall_cycles += l.stall_cycles;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo;
+
+    #[test]
+    fn baseline_bottleneck_is_data_movement() {
+        // §V-A.2: the naïve design's dominant cost is on-chip data
+        // movement.
+        let cfg = SimConfig::paper_baseline();
+        let r = analyze_stalls(&cfg, &zoo::resnet50(), 1);
+        assert_eq!(r.dominant(), "on-chip data movement");
+        let (_, movement, _) = r.fractions();
+        assert!(movement > 0.6, "movement fraction {movement:.2}");
+    }
+
+    #[test]
+    fn supernpu_bottleneck_is_not_data_movement() {
+        // After the optimizations, shifting no longer dominates.
+        let cfg = SimConfig::paper_supernpu();
+        let r = analyze_stalls(&cfg, &zoo::resnet50(), 30);
+        assert_ne!(r.dominant(), "on-chip data movement");
+        let (compute, movement, _) = r.fractions();
+        assert!(compute > movement, "compute {compute:.2} vs movement {movement:.2}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cfg = SimConfig::paper_buffer_opt();
+        let r = analyze_stalls(&cfg, &zoo::googlenet(), 3);
+        let (a, b, c) = r.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fc_heavy_single_batch_is_memory_bound_on_supernpu() {
+        // AlexNet at batch 1: FC weights dominate traffic.
+        let cfg = SimConfig::paper_supernpu();
+        let r = analyze_stalls(&cfg, &zoo::alexnet(), 1);
+        assert_eq!(r.dominant(), "memory bandwidth");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = StallReport::default();
+        assert_eq!(r.total(), 0);
+        let (a, b, c) = r.fractions();
+        assert_eq!((a, b, c), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulation result types.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic-energy breakdown, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE MAC switching energy.
+    pub pe_j: f64,
+    /// Shift-register buffer switching energy.
+    pub buffer_j: f64,
+    /// DAU alignment energy.
+    pub dau_j: f64,
+    /// Network-unit hop energy.
+    pub nw_j: f64,
+    /// Ungated clock-distribution energy.
+    pub clock_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.pe_j + self.buffer_j + self.dau_j + self.nw_j + self.clock_j
+    }
+}
+
+impl std::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.pe_j += rhs.pe_j;
+        self.buffer_j += rhs.buffer_j;
+        self.dau_j += rhs.dau_j;
+        self.nw_j += rhs.nw_j;
+        self.clock_j += rhs.clock_j;
+    }
+}
+
+/// Per-layer simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Layer name.
+    pub name: String,
+    /// Preparation cycles (weight load + buffer shifting + psum moves,
+    /// overlapped with DRAM transfers).
+    pub prep_cycles: u64,
+    /// Computation cycles (systolic streaming + pipeline fill).
+    pub compute_cycles: u64,
+    /// Cycles stalled purely on DRAM beyond the shifting overlap.
+    pub stall_cycles: u64,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Off-chip traffic, bytes.
+    pub dram_bytes: u64,
+    /// Number of weight mappings processed.
+    pub mappings: u64,
+    /// Dynamic energy spent in this layer.
+    pub energy: EnergyBreakdown,
+}
+
+impl LayerStats {
+    /// Total cycles for this layer.
+    pub fn total_cycles(&self) -> u64 {
+        self.prep_cycles + self.compute_cycles + self.stall_cycles
+    }
+}
+
+/// Whole-network simulation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Workload name.
+    pub network: String,
+    /// Design-point name.
+    pub design: String,
+    /// Input batch simulated.
+    pub batch: u32,
+    /// Clock frequency used, GHz.
+    pub frequency_ghz: f64,
+    /// Static power of the design, watts.
+    pub static_w: f64,
+    /// Peak throughput of the design, TMAC/s.
+    pub peak_tmacs: f64,
+    /// Per-layer rows.
+    pub layers: Vec<LayerStats>,
+}
+
+impl NetworkStats {
+    /// Total cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(LayerStats::total_cycles).sum()
+    }
+
+    /// Preparation cycles across all layers.
+    pub fn prep_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.prep_cycles + l.stall_cycles).sum()
+    }
+
+    /// Computation cycles across all layers.
+    pub fn compute_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.compute_cycles).sum()
+    }
+
+    /// Fraction of time spent preparing rather than computing — the
+    /// quantity Fig. 15 plots.
+    pub fn prep_fraction(&self) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.prep_cycles() as f64 / t as f64
+        }
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Wall-clock inference time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.total_cycles() as f64 * 1e-9 / self.frequency_ghz
+    }
+
+    /// Effective throughput, TMAC/s (the paper's speed-up metric).
+    pub fn effective_tmacs(&self) -> f64 {
+        self.total_macs() as f64 / self.time_s() / 1e12
+    }
+
+    /// Images per second.
+    pub fn images_per_s(&self) -> f64 {
+        f64::from(self.batch) / self.time_s()
+    }
+
+    /// PE utilization: effective over peak throughput.
+    pub fn pe_utilization(&self) -> f64 {
+        self.effective_tmacs() / self.peak_tmacs
+    }
+
+    /// Total off-chip traffic, bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.dram_bytes).sum()
+    }
+
+    /// Aggregated dynamic energy.
+    pub fn dynamic_energy(&self) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        for l in &self.layers {
+            e += l.energy;
+        }
+        e
+    }
+
+    /// Average dynamic power, watts.
+    pub fn dynamic_power_w(&self) -> f64 {
+        self.dynamic_energy().total_j() / self.time_s()
+    }
+
+    /// Average total chip power (static + dynamic), watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.static_w + self.dynamic_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(prep: u64, comp: u64, macs: u64) -> LayerStats {
+        LayerStats {
+            name: "l".into(),
+            prep_cycles: prep,
+            compute_cycles: comp,
+            stall_cycles: 0,
+            macs,
+            dram_bytes: 10,
+            mappings: 1,
+            energy: EnergyBreakdown {
+                pe_j: 1e-6,
+                buffer_j: 0.0,
+                dau_j: 0.0,
+                nw_j: 0.0,
+                clock_j: 0.0,
+            },
+        }
+    }
+
+    fn stats() -> NetworkStats {
+        NetworkStats {
+            network: "n".into(),
+            design: "d".into(),
+            batch: 2,
+            frequency_ghz: 50.0,
+            static_w: 10.0,
+            peak_tmacs: 100.0,
+            layers: vec![layer(900, 100, 1_000_000), layer(0, 100, 500_000)],
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = stats();
+        assert_eq!(s.total_cycles(), 1100);
+        assert_eq!(s.total_macs(), 1_500_000);
+        assert!((s.prep_fraction() - 900.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_and_throughput() {
+        let s = stats();
+        let t = 1100.0 * 1e-9 / 50.0;
+        assert!((s.time_s() - t).abs() < 1e-18);
+        assert!((s.effective_tmacs() - 1.5e6 / t / 1e12).abs() < 1e-6);
+        assert!(s.pe_utilization() > 0.0 && s.pe_utilization() < 1.0);
+    }
+
+    #[test]
+    fn power_includes_static() {
+        let s = stats();
+        assert!(s.total_power_w() > 10.0);
+        assert!((s.dynamic_power_w() - 2e-6 / s.time_s()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_breakdown_adds() {
+        let mut a = EnergyBreakdown::default();
+        a += EnergyBreakdown {
+            pe_j: 1.0,
+            buffer_j: 2.0,
+            dau_j: 3.0,
+            nw_j: 4.0,
+            clock_j: 5.0,
+        };
+        assert_eq!(a.total_j(), 15.0);
+    }
+}

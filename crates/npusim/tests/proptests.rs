@@ -1,0 +1,151 @@
+//! Property-based tests of the mapping and cycle models.
+
+use dnn_models::Layer;
+use proptest::prelude::*;
+use sfq_estimator::NpuConfig;
+use sfq_npu_sim::{enumerate_mappings, simulate_layer, SimConfig};
+
+fn conv_layer() -> impl Strategy<Value = Layer> {
+    (4u32..=56, 1u32..=128, 1u32..=512, prop_oneof![Just(1u32), Just(3), Just(5)], 1u32..=2)
+        .prop_map(|(hw, c, k, kernel, stride)| {
+            Layer::conv("p", (hw, hw), c, k, kernel, stride, kernel / 2)
+        })
+}
+
+fn npu_config() -> impl Strategy<Value = NpuConfig> {
+    (
+        prop_oneof![Just(16u32), Just(64), Just(128), Just(256)], // width
+        prop_oneof![Just(1u32), Just(2), Just(8)],                // regs
+        prop_oneof![Just(1u32), Just(16), Just(256)],             // division
+        any::<bool>(),                                            // integrated
+    )
+        .prop_map(|(width, regs, division, integrated)| NpuConfig {
+            name: "prop".into(),
+            array_width: width,
+            regs_per_pe: regs,
+            division,
+            integrated_output: integrated,
+            psum_buf_bytes: if integrated { 0 } else { 8 * 1024 * 1024 },
+            ..NpuConfig::paper_baseline()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mapping enumeration conserves MACs exactly for every layer and
+    /// machine shape.
+    #[test]
+    fn mapping_macs_conserved(l in conv_layer(), npu in npu_config(), batch in 1u32..=8) {
+        let total: u64 = enumerate_mappings(&l, &npu)
+            .iter()
+            .map(|m| m.macs(l.output_pixels(), batch))
+            .sum();
+        prop_assert_eq!(total, l.macs(batch));
+    }
+
+    /// Mappings respect the physical array bounds.
+    #[test]
+    fn mapping_bounds(l in conv_layer(), npu in npu_config()) {
+        for m in enumerate_mappings(&l, &npu) {
+            prop_assert!(m.active_rows >= 1 && m.active_rows <= npu.array_height);
+            prop_assert!(m.active_cols >= 1 && m.active_cols <= npu.array_width);
+            prop_assert!(m.reuse_per_pe >= 1 && m.reuse_per_pe <= npu.regs_per_pe);
+            prop_assert!(u64::from(m.active_filters)
+                <= u64::from(npu.array_width) * u64::from(npu.regs_per_pe));
+        }
+    }
+
+    /// Exactly the first row group of each column group starts a fresh
+    /// accumulation.
+    #[test]
+    fn accumulation_flags(l in conv_layer(), npu in npu_config()) {
+        let maps = enumerate_mappings(&l, &npu);
+        for m in &maps {
+            prop_assert_eq!(m.accumulates, m.row_group > 0);
+        }
+        let col_groups = maps.iter().map(|m| m.col_group).max().unwrap() + 1;
+        let fresh = maps.iter().filter(|m| !m.accumulates).count() as u32;
+        prop_assert_eq!(fresh, col_groups);
+    }
+
+    /// Layer simulation invariants: positive cycles, conserved MACs,
+    /// finite energy.
+    #[test]
+    fn layer_sim_invariants(l in conv_layer(), batch in 1u32..=4) {
+        let cfg = SimConfig::paper_supernpu();
+        let s = simulate_layer(&cfg, &l, batch, true);
+        prop_assert!(s.compute_cycles > 0);
+        prop_assert_eq!(s.macs, l.macs(batch));
+        let e = s.energy.total_j();
+        prop_assert!(e.is_finite() && e > 0.0);
+        prop_assert!(s.dram_bytes >= l.weight_bytes());
+    }
+
+    /// Dividing the buffers more never makes preparation slower.
+    #[test]
+    fn division_never_hurts_prep(l in conv_layer()) {
+        let lib = sfq_cells::CellLibrary::aist_10um();
+        let mut prev = u64::MAX;
+        for division in [1u32, 4, 16, 64, 256] {
+            let npu = NpuConfig {
+                division,
+                integrated_output: division > 1,
+                psum_buf_bytes: if division > 1 { 0 } else { 8 * 1024 * 1024 },
+                ..NpuConfig::paper_baseline()
+            };
+            let cfg = SimConfig::from_npu(npu, &lib);
+            let s = simulate_layer(&cfg, &l, 1, true);
+            prop_assert!(s.prep_cycles <= prev, "division {} prep {}", division, s.prep_cycles);
+            prev = s.prep_cycles;
+        }
+    }
+}
+
+mod functional_equivalence {
+    use super::*;
+    use sfq_npu_sim::functional::{golden_conv, run_conv_ws, Tensor3, Tensor4};
+
+    fn small_conv() -> impl Strategy<Value = Layer> {
+        (2u32..=6, 1u32..=4, 1u32..=9, prop_oneof![Just(1u32), Just(3)], 1u32..=2)
+            .prop_map(|(hw, c, k, kernel, stride)| {
+                Layer::conv("p", (hw.max(kernel), hw.max(kernel)), c, k, kernel, stride, kernel / 2)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The cycle-stepped weight-stationary array computes exactly
+        /// the golden convolution for arbitrary small layers and array
+        /// geometries — rows, columns and registers all tiling.
+        #[test]
+        fn systolic_equals_golden(
+            l in small_conv(),
+            height in prop_oneof![Just(4u32), Just(8), Just(16)],
+            width in prop_oneof![Just(2u32), Just(3), Just(8)],
+            regs in prop_oneof![Just(1u32), Just(2), Just(4)],
+            seed in 0u64..1000,
+        ) {
+            let (h, w) = l.input_hw();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+            let mut gen = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 32) as i32 % 13) - 6
+            };
+            let ifmap = Tensor3::from_fn(h as usize, w as usize, l.in_channels() as usize, |_, _, _| gen());
+            let weights = Tensor4::from_fn(
+                l.out_channels() as usize,
+                l.kernel() as usize,
+                l.kernel() as usize,
+                l.in_channels() as usize,
+                |_, _, _, _| gen(),
+            );
+            let golden = golden_conv(&l, &ifmap, &weights);
+            let systolic = run_conv_ws(&l, &ifmap, &weights, height, width, regs);
+            prop_assert_eq!(systolic, golden);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! CMOS accelerator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Systolic dataflow variants modeled by SCALE-SIM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weight stationary (the TPU's dataflow; the default).
+    #[default]
+    WeightStationary,
+    /// Output stationary.
+    OutputStationary,
+    /// Input stationary.
+    InputStationary,
+}
+
+/// Configuration of a conventional CMOS systolic-array NPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmosNpuConfig {
+    /// Design name.
+    pub name: String,
+    /// Array height (contraction rows).
+    pub array_height: u32,
+    /// Array width (filter columns).
+    pub array_width: u32,
+    /// Clock frequency, GHz.
+    pub frequency_ghz: f64,
+    /// Unified on-chip buffer, bytes.
+    pub buffer_bytes: u64,
+    /// DRAM bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Average chip power, watts (the paper takes the published 40 W
+    /// for the TPU core).
+    pub chip_power_w: f64,
+    /// Dataflow.
+    pub dataflow: Dataflow,
+}
+
+impl CmosNpuConfig {
+    /// The paper's TPU-core comparison point (Table I): 256×256 PEs at
+    /// 0.7 GHz, 24 MB unified buffer, 300 GB/s HBM, 40 W.
+    pub fn tpu_core() -> Self {
+        CmosNpuConfig {
+            name: "TPU".into(),
+            array_height: 256,
+            array_width: 256,
+            frequency_ghz: 0.7,
+            buffer_bytes: 24 * 1024 * 1024,
+            mem_bandwidth_gbs: 300.0,
+            chip_power_w: 40.0,
+            dataflow: Dataflow::WeightStationary,
+        }
+    }
+
+    /// Eyeriss-class edge accelerator (Chen et al., ISCA 2016): a
+    /// 12×14 PE array at 200 MHz with a 108 KB global buffer and a
+    /// modest LPDDR link.
+    pub fn eyeriss() -> Self {
+        CmosNpuConfig {
+            name: "Eyeriss".into(),
+            array_height: 12,
+            array_width: 14,
+            frequency_ghz: 0.2,
+            buffer_bytes: 108 * 1024,
+            mem_bandwidth_gbs: 12.8,
+            chip_power_w: 0.278,
+            dataflow: Dataflow::WeightStationary,
+        }
+    }
+
+    /// A hypothetical next-generation CMOS datacenter NPU: 512×512 at
+    /// 1 GHz with 64 MB of SRAM and a 900 GB/s HBM2e stack — the
+    /// strongest conventional comparison point in the extension study.
+    pub fn datacenter_big() -> Self {
+        CmosNpuConfig {
+            name: "BigCMOS".into(),
+            array_height: 512,
+            array_width: 512,
+            frequency_ghz: 1.0,
+            buffer_bytes: 64 * 1024 * 1024,
+            mem_bandwidth_gbs: 900.0,
+            chip_power_w: 250.0,
+            dataflow: Dataflow::WeightStationary,
+        }
+    }
+
+    /// Peak throughput, TMAC/s.
+    pub fn peak_tmacs(&self) -> f64 {
+        f64::from(self.array_height) * f64::from(self.array_width) * self.frequency_ghz * 1e9
+            / 1e12
+    }
+
+    /// DRAM bytes per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbs / self.frequency_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_peak_is_46_tmacs() {
+        // Paper Table I: 45 TMAC/s peak for the TPU core.
+        let p = CmosNpuConfig::tpu_core().peak_tmacs();
+        assert!((p - 45.9).abs() < 1.0, "peak {p:.1}");
+    }
+
+    #[test]
+    fn preset_peaks_are_plausible() {
+        // Eyeriss: 12×14×0.2 GHz ≈ 0.034 TMAC/s.
+        let e = CmosNpuConfig::eyeriss().peak_tmacs();
+        assert!((e - 0.0336).abs() < 0.001, "Eyeriss peak {e}");
+        // BigCMOS: 512×512×1 GHz ≈ 262 TMAC/s.
+        let b = CmosNpuConfig::datacenter_big().peak_tmacs();
+        assert!((b - 262.1).abs() < 1.0, "BigCMOS peak {b}");
+    }
+
+    #[test]
+    fn tpu_gets_hundreds_of_bytes_per_cycle() {
+        // 300 GB/s at 0.7 GHz ≈ 429 B/cycle — the CMOS machine is far
+        // less bandwidth-starved per cycle than the 52.6 GHz SFQ one.
+        let bpc = CmosNpuConfig::tpu_core().dram_bytes_per_cycle();
+        assert!(bpc > 400.0 && bpc < 450.0);
+    }
+}

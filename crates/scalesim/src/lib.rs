@@ -1,0 +1,32 @@
+//! # scale-sim
+//!
+//! A cycle model of conventional CMOS systolic-array DNN accelerators
+//! in the spirit of SCALE-SIM, which the SuperNPU paper uses to
+//! evaluate its TPU-core comparison point (§VI-A).
+//!
+//! The key physical difference from the SFQ machine: CMOS SRAM is
+//! random-access and double-buffered, so weight loading and operand
+//! staging hide behind computation — there is no shift-register
+//! "preparation" tax. Performance is bounded by systolic streaming
+//! cycles and the DRAM bandwidth roofline.
+//!
+//! # Example
+//!
+//! ```
+//! use scale_sim::{CmosNpuConfig, simulate_network};
+//! use dnn_models::zoo;
+//!
+//! let tpu = CmosNpuConfig::tpu_core();
+//! let stats = simulate_network(&tpu, &zoo::resnet50());
+//! // The TPU core sustains double-digit TMAC/s on ResNet-50.
+//! assert!(stats.effective_tmacs() > 5.0 && stats.effective_tmacs() < 46.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod sim;
+
+pub use config::{CmosNpuConfig, Dataflow};
+pub use sim::{simulate_layer, simulate_network, simulate_network_with_batch, CmosLayerStats, CmosNetworkStats};

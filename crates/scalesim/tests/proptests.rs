@@ -1,0 +1,67 @@
+//! Property-based tests of the CMOS systolic cycle model.
+
+use dnn_models::{Layer, Network};
+use proptest::prelude::*;
+use scale_sim::{simulate_layer, simulate_network_with_batch, CmosNpuConfig, Dataflow};
+
+fn conv_layer() -> impl Strategy<Value = Layer> {
+    (4u32..=56, 1u32..=256, 1u32..=512, prop_oneof![Just(1u32), Just(3), Just(5)])
+        .prop_map(|(hw, c, k, kernel)| Layer::conv("p", (hw, hw), c, k, kernel, 1, kernel / 2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MACs are conserved for every dataflow.
+    #[test]
+    fn macs_conserved_all_dataflows(l in conv_layer(), batch in 1u32..=8) {
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary, Dataflow::InputStationary] {
+            let mut cfg = CmosNpuConfig::tpu_core();
+            cfg.dataflow = df;
+            let s = simulate_layer(&cfg, &l, batch);
+            prop_assert_eq!(s.macs, l.macs(batch), "{:?}", df);
+        }
+    }
+
+    /// The machine can never beat its peak throughput.
+    #[test]
+    fn bounded_by_peak(l in conv_layer(), batch in 1u32..=8) {
+        let cfg = CmosNpuConfig::tpu_core();
+        let net = Network::new("p", vec![l]);
+        let s = simulate_network_with_batch(&cfg, &net, batch);
+        prop_assert!(s.pe_utilization() <= 1.0 + 1e-9, "util {}", s.pe_utilization());
+        prop_assert!(s.effective_tmacs() > 0.0);
+    }
+
+    /// Compute cycles at least cover the ideal streaming lower bound.
+    #[test]
+    fn streaming_lower_bound(l in conv_layer(), batch in 1u32..=4) {
+        let cfg = CmosNpuConfig::tpu_core();
+        let s = simulate_layer(&cfg, &l, batch);
+        let ideal = l.macs(batch)
+            / (u64::from(cfg.array_height) * u64::from(cfg.array_width));
+        prop_assert!(s.compute_cycles >= ideal,
+            "compute {} below ideal {}", s.compute_cycles, ideal);
+    }
+
+    /// A wider link never slows a layer down.
+    #[test]
+    fn bandwidth_monotone(l in conv_layer()) {
+        let mut slow = CmosNpuConfig::tpu_core();
+        slow.mem_bandwidth_gbs = 50.0;
+        let mut fast = CmosNpuConfig::tpu_core();
+        fast.mem_bandwidth_gbs = 1000.0;
+        let a = simulate_layer(&slow, &l, 2);
+        let b = simulate_layer(&fast, &l, 2);
+        prop_assert!(b.total_cycles() <= a.total_cycles());
+    }
+
+    /// DRAM traffic covers at least the compulsory set.
+    #[test]
+    fn traffic_lower_bound(l in conv_layer(), batch in 1u32..=4) {
+        let cfg = CmosNpuConfig::tpu_core();
+        let s = simulate_layer(&cfg, &l, batch);
+        let compulsory = l.weight_bytes() + l.ifmap_bytes(batch) + l.ofmap_bytes(batch);
+        prop_assert!(s.dram_bytes >= compulsory);
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-layer inference anatomy: where the cycles go when a CNN runs on
+//! an SFQ NPU, for both the naïve Baseline and the optimized SuperNPU.
+//! This is the per-layer view behind the paper's Fig. 15.
+//!
+//! Run with: `cargo run --example cnn_inference --release [network]`
+//! where `network` is one of alexnet, fasterrcnn, googlenet,
+//! mobilenet, resnet50, vgg16 (default: googlenet).
+
+use dnn_models::{zoo, Network};
+use sfq_npu_sim::{simulate_network, SimConfig};
+
+fn pick(name: &str) -> Network {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => zoo::alexnet(),
+        "fasterrcnn" => zoo::faster_rcnn(),
+        "googlenet" => zoo::googlenet(),
+        "mobilenet" => zoo::mobilenet(),
+        "resnet50" => zoo::resnet50(),
+        "vgg16" => zoo::vgg16(),
+        other => {
+            eprintln!("unknown network '{other}', using googlenet");
+            zoo::googlenet()
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "googlenet".into());
+    let net = pick(&name);
+    println!("{net}");
+
+    for cfg in [SimConfig::paper_baseline(), SimConfig::paper_supernpu()] {
+        let s = simulate_network(&cfg, &net);
+        println!(
+            "\n== {} (batch {}, {:.1} GHz) ==",
+            cfg.npu.name, s.batch, s.frequency_ghz
+        );
+        println!(
+            "{:18} {:>9} {:>12} {:>12} {:>10} {:>8}",
+            "layer", "mappings", "prep cyc", "compute cyc", "stall cyc", "MAC%"
+        );
+        let total_macs = s.total_macs() as f64;
+        // Print the five most expensive layers.
+        let mut by_cost: Vec<_> = s.layers.iter().collect();
+        by_cost.sort_by_key(|l| std::cmp::Reverse(l.total_cycles()));
+        for l in by_cost.iter().take(5) {
+            println!(
+                "{:18} {:>9} {:>12} {:>12} {:>10} {:>7.1}%",
+                l.name,
+                l.mappings,
+                l.prep_cycles,
+                l.compute_cycles,
+                l.stall_cycles,
+                100.0 * l.macs as f64 / total_macs
+            );
+        }
+        println!(
+            "totals: {:.2} ms for batch {}, {:.1} TMAC/s, prep fraction {:.1}%, {:.1} MB off-chip",
+            s.time_s() * 1e3,
+            s.batch,
+            s.effective_tmacs(),
+            100.0 * s.prep_fraction(),
+            s.dram_bytes() as f64 / 1e6
+        );
+        let e = s.dynamic_energy();
+        println!(
+            "energy: PE {:.1}% | buffers {:.1}% | DAU {:.1}% | NW {:.1}% | clock {:.1}%  (chip {:.2} W)",
+            100.0 * e.pe_j / e.total_j(),
+            100.0 * e.buffer_j / e.total_j(),
+            100.0 * e.dau_j / e.total_j(),
+            100.0 * e.nw_j / e.total_j(),
+            100.0 * e.clock_j / e.total_j(),
+            s.total_power_w()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration: sweep buffer division, PE-array width and
+//! per-PE registers to find your own SFQ-optimal NPU — the workflow of
+//! the paper's §V, driven through the public API.
+//!
+//! Run with: `cargo run --example design_space --release`
+
+use dnn_models::zoo;
+use sfq_cells::CellLibrary;
+use sfq_estimator::{estimate, NpuConfig};
+use sfq_npu_sim::{simulate_network, SimConfig};
+use supernpu::evaluator::geomean;
+
+const MB: u64 = 1024 * 1024;
+
+/// Geomean TMAC/s of a candidate over the six paper workloads.
+fn score(cfg: &SimConfig) -> f64 {
+    let v: Vec<f64> = zoo::all()
+        .iter()
+        .map(|n| simulate_network(cfg, n).effective_tmacs())
+        .collect();
+    geomean(&v)
+}
+
+fn main() {
+    let lib = CellLibrary::aist_10um();
+    let mut best: Option<(String, f64, f64)> = None;
+
+    println!("candidate                         geomean TMAC/s   area mm^2 @28nm");
+    println!("-------------------------------------------------------------------");
+    for width in [32u32, 64, 128] {
+        for division in [64u32, 256, 1024] {
+            for regs in [1u32, 4, 8] {
+                // Keep total silicon roughly constant: narrower arrays
+                // fund bigger buffers (the paper's Fig. 21 trade).
+                let buffer_mb = match width {
+                    32 => 50,
+                    64 => 46,
+                    _ => 38,
+                };
+                let npu = NpuConfig {
+                    name: format!("w{width}/d{division}/r{regs}"),
+                    array_width: width,
+                    regs_per_pe: regs,
+                    division,
+                    ifmap_buf_bytes: buffer_mb * MB / 2,
+                    output_buf_bytes: buffer_mb * MB / 2,
+                    psum_buf_bytes: 0,
+                    integrated_output: true,
+                    ..NpuConfig::paper_baseline()
+                };
+                let est = estimate(&npu, &lib);
+                let cfg = SimConfig::from_npu(npu, &lib);
+                let s = score(&cfg);
+                println!(
+                    "{:32}  {:14.1}   {:15.0}",
+                    cfg.npu.name, s, est.area_mm2_28nm
+                );
+                if best.as_ref().is_none_or(|(_, b, _)| s > *b) {
+                    best = Some((cfg.npu.name.clone(), s, est.area_mm2_28nm));
+                }
+            }
+        }
+    }
+
+    let (name, s, area) = best.expect("sweep is non-empty");
+    println!("\nbest candidate: {name} at {s:.1} TMAC/s ({area:.0} mm^2 @28nm)");
+    println!("paper's pick  : width 64, division 256, 8 regs (SuperNPU)");
+}

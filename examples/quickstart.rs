@@ -1,0 +1,49 @@
+//! Quickstart: estimate an SFQ NPU, simulate a CNN on it, and compare
+//! with the TPU core — the headline result of the paper in ~40 lines.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use dnn_models::zoo;
+use scale_sim::CmosNpuConfig;
+use sfq_cells::{BiasScheme, CellLibrary};
+use sfq_estimator::estimate;
+use sfq_npu_sim::{simulate_network, SimConfig};
+
+fn main() {
+    // 1. Architecture-level estimation: frequency, power, area.
+    let lib = CellLibrary::aist_10um();
+    let cfg = SimConfig::paper_supernpu();
+    let est = estimate(&cfg.npu, &lib);
+    println!("SuperNPU ({}):", lib.bias());
+    println!("  clock      : {:.1} GHz", est.frequency_ghz);
+    println!("  peak       : {:.0} TMAC/s", est.peak_tmacs);
+    println!("  static     : {:.0} W (RSFQ biasing)", est.static_w);
+    println!("  area       : {:.0} mm^2 scaled to 28 nm", est.area_mm2_28nm);
+    println!("  junctions  : {:.2} billion", est.jj_total as f64 / 1e9);
+
+    // 2. Cycle simulation of ResNet-50 inference.
+    let resnet = zoo::resnet50();
+    let sfq = simulate_network(&cfg, &resnet);
+    println!("\nResNet-50 on SuperNPU (batch {}):", sfq.batch);
+    println!("  throughput : {:.1} TMAC/s", sfq.effective_tmacs());
+    println!("  images/s   : {:.0}", sfq.images_per_s());
+    println!("  PE util    : {:.1}%", 100.0 * sfq.pe_utilization());
+
+    // 3. The conventional comparison point.
+    let tpu = scale_sim::simulate_network(&CmosNpuConfig::tpu_core(), &resnet);
+    println!("\nResNet-50 on the TPU core (batch {}):", tpu.batch);
+    println!("  throughput : {:.1} TMAC/s", tpu.effective_tmacs());
+    println!(
+        "\n=> SuperNPU speed-up: {:.1}x (paper: ~22x on ResNet-50)",
+        sfq.effective_tmacs() / tpu.effective_tmacs()
+    );
+
+    // 4. And the power story under ERSFQ biasing with free cooling.
+    let ersfq = cfg.with_bias(BiasScheme::Ersfq);
+    let s = simulate_network(&ersfq, &resnet);
+    println!(
+        "=> ERSFQ chip power: {:.2} W -> {:.0}x the TPU's perf/W with free cooling",
+        s.total_power_w(),
+        (s.effective_tmacs() / s.total_power_w()) / (tpu.effective_tmacs() / 40.0)
+    );
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate re-exporting the SuperNPU reproduction workspace.
+pub use supernpu as core;

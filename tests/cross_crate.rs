@@ -1,0 +1,117 @@
+//! Cross-crate consistency: quantities that two different crates
+//! compute independently must agree.
+
+use dnn_models::zoo;
+use sfq_cells::CellLibrary;
+use sfq_estimator::estimate;
+use sfq_npu_sim::{simulate_network, simulate_network_with_batch, SimConfig};
+use supernpu::designs::DesignPoint;
+
+/// The simulator must perform exactly the MACs the workload model
+/// counts, for every design and workload.
+#[test]
+fn macs_conserved_across_designs() {
+    for d in DesignPoint::SFQ_DESIGNS {
+        let cfg = d.sim_config();
+        for net in zoo::all() {
+            let s = simulate_network(&cfg, &net);
+            assert_eq!(
+                s.total_macs(),
+                net.total_macs(s.batch),
+                "{} on {}",
+                net.name(),
+                cfg.npu.name
+            );
+        }
+    }
+}
+
+/// The simulator's reported peak must match the estimator's.
+#[test]
+fn peak_throughput_matches_estimator() {
+    let lib = CellLibrary::aist_10um();
+    for d in DesignPoint::SFQ_DESIGNS {
+        let cfg = d.sim_config();
+        let est = estimate(&cfg.npu, &lib);
+        let s = simulate_network(&cfg, &zoo::alexnet());
+        assert!(
+            (s.peak_tmacs - est.peak_tmacs).abs() < 1e-9,
+            "{}: {} vs {}",
+            cfg.npu.name,
+            s.peak_tmacs,
+            est.peak_tmacs
+        );
+    }
+}
+
+/// Effective throughput can never exceed peak.
+#[test]
+fn effective_never_exceeds_peak() {
+    for d in DesignPoint::SFQ_DESIGNS {
+        let cfg = d.sim_config();
+        for net in zoo::all() {
+            let s = simulate_network(&cfg, &net);
+            assert!(
+                s.pe_utilization() <= 1.0 + 1e-9,
+                "{} on {}: util {:.3}",
+                net.name(),
+                cfg.npu.name,
+                s.pe_utilization()
+            );
+        }
+    }
+}
+
+/// Throughput is monotone non-decreasing in batch (prep amortizes;
+/// nothing in the model should penalize larger on-chip batches).
+#[test]
+fn batch_monotonicity() {
+    let cfg = SimConfig::paper_supernpu();
+    let net = zoo::googlenet();
+    let mut prev = 0.0;
+    for b in [1u32, 2, 4, 8, 16, 30] {
+        let t = simulate_network_with_batch(&cfg, &net, b).effective_tmacs();
+        assert!(t >= prev * 0.999, "batch {b}: {t:.1} after {prev:.1}");
+        prev = t;
+    }
+}
+
+/// More memory bandwidth can only help.
+#[test]
+fn bandwidth_monotonicity() {
+    let mut cfg = SimConfig::paper_supernpu();
+    let net = zoo::vgg16();
+    let mut prev = 0.0;
+    for bw in [100.0, 300.0, 900.0, 2700.0] {
+        cfg.mem_bandwidth_gbs = bw;
+        let t = simulate_network(&cfg, &net).effective_tmacs();
+        assert!(t >= prev, "bw {bw}: {t:.1} after {prev:.1}");
+        prev = t;
+    }
+}
+
+/// ERSFQ re-estimation changes power but not a single cycle.
+#[test]
+fn bias_scheme_is_performance_neutral() {
+    let rsfq = SimConfig::paper_supernpu();
+    let ersfq = rsfq.with_bias(sfq_cells::BiasScheme::Ersfq);
+    for net in zoo::all() {
+        let a = simulate_network(&rsfq, &net);
+        let b = simulate_network(&ersfq, &net);
+        assert_eq!(a.total_cycles(), b.total_cycles(), "{}", net.name());
+        assert!(b.total_power_w() < a.total_power_w(), "{}", net.name());
+    }
+}
+
+/// The workload zoo's intensity ordering must show up in the TPU
+/// comparator: depthwise-heavy MobileNet utilizes the 256-tall array
+/// worst among the ImageNet CNNs.
+#[test]
+fn tpu_utilization_ordering() {
+    let tpu = scale_sim::CmosNpuConfig::tpu_core();
+    let mob = scale_sim::simulate_network(&tpu, &zoo::mobilenet()).pe_utilization();
+    for net in [zoo::vgg16(), zoo::resnet50(), zoo::googlenet(), zoo::alexnet()] {
+        let u = scale_sim::simulate_network(&tpu, &net).pe_utilization();
+        assert!(u > mob, "{} util {u:.3} <= MobileNet {mob:.3}", net.name());
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's simulator takes "DNN description" and "architecture
+//! description" files as inputs (Fig. 10 / Fig. 14). These tests
+//! exercise the same JSON-file workflow end to end.
+
+use dnn_models::{Layer, Network};
+use sfq_cells::CellLibrary;
+use sfq_npu_sim::{simulate_network, SimConfig};
+
+/// A user-authored DNN description (JSON) runs through the simulator.
+#[test]
+fn custom_network_from_json() {
+    let net = Network::new(
+        "TinyNet",
+        vec![
+            Layer::conv("stem", (32, 32), 3, 16, 3, 1, 1),
+            Layer::conv("body", (32, 32), 16, 32, 3, 2, 1),
+            Layer::fully_connected("head", 16 * 16 * 32, 10),
+        ],
+    );
+    let json = net.to_json();
+    let parsed = Network::from_json(&json).expect("round trips");
+    assert_eq!(parsed, net);
+
+    let cfg = SimConfig::paper_supernpu();
+    let s = simulate_network(&cfg, &parsed);
+    assert_eq!(s.total_macs(), parsed.total_macs(s.batch));
+    assert!(s.effective_tmacs() > 0.0);
+}
+
+/// A malformed description is rejected, not misread.
+#[test]
+fn malformed_description_is_an_error() {
+    assert!(Network::from_json("{\"name\": 42}").is_err());
+    assert!(Network::from_json("not json at all").is_err());
+}
+
+/// An architecture description (SimConfig) round-trips through JSON,
+/// including the estimator-derived physical numbers.
+#[test]
+fn architecture_description_roundtrip() {
+    let cfg = SimConfig::paper_supernpu();
+    let json = serde_json::to_string_pretty(&cfg).expect("serializes");
+    let parsed: SimConfig = serde_json::from_str(&json).expect("parses");
+    assert_eq!(parsed, cfg);
+}
+
+/// A cell-library characterization archives and reloads.
+#[test]
+fn cell_library_roundtrip() {
+    let lib = CellLibrary::aist_10um();
+    let parsed = CellLibrary::from_json(&lib.to_json()).expect("valid library");
+    assert_eq!(parsed, lib);
+}
+
+/// Simulation results serialize for archival (the workflow every
+/// experiment binary supports through serde).
+#[test]
+fn results_serialize() {
+    let cfg = SimConfig::paper_baseline();
+    let s = simulate_network(&cfg, &dnn_models::zoo::alexnet());
+    let json = serde_json::to_string(&s).expect("serializes");
+    assert!(json.contains("AlexNet"));
+    let parsed: sfq_npu_sim::NetworkStats = serde_json::from_str(&json).expect("parses");
+    assert_eq!(parsed.total_cycles(), s.total_cycles());
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration tests of the paper's headline claims,
+//! exercising every crate together through the public API.
+
+use supernpu::designs::DesignPoint;
+use supernpu::evaluator::{
+    average_speedup, fig15_cycle_breakdown, fig23_performance, table1_setup, table3_power,
+};
+
+/// §VI-B / Fig. 23: SuperNPU outperforms the TPU core by tens of times
+/// (paper: 23×), while the unoptimized Baseline falls *below* the TPU
+/// (paper: 0.4×).
+#[test]
+fn headline_speedup() {
+    let rows = fig23_performance();
+    let supernpu = average_speedup(&rows, DesignPoint::SuperNpu);
+    let baseline = average_speedup(&rows, DesignPoint::Baseline);
+    assert!(
+        supernpu > 10.0 && supernpu < 40.0,
+        "SuperNPU speedup {supernpu:.1} outside the reproduction band"
+    );
+    assert!(baseline < 1.0, "Baseline must trail the TPU, got {baseline:.2}");
+}
+
+/// §I / §V: the architectural optimizations span a performance variance
+/// of tens of times (paper: "around 60 times").
+#[test]
+fn optimization_swing_is_tens_of_x() {
+    let rows = fig23_performance();
+    let swing = average_speedup(&rows, DesignPoint::SuperNpu)
+        / average_speedup(&rows, DesignPoint::Baseline);
+    assert!(swing > 20.0, "optimization swing {swing:.0}x");
+}
+
+/// Fig. 23 ordering: each optimization step helps, on every workload
+/// the geomean ordering is monotone.
+#[test]
+fn optimizations_are_monotone_in_geomean() {
+    let rows = fig23_performance();
+    let mut prev = 0.0;
+    for d in DesignPoint::SFQ_DESIGNS {
+        let s = average_speedup(&rows, d);
+        assert!(s > prev, "{d} regressed: {s:.2} after {prev:.2}");
+        prev = s;
+    }
+}
+
+/// Fig. 15: the naïve design drowns in preparation cycles.
+#[test]
+fn baseline_preparation_dominates() {
+    for row in fig15_cycle_breakdown() {
+        assert!(
+            row.preparation > 0.75,
+            "{}: preparation only {:.0}%",
+            row.network,
+            100.0 * row.preparation
+        );
+    }
+}
+
+/// Table I: the SFQ machines clock near 52.6 GHz — ~75× the TPU's
+/// 0.7 GHz — and their 28 nm-equivalent area stays under the TPU die.
+#[test]
+fn table1_frequency_and_area() {
+    let rows = table1_setup();
+    let tpu = &rows[0];
+    assert_eq!(tpu.design, "TPU");
+    for r in &rows[1..] {
+        assert!(
+            (r.frequency_ghz - 52.6).abs() < 2.0,
+            "{}: {:.1} GHz",
+            r.design,
+            r.frequency_ghz
+        );
+        assert!(
+            r.frequency_ghz / tpu.frequency_ghz > 60.0,
+            "{}: SFQ clock advantage lost",
+            r.design
+        );
+        assert!(r.area_mm2_28nm < 330.0, "{}: {:.0} mm²", r.design, r.area_mm2_28nm);
+    }
+}
+
+/// Table III: the four power rows keep the paper's ordering —
+/// ERSFQ free-cooled ≫ TPU ≳ ERSFQ cooled > RSFQ uncooled ≫ RSFQ cooled.
+#[test]
+fn table3_efficiency_ordering() {
+    let rows = table3_power();
+    let eff = |name: &str| {
+        rows.iter()
+            .find(|r| r.variant.starts_with(name))
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .perf_per_watt_vs_tpu
+    };
+    let ersfq_free = eff("ERSFQ-SuperNPU (w/o");
+    let ersfq_cooled = eff("ERSFQ-SuperNPU (w/ ");
+    let rsfq_free = eff("RSFQ-SuperNPU (w/o");
+    let rsfq_cooled = eff("RSFQ-SuperNPU (w/ ");
+    assert!(ersfq_free > 100.0, "ERSFQ free-cooled {ersfq_free:.0}");
+    assert!(ersfq_free > ersfq_cooled);
+    assert!(ersfq_cooled > rsfq_free);
+    assert!(rsfq_free > rsfq_cooled);
+    assert!(rsfq_cooled < 0.01, "RSFQ cooled {rsfq_cooled:.4}");
+}
+
+/// MobileNet benefits most from the narrow array (paper: ~42×, the
+/// highest of the six workloads).
+#[test]
+fn mobilenet_gets_best_speedup() {
+    let rows = fig23_performance();
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.speedup(DesignPoint::SuperNpu)
+                .partial_cmp(&b.speedup(DesignPoint::SuperNpu))
+                .expect("finite speedups")
+        })
+        .expect("non-empty rows");
+    assert_eq!(best.network, "MobileNet");
+}
