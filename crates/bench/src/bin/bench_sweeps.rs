@@ -1,0 +1,100 @@
+//! Wall-clock benchmark of the parallel sweep engine: time the
+//! Fig. 20/21/22 design-space sweeps serially (one thread) and with
+//! the full worker pool, verify the outputs are bit-identical, and
+//! write the measurements to `BENCH_sweeps.json`.
+//!
+//! The memo caches (estimator, characterization) are cleared before
+//! every timed run so each configuration pays the same cold-start
+//! cost; without that, whichever run goes second would win on cache
+//! hits rather than on parallelism.
+
+use std::time::Instant;
+
+use serde_json::Value;
+use supernpu::explore::{fig20_buffer_sweep, fig21_resource_sweep, fig22_register_sweep};
+
+struct SweepResult {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+/// Best-of-3 wall clock; min (not mean) because scheduling noise only
+/// ever adds time.
+fn timed(run: &dyn Fn() -> String, threads: usize) -> (String, f64) {
+    sfq_par::set_threads(threads);
+    let mut best = f64::INFINITY;
+    let mut out = String::new();
+    for _ in 0..3 {
+        sfq_estimator::clear_estimate_cache();
+        sfq_chars::clear_measure_cache();
+        let t0 = Instant::now();
+        out = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (out, best)
+}
+
+fn bench(name: &'static str, run: &dyn Fn() -> String, pool: usize) -> SweepResult {
+    // Warm-up pass so page faults and lazy statics land outside the
+    // measured window.
+    let _ = run();
+    let (serial_out, serial_ms) = timed(run, 1);
+    let (parallel_out, parallel_ms) = timed(run, pool);
+    let identical = serial_out == parallel_out;
+    println!(
+        "{name}: serial {serial_ms:8.1} ms | parallel {parallel_ms:8.1} ms | \
+         speedup {:4.2}x | identical: {identical}",
+        serial_ms / parallel_ms
+    );
+    SweepResult { name, serial_ms, parallel_ms, identical }
+}
+
+fn main() {
+    let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
+    supernpu_bench::header(
+        "BENCH sweeps",
+        "serial-vs-parallel wall clock of the Fig. 20-22 sweeps",
+    );
+    println!("worker pool: {pool} thread(s)\n");
+
+    let sweeps: [(&'static str, &dyn Fn() -> String); 3] = [
+        ("fig20_buffer_sweep", &|| {
+            serde_json::to_string(&fig20_buffer_sweep()).unwrap()
+        }),
+        ("fig21_resource_sweep", &|| {
+            serde_json::to_string(&fig21_resource_sweep()).unwrap()
+        }),
+        ("fig22_register_sweep", &|| {
+            serde_json::to_string(&fig22_register_sweep()).unwrap()
+        }),
+    ];
+    let results: Vec<SweepResult> =
+        sweeps.iter().map(|(name, run)| bench(name, *run, pool)).collect();
+
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("name".into(), Value::Str(r.name.into())),
+                ("serial_ms".into(), Value::F64(r.serial_ms)),
+                ("parallel_ms".into(), Value::F64(r.parallel_ms)),
+                ("speedup".into(), Value::F64(r.serial_ms / r.parallel_ms)),
+                ("identical_output".into(), Value::Bool(r.identical)),
+            ])
+        })
+        .collect();
+    let report = Value::Object(vec![
+        ("threads".into(), Value::U64(pool as u64)),
+        ("sweeps".into(), Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_sweeps.json", &json).expect("write BENCH_sweeps.json");
+    println!("\nwrote BENCH_sweeps.json");
+
+    if results.iter().any(|r| !r.identical) {
+        eprintln!("ERROR: parallel output diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -6,14 +6,16 @@
 //! (Figs. 4–9); these ablations quantify the same choices at the
 //! architecture level with the full simulator.
 
+use dnn_models::Network;
 use serde::{Deserialize, Serialize};
 use sfq_cells::{CellLibrary, GateKind};
 use sfq_estimator::clocking::{feedback_comparison, Clocking, PairTiming};
 use sfq_estimator::netdesign::NetworkDesign;
-use sfq_npu_sim::{simulate_network, SimConfig};
+use sfq_npu_sim::SimConfig;
+use sfq_par::par_map;
 
 use crate::designs::DesignPoint;
-use crate::evaluator::{geomean, paper_workloads};
+use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
 
 /// One ablation row: the design choice, the alternative, and the
 /// geomean throughput with each.
@@ -34,12 +36,8 @@ impl AblationRow {
     }
 }
 
-fn geomean_tmacs(cfg: &SimConfig) -> f64 {
-    let v: Vec<f64> = paper_workloads()
-        .iter()
-        .map(|n| simulate_network(cfg, n).effective_tmacs())
-        .collect();
-    geomean(&v)
+fn geomean_tmacs(cfg: &SimConfig, nets: &[Network]) -> f64 {
+    geomean_tmacs_over(cfg, nets, false)
 }
 
 /// Scale a config's clock (and therefore everything cycle-timed) by a
@@ -57,6 +55,7 @@ fn with_frequency(cfg: &SimConfig, frequency_ghz: f64) -> SimConfig {
 /// drops to the Fig. 7(c) feedback frequency ratio).
 pub fn ablation_dataflow() -> AblationRow {
     let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
     let ws = DesignPoint::SuperNpu.sim_config();
     let fb = feedback_comparison(&lib);
     // The OS PE's multiply-accumulate loop clocks like the
@@ -68,8 +67,8 @@ pub fn ablation_dataflow() -> AblationRow {
     let os = with_frequency(&ws, os_frequency);
     AblationRow {
         choice: "PE dataflow: weight-stationary vs output-stationary".into(),
-        adopted_tmacs: geomean_tmacs(&ws),
-        alternative_tmacs: geomean_tmacs(&os),
+        adopted_tmacs: geomean_tmacs(&ws, &nets),
+        alternative_tmacs: geomean_tmacs(&os, &nets),
     }
 }
 
@@ -78,6 +77,7 @@ pub fn ablation_dataflow() -> AblationRow {
 /// mismatch caps the whole chip's clock (Fig. 5(a)).
 pub fn ablation_network() -> AblationRow {
     let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
     let systolic = DesignPoint::SuperNpu.sim_config();
     let width = systolic.npu.array_width;
     let tree_cct_ps = NetworkDesign::SplitterTree2d.critical_path_ps(width, &lib);
@@ -85,8 +85,8 @@ pub fn ablation_network() -> AblationRow {
     let tree = with_frequency(&systolic, tree_ghz);
     AblationRow {
         choice: "on-chip network: systolic chain vs 2D splitter tree".into(),
-        adopted_tmacs: geomean_tmacs(&systolic),
-        alternative_tmacs: geomean_tmacs(&tree),
+        adopted_tmacs: geomean_tmacs(&systolic, &nets),
+        alternative_tmacs: geomean_tmacs(&tree, &nets),
     }
 }
 
@@ -95,13 +95,14 @@ pub fn ablation_network() -> AblationRow {
 /// duplicated pixels (Fig. 8, >90% for VGG-class nets), slashing the
 /// effective ifmap capacity and therefore the on-chip batch.
 pub fn ablation_dau() -> AblationRow {
+    let nets = paper_workloads();
     let with_dau = DesignPoint::SuperNpu.sim_config();
     let mut without = with_dau.clone();
     // Average duplication across the six workloads ≈ 75–90%; model the
     // capacity loss with the per-network duplication factors by
     // derating the ifmap buffer by the geomean duplicated share.
     let dup = geomean(
-        &paper_workloads()
+        &nets
             .iter()
             .map(|n| {
                 1.0 - dnn_models::duplication::network_duplication(n).duplicated_ratio()
@@ -111,8 +112,8 @@ pub fn ablation_dau() -> AblationRow {
     without.npu.ifmap_buf_bytes = (with_dau.npu.ifmap_buf_bytes as f64 * dup) as u64;
     AblationRow {
         choice: "data-alignment unit: dedup vs duplicated ifmap buffering".into(),
-        adopted_tmacs: geomean_tmacs(&with_dau),
-        alternative_tmacs: geomean_tmacs(&without),
+        adopted_tmacs: geomean_tmacs(&with_dau, &nets),
+        alternative_tmacs: geomean_tmacs(&without, &nets),
     }
 }
 
@@ -121,6 +122,7 @@ pub fn ablation_dau() -> AblationRow {
 /// skew-tuning tooling would make).
 pub fn ablation_clocking() -> AblationRow {
     let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
     let tuned = DesignPoint::SuperNpu.sim_config();
     // Counter-flow PE critical pair: same gates, counter-flow scheme.
     let counter = PairTiming {
@@ -133,8 +135,8 @@ pub fn ablation_clocking() -> AblationRow {
     let conservative = with_frequency(&tuned, counter.frequency_ghz(&lib));
     AblationRow {
         choice: "clocking: concurrent-flow (skewed) vs counter-flow".into(),
-        adopted_tmacs: geomean_tmacs(&tuned),
-        alternative_tmacs: geomean_tmacs(&conservative),
+        adopted_tmacs: geomean_tmacs(&tuned, &nets),
+        alternative_tmacs: geomean_tmacs(&conservative, &nets),
     }
 }
 
@@ -146,6 +148,7 @@ pub fn ablation_clocking() -> AblationRow {
 /// dividing per-PE throughput by the datapath width.
 pub fn ablation_bitserial() -> AblationRow {
     let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
     let parallel = DesignPoint::SuperNpu.sim_config();
     let fb = feedback_comparison(&lib);
     let bits = f64::from(parallel.npu.bits);
@@ -155,20 +158,22 @@ pub fn ablation_bitserial() -> AblationRow {
     let serial = with_frequency(&parallel, serial_effective_ghz);
     AblationRow {
         choice: "PE arithmetic: bit-parallel pipelined vs bit-serial".into(),
-        adopted_tmacs: geomean_tmacs(&parallel),
-        alternative_tmacs: geomean_tmacs(&serial),
+        adopted_tmacs: geomean_tmacs(&parallel, &nets),
+        alternative_tmacs: geomean_tmacs(&serial, &nets),
     }
 }
 
-/// Run all five ablations.
+/// Run all five ablations, fanned out across threads (each ablation is
+/// independent; results keep this fixed order).
 pub fn all_ablations() -> Vec<AblationRow> {
-    vec![
-        ablation_dataflow(),
-        ablation_network(),
-        ablation_dau(),
-        ablation_clocking(),
-        ablation_bitserial(),
-    ]
+    let runs: [fn() -> AblationRow; 5] = [
+        ablation_dataflow,
+        ablation_network,
+        ablation_dau,
+        ablation_clocking,
+        ablation_bitserial,
+    ];
+    par_map(&runs, |run| run())
 }
 
 #[cfg(test)]

@@ -7,13 +7,34 @@ use scale_sim::{simulate_network as simulate_tpu, CmosNpuConfig};
 use serde::{Deserialize, Serialize};
 use sfq_cells::{BiasScheme, CellLibrary};
 use sfq_estimator::estimate;
-use sfq_npu_sim::{simulate_network, simulate_network_with_batch, structural_max_batch};
+use sfq_npu_sim::{
+    simulate_network, simulate_network_with_batch, structural_max_batch, SimConfig,
+};
+use sfq_par::par_map;
 
 use crate::designs::DesignPoint;
 
 /// The six evaluation workloads.
 pub fn paper_workloads() -> Vec<Network> {
     zoo::all()
+}
+
+/// Geomean effective TMAC/s of `cfg` across `nets`.
+///
+/// Takes the workload list as a parameter so sweeps load the zoo once
+/// and reuse it across every sweep point; the per-workload simulations
+/// fan out across threads (deterministically — results are reduced in
+/// workload order).
+pub fn geomean_tmacs_over(cfg: &SimConfig, nets: &[Network], single_batch: bool) -> f64 {
+    let v = par_map(nets, |n| {
+        let s = if single_batch {
+            simulate_network_with_batch(cfg, n, 1)
+        } else {
+            simulate_network(cfg, n)
+        };
+        s.effective_tmacs()
+    });
+    geomean(&v)
 }
 
 /// Geometric mean of positive values.
@@ -50,18 +71,15 @@ pub struct Fig15Row {
 /// Baseline's preparation-vs-computation cycle breakdown (Fig. 15).
 pub fn fig15_cycle_breakdown() -> Vec<Fig15Row> {
     let cfg = DesignPoint::Baseline.sim_config();
-    paper_workloads()
-        .iter()
-        .map(|net| {
-            let s = simulate_network(&cfg, net);
-            let prep = s.prep_fraction();
-            Fig15Row {
-                network: net.name().to_owned(),
-                preparation: prep,
-                computation: 1.0 - prep,
-            }
-        })
-        .collect()
+    par_map(&paper_workloads(), |net| {
+        let s = simulate_network(&cfg, net);
+        let prep = s.prep_fraction();
+        Fig15Row {
+            network: net.name().to_owned(),
+            preparation: prep,
+            computation: 1.0 - prep,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Fig 17
@@ -87,20 +105,17 @@ pub fn fig17_roofline() -> Vec<Fig17Row> {
     let cfg = DesignPoint::Baseline.sim_config();
     let peak = estimate(&cfg.npu, &CellLibrary::aist_10um()).peak_tmacs * 1e12;
     let bw = cfg.mem_bandwidth_gbs * 1e9;
-    paper_workloads()
-        .iter()
-        .map(|net| {
-            let i = intensity::network_intensity(net, 1);
-            let s = simulate_network_with_batch(&cfg, net, 1);
-            Fig17Row {
-                network: net.name().to_owned(),
-                intensity_mac_per_byte: i,
-                roofline_gmacs: intensity::roofline_macs_per_s(peak, bw, i) / 1e9,
-                effective_gmacs: s.effective_tmacs() * 1e3,
-                peak_gmacs: peak / 1e9,
-            }
-        })
-        .collect()
+    par_map(&paper_workloads(), |net| {
+        let i = intensity::network_intensity(net, 1);
+        let s = simulate_network_with_batch(&cfg, net, 1);
+        Fig17Row {
+            network: net.name().to_owned(),
+            intensity_mac_per_byte: i,
+            roofline_gmacs: intensity::roofline_macs_per_s(peak, bw, i) / 1e9,
+            effective_gmacs: s.effective_tmacs() * 1e3,
+            peak_gmacs: peak / 1e9,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Fig 23
@@ -141,21 +156,18 @@ pub fn fig23_performance() -> Vec<Fig23Row> {
         .iter()
         .map(|d| d.sim_config())
         .collect();
-    paper_workloads()
-        .iter()
-        .map(|net| {
-            let tpu_tmacs = simulate_tpu(&tpu, net).effective_tmacs();
-            let mut sfq = [0.0f64; 4];
-            for (slot, cfg) in sfq_cfgs.iter().enumerate() {
-                sfq[slot] = simulate_network(cfg, net).effective_tmacs();
-            }
-            Fig23Row {
-                network: net.name().to_owned(),
-                tpu_tmacs,
-                sfq_tmacs: sfq,
-            }
-        })
-        .collect()
+    par_map(&paper_workloads(), |net| {
+        let tpu_tmacs = simulate_tpu(&tpu, net).effective_tmacs();
+        let mut sfq = [0.0f64; 4];
+        for (slot, cfg) in sfq_cfgs.iter().enumerate() {
+            sfq[slot] = simulate_network(cfg, net).effective_tmacs();
+        }
+        Fig23Row {
+            network: net.name().to_owned(),
+            tpu_tmacs,
+            sfq_tmacs: sfq,
+        }
+    })
 }
 
 /// Geomean speed-up of one design over the TPU across all workloads.
@@ -242,25 +254,22 @@ pub struct Table2Row {
 /// The batch-size setup (Table II).
 pub fn table2_batches() -> Vec<Table2Row> {
     let tpu = CmosNpuConfig::tpu_core();
-    paper_workloads()
-        .iter()
-        .map(|net| {
-            let tpu_batch = dnn_models::batching::max_batch(
-                net,
-                tpu.buffer_bytes,
-                1.0,
-                dnn_models::batching::PAPER_BATCH_CAP,
-            );
-            let mut batches = [tpu_batch, 0, 0, 0, 0];
-            for (i, d) in DesignPoint::SFQ_DESIGNS.iter().enumerate() {
-                batches[i + 1] = structural_max_batch(&d.npu_config(), net);
-            }
-            Table2Row {
-                network: net.name().to_owned(),
-                batches,
-            }
-        })
-        .collect()
+    par_map(&paper_workloads(), |net| {
+        let tpu_batch = dnn_models::batching::max_batch(
+            net,
+            tpu.buffer_bytes,
+            1.0,
+            dnn_models::batching::PAPER_BATCH_CAP,
+        );
+        let mut batches = [tpu_batch, 0, 0, 0, 0];
+        for (i, d) in DesignPoint::SFQ_DESIGNS.iter().enumerate() {
+            batches[i + 1] = structural_max_batch(&d.npu_config(), net);
+        }
+        Table2Row {
+            network: net.name().to_owned(),
+            batches,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Table III
@@ -286,10 +295,7 @@ pub fn table3_power() -> Vec<Table3Row> {
 
     // Average TPU throughput and SuperNPU throughput/power across the
     // workloads.
-    let tpu_tmacs: Vec<f64> = nets
-        .iter()
-        .map(|n| simulate_tpu(&tpu, n).effective_tmacs())
-        .collect();
+    let tpu_tmacs = par_map(&nets, |n| simulate_tpu(&tpu, n).effective_tmacs());
     let tpu_perf = geomean(&tpu_tmacs);
     let tpu_eff = cryo::PowerEfficiency::new(tpu_perf, tpu.chip_power_w);
 
@@ -301,7 +307,7 @@ pub fn table3_power() -> Vec<Table3Row> {
 
     for bias in [BiasScheme::Rsfq, BiasScheme::Ersfq] {
         let cfg = DesignPoint::SuperNpu.sim_config().with_bias(bias);
-        let stats: Vec<_> = nets.iter().map(|n| simulate_network(&cfg, n)).collect();
+        let stats = par_map(&nets, |n| simulate_network(&cfg, n));
         let perf = geomean(&stats.iter().map(|s| s.effective_tmacs()).collect::<Vec<_>>());
         let chip_w: f64 =
             stats.iter().map(|s| s.total_power_w()).sum::<f64>() / stats.len() as f64;

@@ -1,29 +1,23 @@
 //! Design-space exploration sweeps (the paper's §V-B, Figs. 20–22).
 
+use dnn_models::Network;
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
 use sfq_estimator::{estimate, NpuConfig};
-use sfq_npu_sim::{simulate_network, simulate_network_with_batch, SimConfig};
+use sfq_npu_sim::SimConfig;
+use sfq_par::par_map;
 
-use crate::evaluator::{geomean, paper_workloads};
+use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
 
 const MB: u64 = 1024 * 1024;
 
 /// Geomean effective TMAC/s of a config across the six workloads.
-fn geomean_tmacs(cfg: &SimConfig, single_batch: bool) -> f64 {
-    let nets = paper_workloads();
-    let v: Vec<f64> = nets
-        .iter()
-        .map(|n| {
-            let s = if single_batch {
-                simulate_network_with_batch(cfg, n, 1)
-            } else {
-                simulate_network(cfg, n)
-            };
-            s.effective_tmacs()
-        })
-        .collect();
-    geomean(&v)
+///
+/// The workload list is passed in (loaded once per sweep) rather than
+/// re-instantiated per sweep point; see
+/// [`crate::evaluator::geomean_tmacs_over`].
+fn geomean_tmacs(cfg: &SimConfig, nets: &[Network], single_batch: bool) -> f64 {
+    geomean_tmacs_over(cfg, nets, single_batch)
 }
 
 // ---------------------------------------------------------------- Fig 20
@@ -48,20 +42,14 @@ pub struct BufferSweepPoint {
 /// and area, all normalized to Baseline.
 pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
     let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
     let baseline_cfg = SimConfig::paper_baseline();
-    let base_single = geomean_tmacs(&baseline_cfg, true);
-    let base_max = geomean_tmacs(&baseline_cfg, false);
+    let base_single = geomean_tmacs(&baseline_cfg, &nets, true);
+    let base_max = geomean_tmacs(&baseline_cfg, &nets, false);
     let base_area = estimate(&baseline_cfg.npu, &lib).area_mm2_native;
 
-    let mut points = vec![BufferSweepPoint {
-        label: "Baseline".into(),
-        division: 1,
-        single_batch: 1.0,
-        max_batch: 1.0,
-        area: 1.0,
-    }];
-
-    for division in [2u32, 4, 16, 64, 256, 1024, 4096] {
+    let divisions = [2u32, 4, 16, 64, 256, 1024, 4096];
+    let swept = par_map(&divisions, |&division| {
         let npu = NpuConfig {
             name: format!("+Division {division}"),
             division,
@@ -73,14 +61,23 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
             format!("+Division {division}")
         };
         let cfg = SimConfig::from_npu(npu, &lib);
-        points.push(BufferSweepPoint {
+        BufferSweepPoint {
             label,
             division,
-            single_batch: geomean_tmacs(&cfg, true) / base_single,
-            max_batch: geomean_tmacs(&cfg, false) / base_max,
+            single_batch: geomean_tmacs(&cfg, &nets, true) / base_single,
+            max_batch: geomean_tmacs(&cfg, &nets, false) / base_max,
             area: estimate(&cfg.npu, &lib).area_mm2_native / base_area,
-        });
-    }
+        }
+    });
+
+    let mut points = vec![BufferSweepPoint {
+        label: "Baseline".into(),
+        division: 1,
+        single_batch: 1.0,
+        max_batch: 1.0,
+        area: 1.0,
+    }];
+    points.extend(swept);
     points
 }
 
@@ -109,9 +106,9 @@ pub struct ResourceSweepPoint {
 /// schedule), and measure max-batch performance and intensity.
 pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     let lib = CellLibrary::aist_10um();
-    let baseline_cfg = SimConfig::paper_baseline();
-    let base_max = geomean_tmacs(&baseline_cfg, false);
     let nets = paper_workloads();
+    let baseline_cfg = SimConfig::paper_baseline();
+    let base_max = geomean_tmacs(&baseline_cfg, &nets, false);
     let base_intensity = geomean(
         &nets
             .iter()
@@ -122,9 +119,7 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     // The paper's width → total-buffer schedule (Fig. 21 x-axis).
     let schedule: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
 
-    schedule
-        .iter()
-        .map(|&(width, buffer_mb)| {
+    par_map(&schedule, |&(width, buffer_mb)| {
             let make = |total_mb: u64| {
                 let npu = NpuConfig {
                     name: format!("width {width}"),
@@ -156,12 +151,11 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
             ResourceSweepPoint {
                 width,
                 buffer_mb,
-                max_batch_fixed_buffer: geomean_tmacs(&fixed, false) / base_max,
-                max_batch_added_buffer: geomean_tmacs(&added, false) / base_max,
+                max_batch_fixed_buffer: geomean_tmacs(&fixed, &nets, false) / base_max,
+                max_batch_added_buffer: geomean_tmacs(&added, &nets, false) / base_max,
                 intensity,
             }
-        })
-        .collect()
+    })
 }
 
 // ---------------------------------------------------------------- Fig 22
@@ -181,31 +175,34 @@ pub struct RegisterSweepPoint {
 /// Fig. 21 "added buffer" capacities.
 pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
     let lib = CellLibrary::aist_10um();
-    let base_max = geomean_tmacs(&SimConfig::paper_baseline(), false);
-    let mut out = Vec::new();
+    let nets = paper_workloads();
+    let base_max = geomean_tmacs(&SimConfig::paper_baseline(), &nets, false);
+    let mut grid = Vec::new();
     for (width, buffer_mb) in [(64u32, 46u64), (128, 38)] {
         for regs in [1u32, 2, 4, 8, 16, 32] {
-            let npu = NpuConfig {
-                name: format!("w{width} r{regs}"),
-                array_width: width,
-                regs_per_pe: regs,
-                ifmap_buf_bytes: buffer_mb * MB / 2,
-                output_buf_bytes: buffer_mb * MB / 2,
-                psum_buf_bytes: 0,
-                integrated_output: true,
-                division: 64 * (256 / width).max(1),
-                weight_buf_bytes: 16 * 1024 * u64::from(regs),
-                ..NpuConfig::paper_baseline()
-            };
-            let cfg = SimConfig::from_npu(npu, &lib);
-            out.push(RegisterSweepPoint {
-                width,
-                regs,
-                performance: geomean_tmacs(&cfg, false) / base_max,
-            });
+            grid.push((width, buffer_mb, regs));
         }
     }
-    out
+    par_map(&grid, |&(width, buffer_mb, regs)| {
+        let npu = NpuConfig {
+            name: format!("w{width} r{regs}"),
+            array_width: width,
+            regs_per_pe: regs,
+            ifmap_buf_bytes: buffer_mb * MB / 2,
+            output_buf_bytes: buffer_mb * MB / 2,
+            psum_buf_bytes: 0,
+            integrated_output: true,
+            division: 64 * (256 / width).max(1),
+            weight_buf_bytes: 16 * 1024 * u64::from(regs),
+            ..NpuConfig::paper_baseline()
+        };
+        let cfg = SimConfig::from_npu(npu, &lib);
+        RegisterSweepPoint {
+            width,
+            regs,
+            performance: geomean_tmacs(&cfg, &nets, false) / base_max,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -5,9 +5,10 @@
 use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
 use sfq_estimator::{estimate, NpuConfig};
-use sfq_npu_sim::{simulate_network, SimConfig};
+use sfq_npu_sim::SimConfig;
+use sfq_par::par_map;
 
-use crate::evaluator::{geomean, paper_workloads};
+use crate::evaluator::{geomean_tmacs_over, paper_workloads};
 
 const MB: u64 = 1024 * 1024;
 
@@ -41,7 +42,10 @@ impl Candidate {
 }
 
 /// Evaluate a grid of candidates around the paper's design region.
-/// Candidates are independent, so the grid fans out across threads.
+/// Candidates are independent, so the grid fans out across threads
+/// via [`sfq_par::par_map`] (item-granular work stealing beats the
+/// previous fixed chunking: cheap narrow-array candidates no longer
+/// serialize behind expensive wide ones).
 pub fn evaluate_grid() -> Vec<Candidate> {
     let mut points = Vec::new();
     for &width in &[32u32, 64, 128, 256] {
@@ -52,9 +56,12 @@ pub fn evaluate_grid() -> Vec<Candidate> {
         }
     }
 
-    let evaluate = |&(width, buffer_mb, regs): &(u32, u64, u32)| -> Candidate {
-        let lib = CellLibrary::aist_10um();
-        let nets = paper_workloads();
+    // Shared across candidates: the cell library and workload zoo are
+    // immutable inputs, built once instead of once per grid point.
+    let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
+
+    par_map(&points, |&(width, buffer_mb, regs)| {
         let division = 64 * (256 / width).max(1);
         let npu = NpuConfig {
             name: format!("w{width}/b{buffer_mb}/r{regs}"),
@@ -69,12 +76,7 @@ pub fn evaluate_grid() -> Vec<Candidate> {
         };
         let est = estimate(&npu, &lib);
         let cfg = SimConfig::from_npu(npu.clone(), &lib);
-        let tmacs = geomean(
-            &nets
-                .iter()
-                .map(|n| simulate_network(&cfg, n).effective_tmacs())
-                .collect::<Vec<_>>(),
-        );
+        let tmacs = geomean_tmacs_over(&cfg, &nets, false);
         Candidate {
             name: npu.name,
             width,
@@ -84,19 +86,6 @@ pub fn evaluate_grid() -> Vec<Candidate> {
             tmacs,
             area_mm2: est.area_mm2_28nm,
         }
-    };
-
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(points.len());
-    let chunk = points.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || slice.iter().map(evaluate).collect::<Vec<_>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("grid worker does not panic"))
-            .collect()
     })
 }
 

@@ -11,20 +11,18 @@
 //!   4 K; perf/W across cold-stage temperatures at a fixed fraction
 //!   of Carnot.
 
+use dnn_models::Network;
 use serde::{Deserialize, Serialize};
 use sfq_cells::scaling;
+use sfq_par::par_map;
 
 use crate::designs::DesignPoint;
-use crate::evaluator::{geomean, paper_workloads};
+use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
 
-use sfq_npu_sim::{simulate_network, SimConfig};
+use sfq_npu_sim::SimConfig;
 
-fn geomean_tmacs(cfg: &SimConfig) -> f64 {
-    let v: Vec<f64> = paper_workloads()
-        .iter()
-        .map(|n| simulate_network(cfg, n).effective_tmacs())
-        .collect();
-    geomean(&v)
+fn geomean_tmacs(cfg: &SimConfig, nets: &[Network]) -> f64 {
+    geomean_tmacs_over(cfg, nets, false)
 }
 
 /// One bandwidth point.
@@ -48,26 +46,24 @@ impl BandwidthPoint {
 /// Sweep the off-chip bandwidth for both machines.
 pub fn bandwidth_sweep() -> Vec<BandwidthPoint> {
     let nets = paper_workloads();
-    [75.0f64, 150.0, 300.0, 600.0, 1200.0, 2400.0]
-        .iter()
-        .map(|&bw| {
-            let mut sfq = DesignPoint::SuperNpu.sim_config();
-            sfq.mem_bandwidth_gbs = bw;
-            let mut tpu = scale_sim::CmosNpuConfig::tpu_core();
-            tpu.mem_bandwidth_gbs = bw;
-            let tpu_tmacs = geomean(
-                &nets
-                    .iter()
-                    .map(|n| scale_sim::simulate_network(&tpu, n).effective_tmacs())
-                    .collect::<Vec<_>>(),
-            );
-            BandwidthPoint {
-                bandwidth_gbs: bw,
-                supernpu_tmacs: geomean_tmacs(&sfq),
-                tpu_tmacs,
-            }
-        })
-        .collect()
+    let links = [75.0f64, 150.0, 300.0, 600.0, 1200.0, 2400.0];
+    par_map(&links, |&bw| {
+        let mut sfq = DesignPoint::SuperNpu.sim_config();
+        sfq.mem_bandwidth_gbs = bw;
+        let mut tpu = scale_sim::CmosNpuConfig::tpu_core();
+        tpu.mem_bandwidth_gbs = bw;
+        let tpu_tmacs = geomean(
+            &nets
+                .iter()
+                .map(|n| scale_sim::simulate_network(&tpu, n).effective_tmacs())
+                .collect::<Vec<_>>(),
+        );
+        BandwidthPoint {
+            bandwidth_gbs: bw,
+            supernpu_tmacs: geomean_tmacs(&sfq, &nets),
+            tpu_tmacs,
+        }
+    })
 }
 
 /// One process-node point.
@@ -86,19 +82,18 @@ pub struct ProcessPoint {
 /// the gains.
 pub fn process_sweep() -> Vec<ProcessPoint> {
     let base = DesignPoint::SuperNpu.sim_config();
-    [1.0f64, 0.8, 0.5, 0.35, 0.2, 0.1]
-        .iter()
-        .map(|&feature| {
-            let factor = scaling::frequency_factor(1.0, feature);
-            let mut cfg = base.clone();
-            cfg.frequency_ghz = base.frequency_ghz * factor;
-            ProcessPoint {
-                feature_um: feature,
-                frequency_ghz: cfg.frequency_ghz,
-                supernpu_tmacs: geomean_tmacs(&cfg),
-            }
-        })
-        .collect()
+    let nets = paper_workloads();
+    let features = [1.0f64, 0.8, 0.5, 0.35, 0.2, 0.1];
+    par_map(&features, |&feature| {
+        let factor = scaling::frequency_factor(1.0, feature);
+        let mut cfg = base.clone();
+        cfg.frequency_ghz = base.frequency_ghz * factor;
+        ProcessPoint {
+            feature_um: feature,
+            frequency_ghz: cfg.frequency_ghz,
+            supernpu_tmacs: geomean_tmacs(&cfg, &nets),
+        }
+    })
 }
 
 /// One cooling point.
@@ -117,19 +112,16 @@ pub struct CoolingPoint {
 /// so warmer rows are hypothetical-technology what-ifs.
 pub fn cooling_sweep(ersfq_chip_w: f64, speedup: f64) -> Vec<CoolingPoint> {
     let tpu = cryo::PowerEfficiency::new(1.0, 40.0);
-    [4.2f64, 10.0, 20.0, 40.0, 77.0]
-        .iter()
-        .map(|&t| {
-            let model = cryo::CoolingModel::carnot(t, 17.6);
-            let eff =
-                cryo::PowerEfficiency::new(speedup, model.wall_power_w(ersfq_chip_w));
-            CoolingPoint {
-                temperature_k: t,
-                overhead: model.overhead_factor,
-                perf_per_watt_vs_tpu: eff.relative_to(&tpu),
-            }
-        })
-        .collect()
+    let stages = [4.2f64, 10.0, 20.0, 40.0, 77.0];
+    par_map(&stages, |&t| {
+        let model = cryo::CoolingModel::carnot(t, 17.6);
+        let eff = cryo::PowerEfficiency::new(speedup, model.wall_power_w(ersfq_chip_w));
+        CoolingPoint {
+            temperature_k: t,
+            overhead: model.overhead_factor,
+            perf_per_watt_vs_tpu: eff.relative_to(&tpu),
+        }
+    })
 }
 
 #[cfg(test)]

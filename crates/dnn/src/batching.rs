@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn at_least_one_even_when_oversized() {
-        let b = max_batch(&zoo::vgg16(), 1 * MB, 1.0, PAPER_BATCH_CAP);
+        let b = max_batch(&zoo::vgg16(), MB, 1.0, PAPER_BATCH_CAP);
         assert_eq!(b, 1);
     }
 

@@ -44,5 +44,7 @@ mod npu;
 mod structure;
 pub mod units;
 
-pub use npu::{estimate, NpuConfig, NpuEstimate, UnitBreakdown};
+pub use npu::{
+    clear_estimate_cache, estimate, estimate_cache_stats, NpuConfig, NpuEstimate, UnitBreakdown,
+};
 pub use structure::{GateCounts, GatePair, UnitModel};

@@ -2,6 +2,9 @@
 //! models into whole-NPU frequency, power, area and per-access energy
 //! numbers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use sfq_cells::{scaling, CellLibrary, GateKind};
 
@@ -236,13 +239,90 @@ fn inter_unit_pairs(lib: &CellLibrary, skew_ps: f64) -> Vec<PairTiming> {
     ]
 }
 
+// ------------------------------------------------------------ memoization
+
+/// Bit-exact fingerprint of everything in a [`CellLibrary`] that can
+/// influence an estimate: the numeric device parameters, the bias
+/// scheme, and every gate row (in the library's stable iteration
+/// order). Two libraries with equal fingerprints produce bit-identical
+/// estimates, so a memo hit can never change a result.
+fn library_fingerprint(lib: &CellLibrary) -> Vec<u64> {
+    let d = lib.device();
+    let mut fp = vec![
+        d.feature_um.to_bits(),
+        d.bias_mv.to_bits(),
+        d.critical_current_ua.to_bits(),
+        d.area_per_jj_um2.to_bits(),
+        d.temperature_k.to_bits(),
+        d.bias.energy_factor().to_bits(),
+    ];
+    for (_, g) in lib.iter() {
+        fp.push(g.delay_ps.to_bits());
+        fp.push(g.setup_ps.to_bits());
+        fp.push(g.hold_ps.to_bits());
+        fp.push(g.static_uw.to_bits());
+        fp.push(g.energy_aj.to_bits());
+        fp.push(u64::from(g.jj_count));
+    }
+    fp
+}
+
+type EstimateKey = (NpuConfig, Vec<u64>);
+
+/// Process-wide memo of completed estimates. Sweeps re-estimate the
+/// same handful of design points (baselines, normalization anchors)
+/// many times; a linear scan over the few dozen distinct keys is far
+/// cheaper than one estimation. Cleared wholesale if it ever grows
+/// past a bound no legitimate sweep reaches.
+static ESTIMATE_CACHE: RwLock<Vec<(EstimateKey, NpuEstimate)>> = RwLock::new(Vec::new());
+static ESTIMATE_HITS: AtomicU64 = AtomicU64::new(0);
+static ESTIMATE_MISSES: AtomicU64 = AtomicU64::new(0);
+const ESTIMATE_CACHE_CAP: usize = 1024;
+
+/// `(hits, misses)` of the estimate memo since process start (or the
+/// last [`clear_estimate_cache`]).
+pub fn estimate_cache_stats() -> (u64, u64) {
+    (ESTIMATE_HITS.load(Ordering::Relaxed), ESTIMATE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Drop all memoized estimates and reset the hit/miss counters.
+pub fn clear_estimate_cache() {
+    let mut cache = ESTIMATE_CACHE.write();
+    cache.clear();
+    ESTIMATE_HITS.store(0, Ordering::Relaxed);
+    ESTIMATE_MISSES.store(0, Ordering::Relaxed);
+}
+
 /// Run the full three-layer estimation for `cfg` under `lib`.
+///
+/// Results are memoized process-wide on the configuration plus a
+/// bit-exact library fingerprint, so sweeps that re-estimate the same
+/// design point (every normalized figure divides by a baseline
+/// estimate) pay for it once.
 ///
 /// # Panics
 ///
 /// Panics if the configuration has zero-sized fields (the unit models
 /// assert their inputs).
 pub fn estimate(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
+    let key: EstimateKey = (cfg.clone(), library_fingerprint(lib));
+    if let Some((_, est)) = ESTIMATE_CACHE.read().iter().find(|(k, _)| *k == key) {
+        ESTIMATE_HITS.fetch_add(1, Ordering::Relaxed);
+        return est.clone();
+    }
+    ESTIMATE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let est = estimate_uncached(cfg, lib);
+    let mut cache = ESTIMATE_CACHE.write();
+    if cache.len() >= ESTIMATE_CACHE_CAP {
+        cache.clear();
+    }
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, est.clone()));
+    }
+    est
+}
+
+fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let pe = pe_model(cfg.bits, cfg.regs_per_pe);
     let nw = nw_unit_model(cfg.bits);
     let dau = dau_model(cfg.array_height, cfg.bits);

@@ -137,6 +137,12 @@ mod tests {
 /// capacitor companion conductance), so pivoting is unnecessary;
 /// returns `None` on a tiny pivot so callers can fall back to the
 /// dense path.
+///
+/// The solver itself uses the [`factor_banded`]/[`solve_factored`]
+/// split (so one factorization serves many Newton iterations); this
+/// combined form remains as the bit-exactness reference for their
+/// tests.
+#[cfg(test)]
 pub(crate) fn solve_banded(a: &mut [f64], b: &mut [f64], n: usize, bw: usize) -> Option<Vec<f64>> {
     debug_assert_eq!(a.len(), n * n);
     debug_assert_eq!(b.len(), n);
@@ -169,6 +175,65 @@ pub(crate) fn solve_banded(a: &mut [f64], b: &mut [f64], n: usize, bw: usize) ->
         x[row] = sum / a[row * n + row];
     }
     Some(x)
+}
+
+/// Factor a banded matrix in place (`a` row-major `n×n`,
+/// half-bandwidth `bw`): Gaussian elimination without pivoting, with
+/// each elimination multiplier stored in the zeroed position
+/// (`a[row][col]` for `row > col`), yielding a compact LU whose
+/// right-hand-side elimination [`solve_factored`] can replay. The
+/// arithmetic is the exact operation sequence of `solve_banded`, so
+/// a factor + solve pair returns bit-identical solutions.
+///
+/// Returns `false` on a tiny pivot (caller falls back to the pivoting
+/// dense path).
+pub(crate) fn factor_banded(a: &mut [f64], n: usize, bw: usize) -> bool {
+    debug_assert_eq!(a.len(), n * n);
+    for col in 0..n {
+        let pivot = a[col * n + col];
+        if pivot.abs() < 1e-300 {
+            return false;
+        }
+        let inv = 1.0 / pivot;
+        let row_end = (col + bw + 1).min(n);
+        for row in (col + 1)..row_end {
+            let factor = a[row * n + col] * inv;
+            a[row * n + col] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in (col + 1)..row_end {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+        }
+    }
+    true
+}
+
+/// Solve `A·x = b` in place given a factorization from
+/// [`factor_banded`]; `b` holds the solution on return.
+pub(crate) fn solve_factored(a: &[f64], b: &mut [f64], n: usize, bw: usize) {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // Forward-eliminate b with the stored multipliers.
+    for col in 0..n {
+        let row_end = (col + bw + 1).min(n);
+        for row in (col + 1)..row_end {
+            let factor = a[row * n + col];
+            if factor != 0.0 {
+                b[row] -= factor * b[col];
+            }
+        }
+    }
+    // Back substitution.
+    for row in (0..n).rev() {
+        let k_end = (row + bw + 1).min(n);
+        let mut sum = b[row];
+        for k in (row + 1)..k_end {
+            sum -= a[row * n + k] * b[k];
+        }
+        b[row] = sum / a[row * n + row];
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +291,45 @@ mod banded_tests {
         let mut a = vec![0.0, 1.0, 1.0, 0.0];
         let mut b = vec![1.0, 1.0];
         assert!(solve_banded(&mut a, &mut b, 2, 1).is_none());
+    }
+
+    #[test]
+    fn factored_solve_is_bit_identical_to_combined() {
+        for n in [3usize, 10, 40] {
+            let (a, b, _) = tridiagonal(n);
+            let mut a1 = a.clone();
+            let mut b1 = b.clone();
+            let combined = solve_banded(&mut a1, &mut b1, n, 1).unwrap();
+            let mut lu = a.clone();
+            assert!(factor_banded(&mut lu, n, 1));
+            let mut x = b.clone();
+            solve_factored(&lu, &mut x, n, 1);
+            for i in 0..n {
+                assert_eq!(combined[i].to_bits(), x[i].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_reuse_across_rhs() {
+        let (a, b, x_true) = tridiagonal(16);
+        let mut lu = a.clone();
+        assert!(factor_banded(&mut lu, 16, 1));
+        // Solve twice with different right-hand sides from one factor.
+        let mut x1 = b.clone();
+        solve_factored(&lu, &mut x1, 16, 1);
+        let b2: Vec<f64> = b.iter().map(|v| 2.0 * v).collect();
+        let mut x2 = b2;
+        solve_factored(&lu, &mut x2, 16, 1);
+        for i in 0..16 {
+            assert!((x1[i] - x_true[i]).abs() < 1e-9);
+            assert!((x2[i] - 2.0 * x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn factor_banded_rejects_zero_pivot() {
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        assert!(!factor_banded(&mut a, 2, 1));
     }
 }

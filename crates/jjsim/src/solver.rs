@@ -2,11 +2,22 @@
 //! Newton iteration.
 
 use std::f64::consts::PI;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::circuit::Circuit;
 use crate::error::SimError;
-use crate::linalg::{solve_banded, solve_dense};
+use crate::linalg::{factor_banded, solve_dense, solve_factored};
 use crate::{ElementId, PHI0};
+
+/// Process-wide count of transient analyses started (every
+/// [`Solver::try_run`] call). Lets characterization caches prove, in
+/// tests, that a repeated request performed no new transient work.
+static TRANSIENT_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of transient analyses started by this process so far.
+pub fn transient_runs() -> u64 {
+    TRANSIENT_RUNS.load(Ordering::Relaxed)
+}
 
 /// Solver options.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +130,7 @@ impl Solver {
     /// See [`Solver::run`].
     #[allow(clippy::too_many_lines)]
     pub fn try_run(&self, t_end: f64) -> Result<SimResult, SimError> {
+        TRANSIENT_RUNS.fetch_add(1, Ordering::Relaxed);
         let ckt = &self.ckt;
         let n_unknown = ckt.node_count - 1; // ground excluded
         let h = self.opts.dt;
@@ -134,13 +146,16 @@ impl Solver {
         let mut i_ind = vec![0.0f64; ckt.inductors.len()];
         let mut dissipated = 0.0f64;
         let mut jj_dissipated = vec![0.0f64; ckt.jjs.len()];
-        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); self.opts.record_nodes.len()];
-        let mut trace_times: Vec<f64> = Vec::new();
+        let record = !self.opts.record_nodes.is_empty();
+        let mut traces: Vec<Vec<f64>> = self
+            .opts
+            .record_nodes
+            .iter()
+            .map(|_| Vec::with_capacity(steps))
+            .collect();
+        let mut trace_times: Vec<f64> = Vec::with_capacity(if record { steps } else { 0 });
 
         let vbr = |v: &[f64], a: usize, b: usize| v[a] - v[b];
-
-        let mut a_mat = vec![0.0f64; n_unknown * n_unknown];
-        let mut rhs = vec![0.0f64; n_unknown];
 
         // Half-bandwidth of the conductance matrix under the builder's
         // natural node ordering; chain-structured circuits (JTLs,
@@ -169,52 +184,108 @@ impl Solver {
         };
         let use_banded = n_unknown > 24 && bandwidth * 3 < n_unknown;
 
+        // Conductance stamp into a row-major matrix (current a -> b:
+        // i = g*(va-vb) + i_hist; the i_hist part goes to the rhs).
+        let stamp_g = |m: &mut [f64], a: usize, b: usize, g: f64| {
+            if a > 0 {
+                m[(a - 1) * n_unknown + (a - 1)] += g;
+            }
+            if b > 0 {
+                m[(b - 1) * n_unknown + (b - 1)] += g;
+            }
+            if a > 0 && b > 0 {
+                m[(a - 1) * n_unknown + (b - 1)] -= g;
+                m[(b - 1) * n_unknown + (a - 1)] -= g;
+            }
+        };
+        let stamp_i = |rhs: &mut [f64], a: usize, b: usize, i_hist: f64| {
+            if a > 0 {
+                rhs[a - 1] -= i_hist;
+            }
+            if b > 0 {
+                rhs[b - 1] += i_hist;
+            }
+        };
+
+        // The linear elements' conductances (R, C, L companions) do not
+        // depend on time or on the Newton iterate — stamp them ONCE and
+        // start every Newton assembly from this matrix instead of
+        // re-stamping the full element list per iteration. Only their
+        // history currents (rhs side) change, once per step.
+        let a_lin = {
+            let mut m = vec![0.0f64; n_unknown * n_unknown];
+            for r in &ckt.resistors {
+                stamp_g(&mut m, r.a, r.b, 1.0 / r.value);
+            }
+            for c in &ckt.capacitors {
+                stamp_g(&mut m, c.a, c.b, 2.0 * c.value / h);
+            }
+            for l in &ckt.inductors {
+                stamp_g(&mut m, l.a, l.b, h / (2.0 * l.value));
+            }
+            m
+        };
+
+        // Work buffers, allocated once and reused across every step and
+        // Newton iteration.
+        let mut a_mat = vec![0.0f64; n_unknown * n_unknown];
+        let mut rhs_base = vec![0.0f64; n_unknown];
+        let mut rhs = vec![0.0f64; n_unknown];
+        let mut v_prev = vec![0.0f64; ckt.node_count];
+        let mut v_iter = vec![0.0f64; ckt.node_count];
+        let mut g_now = vec![0.0f64; ckt.jjs.len()];
+        let mut ihist_now = vec![0.0f64; ckt.jjs.len()];
+
+        // Reusable banded LU: while every junction's linearized
+        // conductance is quasi-static (relative drift below
+        // `G_REUSE_RTOL` since the last factorization — true between
+        // pulses, i.e. most of the simulated time), the factorization
+        // is reused across Newton iterations AND timesteps, turning the
+        // per-iteration O(n·bw²) elimination into an O(n·bw) pair of
+        // triangular solves (chord-Newton / SPICE LU-reuse). The rhs
+        // history currents are computed against the factored
+        // conductances (`lu_g`), so a converged iterate satisfies KCL
+        // exactly — reuse changes the iteration path, never the fixed
+        // point.
+        const G_REUSE_RTOL: f64 = 1e-8;
+        let mut lu = vec![0.0f64; if use_banded { n_unknown * n_unknown } else { 0 }];
+        let mut lu_g = vec![0.0f64; ckt.jjs.len()];
+        let mut lu_valid = false;
+
         for step in 0..steps {
             let t_next = (step + 1) as f64 * h;
-            let v_prev = v.clone();
+            v_prev.copy_from_slice(&v);
+            v_iter.copy_from_slice(&v);
+
+            // Per-step rhs: C/L history currents (fixed within the
+            // step's Newton loop) and the source currents at t_next.
+            rhs_base.iter_mut().for_each(|x| *x = 0.0);
+            for (k, c) in ckt.capacitors.iter().enumerate() {
+                let g = 2.0 * c.value / h;
+                let i_hist = -g * vbr(&v_prev, c.a, c.b) - i_cap[k];
+                stamp_i(&mut rhs_base, c.a, c.b, i_hist);
+            }
+            for (k, l) in ckt.inductors.iter().enumerate() {
+                let g = h / (2.0 * l.value);
+                let i_hist = i_ind[k] + g * vbr(&v_prev, l.a, l.b);
+                stamp_i(&mut rhs_base, l.a, l.b, i_hist);
+            }
+            for s in &ckt.sources {
+                let i = s.waveform.value(t_next);
+                if s.into > 0 {
+                    rhs_base[s.into - 1] += i;
+                }
+                if s.from > 0 {
+                    rhs_base[s.from - 1] -= i;
+                }
+            }
 
             // Newton iteration on node voltages at t_next.
-            let mut v_iter = v.clone();
             let mut converged = false;
             for _ in 0..self.opts.max_newton {
-                a_mat.iter_mut().for_each(|x| *x = 0.0);
-                rhs.iter_mut().for_each(|x| *x = 0.0);
-
-                // Helper to stamp a conductance + history current
-                // (current flows a -> b through the element:
-                //  i = g*(va-vb) + i_hist).
-                let stamp = |a_mat: &mut [f64], rhs: &mut [f64], a: usize, b: usize, g: f64, i_hist: f64| {
-                    if a > 0 {
-                        a_mat[(a - 1) * n_unknown + (a - 1)] += g;
-                        rhs[a - 1] -= i_hist;
-                    }
-                    if b > 0 {
-                        a_mat[(b - 1) * n_unknown + (b - 1)] += g;
-                        rhs[b - 1] += i_hist;
-                    }
-                    if a > 0 && b > 0 {
-                        a_mat[(a - 1) * n_unknown + (b - 1)] -= g;
-                        a_mat[(b - 1) * n_unknown + (a - 1)] -= g;
-                    }
-                };
-
-                // Resistors.
-                for r in &ckt.resistors {
-                    stamp(&mut a_mat, &mut rhs, r.a, r.b, 1.0 / r.value, 0.0);
-                }
-                // Capacitors (trapezoidal companion).
-                for (k, c) in ckt.capacitors.iter().enumerate() {
-                    let g = 2.0 * c.value / h;
-                    let i_hist = -g * vbr(&v_prev, c.a, c.b) - i_cap[k];
-                    stamp(&mut a_mat, &mut rhs, c.a, c.b, g, i_hist);
-                }
-                // Inductors (trapezoidal companion).
-                for (k, l) in ckt.inductors.iter().enumerate() {
-                    let g = h / (2.0 * l.value);
-                    let i_hist = i_ind[k] + g * vbr(&v_prev, l.a, l.b);
-                    stamp(&mut a_mat, &mut rhs, l.a, l.b, g, i_hist);
-                }
-                // Josephson junctions (nonlinear: linearize around v_iter).
+                // Linearize every junction around v_iter and decide
+                // whether the existing factorization still applies.
+                let mut reuse = use_banded && lu_valid;
                 for (k, jj) in ckt.jjs.iter().enumerate() {
                     let vb_prev = vbr(&v_prev, jj.a, jj.b);
                     let vb_k = vbr(&v_iter, jj.a, jj.b);
@@ -225,42 +296,73 @@ impl Solver {
                         + g_cap * (vb_k - vb_prev)
                         - i_jj_cap[k];
                     let g = jj.p.ic * phi_k.cos() * (PI * h / PHI0) + 1.0 / jj.p.r + g_cap;
-                    let i_hist = i_at_vk - g * vb_k;
-                    stamp(&mut a_mat, &mut rhs, jj.a, jj.b, g, i_hist);
-                }
-                // Sources (inject into node, return through `from`).
-                for s in &ckt.sources {
-                    let i = s.waveform.value(t_next);
-                    if s.into > 0 {
-                        rhs[s.into - 1] += i;
+                    g_now[k] = g;
+                    if reuse && (g - lu_g[k]).abs() > G_REUSE_RTOL * lu_g[k].abs() {
+                        reuse = false;
                     }
-                    if s.from > 0 {
-                        rhs[s.from - 1] -= i;
+                    // The matrix conductance this junction will solve
+                    // against (old on reuse); using it in the history
+                    // current keeps the converged iterate exact.
+                    let g_mat = if reuse { lu_g[k] } else { g };
+                    ihist_now[k] = i_at_vk - g_mat * vb_k;
+                }
+                // A junction after the first may have vetoed reuse;
+                // recompute earlier history currents against the fresh
+                // conductances so matrix and rhs agree.
+                if !reuse && use_banded && lu_valid {
+                    for (k, jj) in ckt.jjs.iter().enumerate() {
+                        let vb_k = vbr(&v_iter, jj.a, jj.b);
+                        let vb_prev = vbr(&v_prev, jj.a, jj.b);
+                        let phi_k = phase[k] + (PI * h / PHI0) * (vb_k + vb_prev);
+                        let g_cap = 2.0 * jj.p.c / h;
+                        let i_at_vk = jj.p.ic * phi_k.sin()
+                            + vb_k / jj.p.r
+                            + g_cap * (vb_k - vb_prev)
+                            - i_jj_cap[k];
+                        ihist_now[k] = i_at_vk - g_now[k] * vb_k;
                     }
                 }
 
-                let mut a_copy = a_mat.clone();
-                let mut rhs_copy = rhs.clone();
-                let banded_sol = if use_banded {
-                    solve_banded(&mut a_copy, &mut rhs_copy, n_unknown, bandwidth)
-                } else {
-                    None
-                };
-                let sol = match banded_sol {
-                    Some(sol) => sol,
-                    None => {
-                        // Fallback: full dense elimination with pivoting.
-                        let mut a2 = a_mat.clone();
-                        let mut rhs2 = rhs.clone();
-                        let Some(sol) = solve_dense(&mut a2, &mut rhs2, n_unknown) else {
-                            return Err(SimError::SingularMatrix { time: t_next });
-                        };
-                        sol
+                rhs.copy_from_slice(&rhs_base);
+                for (k, jj) in ckt.jjs.iter().enumerate() {
+                    stamp_i(&mut rhs, jj.a, jj.b, ihist_now[k]);
+                }
+
+                let mut solved_in_rhs = false;
+                if use_banded {
+                    if !reuse {
+                        lu.copy_from_slice(&a_lin);
+                        for (k, jj) in ckt.jjs.iter().enumerate() {
+                            stamp_g(&mut lu, jj.a, jj.b, g_now[k]);
+                        }
+                        if factor_banded(&mut lu, n_unknown, bandwidth) {
+                            lu_g.copy_from_slice(&g_now);
+                            lu_valid = true;
+                        } else {
+                            lu_valid = false;
+                        }
                     }
-                };
+                    if lu_valid {
+                        solve_factored(&lu, &mut rhs, n_unknown, bandwidth);
+                        solved_in_rhs = true;
+                    }
+                }
+                if !solved_in_rhs {
+                    // Dense elimination with pivoting: small circuits,
+                    // and the fallback when the no-pivot banded
+                    // factorization hits a tiny pivot.
+                    a_mat.copy_from_slice(&a_lin);
+                    for (k, jj) in ckt.jjs.iter().enumerate() {
+                        stamp_g(&mut a_mat, jj.a, jj.b, g_now[k]);
+                    }
+                    let Some(sol) = solve_dense(&mut a_mat, &mut rhs, n_unknown) else {
+                        return Err(SimError::SingularMatrix { time: t_next });
+                    };
+                    rhs.copy_from_slice(&sol);
+                }
 
                 let mut max_dv = 0.0f64;
-                for (i, s) in sol.iter().enumerate() {
+                for (i, s) in rhs.iter().enumerate() {
                     let dv = (s - v_iter[i + 1]).abs();
                     if dv > max_dv {
                         max_dv = dv;
@@ -305,9 +407,9 @@ impl Solver {
                 let vb = vbr(&v_iter, r.a, r.b);
                 dissipated += vb * vb / r.value * h;
             }
-            v = v_iter;
+            v.copy_from_slice(&v_iter);
 
-            if !self.opts.record_nodes.is_empty() {
+            if record {
                 trace_times.push(t_next);
                 for (slot, node) in self.opts.record_nodes.iter().enumerate() {
                     traces[slot].push(v[node.index()]);

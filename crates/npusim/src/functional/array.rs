@@ -152,10 +152,10 @@ mod tests {
             let mut a = SystolicArray::new(h, 2, 1);
             a.load_weights(|r, c, _| (r + 1) as i32 * if c == 0 { 1 } else { -1 });
             let out = a.stream(3, |r, p| (p + 1) as i32 * (r as i32 + 1));
-            for p in 0..3 {
+            for (p, pass) in out.iter().enumerate() {
                 let expect: i32 = (0..h).map(|r| ((r + 1) * (r + 1) * (p + 1)) as i32).sum();
-                assert_eq!(out[p][0][0], expect, "h={h} p={p}");
-                assert_eq!(out[p][1][0], -expect, "h={h} p={p}");
+                assert_eq!(pass[0][0], expect, "h={h} p={p}");
+                assert_eq!(pass[1][0], -expect, "h={h} p={p}");
             }
         }
     }

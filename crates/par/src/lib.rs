@@ -1,0 +1,207 @@
+//! Deterministic scoped parallel map for the SuperNPU workspace.
+//!
+//! [`par_map`] fans a pure function over a slice using scoped worker
+//! threads with a shared atomic index dispenser (work stealing at
+//! item granularity), then reassembles results **by index**, so the
+//! output is bit-identical to the serial `items.iter().map(f)` — the
+//! schedule affects only which thread computes each item, never the
+//! arithmetic or the order of the returned `Vec`.
+//!
+//! A global permit pool caps the total number of live workers across
+//! nested calls: an outer sweep grabs the available permits and inner
+//! `par_map` calls (e.g. per-workload evaluation inside a sweep point)
+//! find the pool empty and degrade to inline serial execution instead
+//! of oversubscribing the machine.
+//!
+//! Thread count resolution order: [`set_threads`] override, then the
+//! `SUPERNPU_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic thread-count override; 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker permits still available for new parallel regions.
+/// `usize::MAX` marks "not yet initialized from [`threads`]".
+static PERMITS: Mutex<usize> = Mutex::new(usize::MAX);
+
+/// Override the worker-thread count for subsequent [`par_map`] calls.
+///
+/// `n` counts total threads doing work (including the calling thread);
+/// `set_threads(1)` forces fully serial execution. Takes precedence
+/// over `SUPERNPU_THREADS`. Call this only while no `par_map` region
+/// is active — it resets the shared worker-permit pool.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.max(1), Ordering::SeqCst);
+    *PERMITS.lock().unwrap_or_else(|e| e.into_inner()) = n.max(1) - 1;
+}
+
+/// The resolved total thread count [`par_map`] will aim for.
+pub fn threads() -> usize {
+    let ov = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if ov != 0 {
+        return ov;
+    }
+    if let Ok(s) = std::env::var("SUPERNPU_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Take up to `want` worker permits from the global pool.
+fn acquire_permits(want: usize) -> usize {
+    let mut pool = PERMITS.lock().unwrap_or_else(|e| e.into_inner());
+    if *pool == usize::MAX {
+        *pool = threads() - 1;
+    }
+    let take = (*pool).min(want);
+    *pool -= take;
+    take
+}
+
+/// Returns permits on drop so panics inside `par_map` don't leak them.
+struct PermitGuard(usize);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            let mut pool = PERMITS.lock().unwrap_or_else(|e| e.into_inner());
+            *pool += self.0;
+        }
+    }
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// `f` must be pure with respect to the output (it may read shared
+/// state); given that, the result is exactly `items.iter().map(f)` —
+/// every float operation happens with the same operands in the same
+/// per-item order regardless of thread count. Falls back to inline
+/// serial execution when the slice is short, only one thread is
+/// configured, or all worker permits are held by an enclosing
+/// `par_map` (nested calls).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let guard = PermitGuard(acquire_permits(n - 1));
+    if guard.0 == 0 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let run = |out: &mut Vec<(usize, R)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        out.push((i, f(&items[i])));
+    };
+
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(guard.0 + 1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..guard.0)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    run(&mut out);
+                    out
+                })
+            })
+            .collect();
+        let mut mine = Vec::new();
+        run(&mut mine);
+        parts.push(mine);
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    drop(guard);
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("index dispenser covered every item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_exactly_and_handles_nesting() {
+        // Single test so `set_threads` isn't raced by the parallel
+        // test harness.
+        set_threads(4);
+        assert_eq!(threads(), 4);
+
+        let items: Vec<u64> = (0..257).collect();
+        let f = |x: &u64| {
+            // Float-heavy body: bit-identical results required.
+            let mut acc = *x as f64;
+            for k in 1..50 {
+                acc = (acc * 1.000_1 + k as f64).sin() + acc;
+            }
+            acc
+        };
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        let parallel = par_map(&items, f);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits(), "bit-identical to serial");
+        }
+
+        // Nested calls degrade gracefully and stay correct.
+        let outer: Vec<Vec<u64>> = par_map(&items[..16], |x| {
+            let inner: Vec<u64> = (0..8).map(|k| x + k).collect();
+            par_map(&inner, |y| y * 2)
+        });
+        for (i, row) in outer.iter().enumerate() {
+            let expect: Vec<u64> = (0..8).map(|k| (items[i] + k) * 2).collect();
+            assert_eq!(*row, expect);
+        }
+
+        // Serial override still produces the same values.
+        set_threads(1);
+        let forced_serial = par_map(&items, f);
+        for (s, p) in serial.iter().zip(&forced_serial) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        set_threads(4);
+
+        // Empty and singleton inputs.
+        let empty: Vec<f64> = par_map(&[] as &[u64], f);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(&[7u64], |x| x + 1), vec![8]);
+    }
+}

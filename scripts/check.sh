@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, the whole test suite, and a
+# warning-free clippy pass. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

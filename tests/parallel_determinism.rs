@@ -1,0 +1,33 @@
+//! The parallel sweep engine must be a pure speed-up: running a sweep
+//! across worker threads has to produce *bit-identical* output to the
+//! serial run. [`sfq_par::par_map`] guarantees this by construction
+//! (results are placed by item index, never by completion order);
+//! this test checks the property end-to-end through real sweeps.
+//!
+//! One `#[test]` on purpose: [`sfq_par::set_threads`] is process-wide
+//! state, so the serial/parallel comparison must not race with another
+//! test toggling it.
+
+use supernpu::explore::{fig20_buffer_sweep, fig21_resource_sweep, fig22_register_sweep};
+
+#[test]
+fn sweeps_are_bit_identical_serial_vs_parallel() {
+    // Serial reference.
+    sfq_par::set_threads(1);
+    let fig20_serial = serde_json::to_string(&fig20_buffer_sweep()).unwrap();
+    let fig21_serial = serde_json::to_string(&fig21_resource_sweep()).unwrap();
+    let fig22_serial = serde_json::to_string(&fig22_register_sweep()).unwrap();
+
+    // Parallel run (oversubscribes on small machines — that only makes
+    // completion order *more* scrambled, which is the point).
+    sfq_par::set_threads(4);
+    let fig20_par = serde_json::to_string(&fig20_buffer_sweep()).unwrap();
+    let fig21_par = serde_json::to_string(&fig21_resource_sweep()).unwrap();
+    let fig22_par = serde_json::to_string(&fig22_register_sweep()).unwrap();
+
+    // JSON strings carry full f64 round-trip precision, so string
+    // equality here is bit-for-bit equality of every number.
+    assert_eq!(fig20_serial, fig20_par, "fig20 parallel output diverged");
+    assert_eq!(fig21_serial, fig21_par, "fig21 parallel output diverged");
+    assert_eq!(fig22_serial, fig22_par, "fig22 parallel output diverged");
+}

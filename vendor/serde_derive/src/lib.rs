@@ -1,0 +1,425 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment
+//! is offline), covering the shapes this workspace derives on:
+//!
+//! * named-field structs,
+//! * tuple structs (newtype and general),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants.
+//!
+//! `#[serde(...)]` attributes are not supported (the workspace uses
+//! none); generics are not supported. Generated code follows serde's
+//! JSON conventions: structs → objects, newtype structs unwrap, unit
+//! variants → strings, data variants → single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, …) at the current position.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The [...] group of the attribute.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Count top-level comma-separated items in a token sequence, tracking
+/// `<...>` nesting so generic arguments don't split fields.
+fn count_tuple_fields(tokens: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Extract the field names of a named-field body (the tokens inside
+/// `{ ... }`).
+fn parse_named_fields(tokens: TokenStream) -> Vec<String> {
+    let mut iter = tokens.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected field name, got {tt}");
+        };
+        names.push(name.to_string());
+        // Consume `:` then the type tokens up to a top-level comma.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(tokens: TokenStream) -> Vec<Variant> {
+    let mut iter = tokens.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("expected variant name, got {tt}");
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unexpected struct body for {name}: {other:?}"),
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("unexpected enum body for {name}: {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+fn emit(src: String) -> TokenStream {
+    src.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- Serialize
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, shape } => {
+            let expr = match shape {
+                Shape::Unit => "::serde::Value::Null".to_owned(),
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    emit(body)
+}
+
+// -------------------------------------------------------------- Deserialize
+
+fn named_fields_ctor(ty_path: &str, ty_label: &str, obj_var: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::find_field({obj_var}, \"{f}\") {{\n\
+                     Some(__field) => ::serde::Deserialize::deserialize(__field)?,\n\
+                     None => ::serde::Deserialize::deserialize(&::serde::Value::Null)\n\
+                         .map_err(|_| ::serde::DeError::missing_field(\"{f}\", \"{ty_label}\"))?,\n\
+                 }},"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{\n{}\n}}", inits.join("\n"))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __v))?;\n\
+                         if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                                 \"expected {n} elements for {name}, got {{}}\", __arr.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let ctor = named_fields_ctor(&name, &name, "__obj", &fields);
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __v))?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__val)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __arr = __val.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", __val))?;\n\
+                                     if __arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError::new(format!(\n\
+                                             \"expected {n} elements for {name}::{vn}, got {{}}\", __arr.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = named_fields_ctor(
+                                &format!("{name}::{vn}"),
+                                &format!("{name}::{vn}"),
+                                "__vobj",
+                                fields,
+                            );
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __vobj = __val.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", __val))?;\n\
+                                     ::std::result::Result::Ok({ctor})\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                     format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__k, __val) = &__pairs[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {data}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    emit(body)
+}
