@@ -7,7 +7,10 @@ use supernpu::ablations::all_ablations;
 use supernpu::report::{f, ratio, render_table};
 
 fn main() {
-    supernpu_bench::header("Ablations", "the §III design choices, quantified end-to-end");
+    supernpu_bench::header(
+        "Ablations",
+        "the §III design choices, quantified end-to-end",
+    );
     let rows: Vec<Vec<String>> = all_ablations()
         .into_iter()
         .map(|r| {
@@ -22,7 +25,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["design choice", "adopted TMAC/s", "alternative TMAC/s", "gain"],
+            &[
+                "design choice",
+                "adopted TMAC/s",
+                "alternative TMAC/s",
+                "gain"
+            ],
             &rows
         )
     );

@@ -7,9 +7,17 @@
 //! every timed run so each configuration pays the same cold-start
 //! cost; without that, whichever run goes second would win on cache
 //! hits rather than on parallelism.
+//!
+//! Metrics are force-enabled for the whole run: every sweep row in
+//! `BENCH_sweeps.json` carries the memo-cache hit/miss counts of its
+//! final parallel iteration plus a full [`sfq_obs`] snapshot of the
+//! sweep (serial + parallel timed passes), so a regression in, say,
+//! `par.task_ms` or `estimator.estimate.cache_miss` is visible right
+//! next to the wall-clock numbers it explains.
 
 use std::time::Instant;
 
+use serde::Serialize as _;
 use serde_json::Value;
 use supernpu::explore::{fig20_buffer_sweep, fig21_resource_sweep, fig22_register_sweep};
 
@@ -18,6 +26,9 @@ struct SweepResult {
     serial_ms: f64,
     parallel_ms: f64,
     identical: bool,
+    estimate_cache: (u64, u64),
+    measure_cache: (u64, u64),
+    metrics: sfq_obs::MetricsReport,
 }
 
 /// Best-of-3 wall clock; min (not mean) because scheduling noise only
@@ -40,19 +51,43 @@ fn bench(name: &'static str, run: &dyn Fn() -> String, pool: usize) -> SweepResu
     // Warm-up pass so page faults and lazy statics land outside the
     // measured window.
     let _ = run();
+    // Fresh counters per sweep so the snapshot is attributable to it.
+    sfq_obs::reset();
     let (serial_out, serial_ms) = timed(run, 1);
     let (parallel_out, parallel_ms) = timed(run, pool);
     let identical = serial_out == parallel_out;
+    // Cache clearing inside `timed` also resets the hit/miss counters,
+    // so these stats describe exactly the last parallel iteration.
+    let est = sfq_estimator::estimate_cache_stats();
+    let meas = sfq_chars::measure_cache_stats();
     println!(
         "{name}: serial {serial_ms:8.1} ms | parallel {parallel_ms:8.1} ms | \
          speedup {:4.2}x | identical: {identical}",
         serial_ms / parallel_ms
     );
-    SweepResult { name, serial_ms, parallel_ms, identical }
+    SweepResult {
+        name,
+        serial_ms,
+        parallel_ms,
+        identical,
+        estimate_cache: est,
+        measure_cache: meas,
+        metrics: sfq_obs::snapshot(),
+    }
+}
+
+fn cache_value(stats: (u64, u64)) -> Value {
+    Value::Object(vec![
+        ("hits".into(), Value::U64(stats.0)),
+        ("misses".into(), Value::U64(stats.1)),
+    ])
 }
 
 fn main() {
-    let pool = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Report the worker-pool size actually used for the parallel runs
+    // (honors SUPERNPU_THREADS), not the raw hardware parallelism.
+    let pool = sfq_par::threads();
+    sfq_obs::set_enabled(true);
     supernpu_bench::header(
         "BENCH sweeps",
         "serial-vs-parallel wall clock of the Fig. 20-22 sweeps",
@@ -70,8 +105,10 @@ fn main() {
             serde_json::to_string(&fig22_register_sweep()).unwrap()
         }),
     ];
-    let results: Vec<SweepResult> =
-        sweeps.iter().map(|(name, run)| bench(name, *run, pool)).collect();
+    let results: Vec<SweepResult> = sweeps
+        .iter()
+        .map(|(name, run)| bench(name, *run, pool))
+        .collect();
 
     let rows: Vec<Value> = results
         .iter()
@@ -82,6 +119,9 @@ fn main() {
                 ("parallel_ms".into(), Value::F64(r.parallel_ms)),
                 ("speedup".into(), Value::F64(r.serial_ms / r.parallel_ms)),
                 ("identical_output".into(), Value::Bool(r.identical)),
+                ("estimate_cache".into(), cache_value(r.estimate_cache)),
+                ("measure_cache".into(), cache_value(r.measure_cache)),
+                ("metrics".into(), r.metrics.serialize()),
             ])
         })
         .collect();

@@ -26,13 +26,15 @@ fn main() {
     for net in &nets {
         let mut row = vec![net.name().to_owned()];
         for cfg in &cmos {
-            row.push(f(scale_sim::simulate_network(cfg, net).effective_tmacs(), 2));
+            row.push(f(
+                scale_sim::simulate_network(cfg, net).effective_tmacs(),
+                2,
+            ));
         }
         let s = simulate_network(&sfq, net);
         row.push(f(s.effective_tmacs(), 1));
         row.push(f(
-            s.effective_tmacs()
-                / scale_sim::simulate_network(&cmos[2], net).effective_tmacs(),
+            s.effective_tmacs() / scale_sim::simulate_network(&cmos[2], net).effective_tmacs(),
             2,
         ));
         rows.push(row);

@@ -42,7 +42,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["gate", "measured delay ps", "shipped delay ps", "measured aJ", "shipped aJ"],
+            &[
+                "gate",
+                "measured delay ps",
+                "shipped delay ps",
+                "measured aJ",
+                "shipped aJ"
+            ],
             &rows
         )
     );

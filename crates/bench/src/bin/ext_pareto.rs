@@ -27,7 +27,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["candidate", "geomean TMAC/s", "area mm2 @28nm", "TMAC/s per mm2"],
+            &[
+                "candidate",
+                "geomean TMAC/s",
+                "area mm2 @28nm",
+                "TMAC/s per mm2"
+            ],
             &rows
         )
     );

@@ -22,10 +22,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["GB/s", "SuperNPU TMAC/s", "TPU TMAC/s", "speedup"],
-            &rows
-        )
+        render_table(&["GB/s", "SuperNPU TMAC/s", "TPU TMAC/s", "speedup"], &rows)
     );
 
     println!("B. Junction scaling (clock ∝ 1/feature size down to 200 nm):");
@@ -59,7 +56,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["cold stage", "overhead (x)", "ERSFQ perf/W vs TPU"], &rows)
+        render_table(
+            &["cold stage", "overhead (x)", "ERSFQ perf/W vs TPU"],
+            &rows
+        )
     );
     println!("rows above 5 K assume a hypothetical warmer superconducting logic.");
 }

@@ -30,7 +30,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["circuit", "no feedback (GHz)", "with feedback (GHz)", "paper (GHz)"],
+            &[
+                "circuit",
+                "no feedback (GHz)",
+                "with feedback (GHz)",
+                "paper (GHz)"
+            ],
             &rows
         )
     );

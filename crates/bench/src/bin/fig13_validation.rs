@@ -108,7 +108,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["quantity", "estimator/library", "jjsim golden", "error"], &rows)
+        render_table(
+            &["quantity", "estimator/library", "jjsim golden", "error"],
+            &rows
+        )
     );
 
     // Architecture level: the 2×2 4-bit PE-arrayed NPU of Fig. 12(c).

@@ -23,7 +23,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "MAC/byte (b=1)", "roofline GMAC/s", "simulated GMAC/s", "max PE util"],
+            &[
+                "workload",
+                "MAC/byte (b=1)",
+                "roofline GMAC/s",
+                "simulated GMAC/s",
+                "max PE util"
+            ],
             &rows
         )
     );

@@ -5,6 +5,7 @@ use supernpu::explore::fig20_buffer_sweep;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _metrics = sfq_obs::dump_on_exit();
     supernpu_bench::header("Fig. 20", "buffer integration/division sweep (§V-B.1)");
     let rows: Vec<Vec<String>> = fig20_buffer_sweep()
         .into_iter()
@@ -20,10 +21,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "single-batch perf (xBaseline)", "max-batch perf (xBaseline)", "area (xBaseline)"],
+            &[
+                "config",
+                "single-batch perf (xBaseline)",
+                "max-batch perf (xBaseline)",
+                "area (xBaseline)"
+            ],
             &rows
         )
     );
     println!("paper: single-batch saturates ~6.3x and max-batch ~20x from division 64;");
     println!("       further division only inflates the mux/demux area.");
+    supernpu_bench::write_metrics();
 }

@@ -5,6 +5,7 @@ use supernpu::explore::fig21_resource_sweep;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _metrics = sfq_obs::dump_on_exit();
     supernpu_bench::header("Fig. 21", "resource-balancing sweep (§V-B.2)");
     let rows: Vec<Vec<String>> = fig21_resource_sweep()
         .into_iter()
@@ -31,4 +32,5 @@ fn main() {
     );
     println!("paper: peaks near width 128 (47x) / 64 (42x); 64 has the intensity headroom");
     println!("       that the register optimization of Fig. 22 converts into speed.");
+    supernpu_bench::write_metrics();
 }

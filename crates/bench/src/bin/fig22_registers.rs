@@ -5,6 +5,7 @@ use supernpu::explore::fig22_register_sweep;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _metrics = sfq_obs::dump_on_exit();
     supernpu_bench::header("Fig. 22", "weight-registers-per-PE sweep (§V-B.3)");
     let pts = fig22_register_sweep();
     let mut rows = Vec::new();
@@ -20,10 +21,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["regs/PE", "width 64 perf (xBaseline)", "width 128 perf (xBaseline)"],
+            &[
+                "regs/PE",
+                "width 64 perf (xBaseline)",
+                "width 128 perf (xBaseline)"
+            ],
             &rows
         )
     );
     println!("paper: width 64 keeps improving up to 8 registers; width 128 is memory-");
     println!("       bound and gains almost nothing — hence SuperNPU = width 64 + 8 regs.");
+    supernpu_bench::write_metrics();
 }

@@ -4,6 +4,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let _metrics = sfq_obs::dump_on_exit();
     supernpu_bench::header("Full report", "every table and figure in one pass");
     let report = supernpu::summary::full_report();
     print!("{report}");
@@ -14,5 +15,6 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("\nwritten to results/report.md");
+    supernpu_bench::write_metrics();
     ExitCode::SUCCESS
 }

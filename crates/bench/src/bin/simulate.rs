@@ -83,14 +83,14 @@ fn load_arch(spec: Option<&str>) -> Result<SimConfig, String> {
     match spec {
         None => Ok(SimConfig::paper_supernpu()),
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
         }
     }
 }
 
 fn main() -> ExitCode {
+    let _metrics = sfq_obs::dump_on_exit();
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -119,14 +119,28 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).expect("stats serialize")
+        );
     } else {
         println!("{net}");
-        println!("design        : {} @ {:.1} GHz", stats.design, stats.frequency_ghz);
+        println!(
+            "design        : {} @ {:.1} GHz",
+            stats.design, stats.frequency_ghz
+        );
         println!("batch         : {}", stats.batch);
-        println!("cycles        : {} ({:.1}% preparation)", stats.total_cycles(), 100.0 * stats.prep_fraction());
+        println!(
+            "cycles        : {} ({:.1}% preparation)",
+            stats.total_cycles(),
+            100.0 * stats.prep_fraction()
+        );
         println!("latency       : {:.3} ms", stats.time_s() * 1e3);
-        println!("throughput    : {:.2} TMAC/s ({:.0} images/s)", stats.effective_tmacs(), stats.images_per_s());
+        println!(
+            "throughput    : {:.2} TMAC/s ({:.0} images/s)",
+            stats.effective_tmacs(),
+            stats.images_per_s()
+        );
         println!("PE utilization: {:.1}%", 100.0 * stats.pe_utilization());
         println!("off-chip      : {:.1} MB", stats.dram_bytes() as f64 / 1e6);
         println!("chip power    : {:.2} W", stats.total_power_w());

@@ -27,8 +27,16 @@ fn main() {
         "{}",
         render_table(
             &[
-                "design", "array (WxH)", "ifmap MB", "output MB", "psum MB", "weight KB",
-                "regs", "freq GHz", "peak TMAC/s", "area mm2 @28nm",
+                "design",
+                "array (WxH)",
+                "ifmap MB",
+                "output MB",
+                "psum MB",
+                "weight KB",
+                "regs",
+                "freq GHz",
+                "peak TMAC/s",
+                "area mm2 @28nm",
             ],
             &rows
         )

@@ -16,7 +16,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"],
+            &[
+                "workload",
+                "TPU",
+                "Baseline",
+                "Buffer opt.",
+                "Resource opt.",
+                "SuperNPU"
+            ],
             &rows
         )
     );

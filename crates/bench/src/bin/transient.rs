@@ -58,7 +58,10 @@ fn main() -> ExitCode {
         match parsed.nodes.get(name) {
             Some(id) => opts.record_nodes.push(*id),
             None => {
-                eprintln!("unknown node '{name}' (known: {:?})", parsed.nodes.keys().collect::<Vec<_>>());
+                eprintln!(
+                    "unknown node '{name}' (known: {:?})",
+                    parsed.nodes.keys().collect::<Vec<_>>()
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -24,3 +24,21 @@ pub fn header(id: &str, paper_ref: &str) {
     println!("== {id} — reproduces {paper_ref} ==");
     println!();
 }
+
+/// Write `results/metrics.json` from the live [`sfq_obs`] registry.
+/// No-op unless metrics are enabled (`SUPERNPU_METRICS=1`), so the
+/// experiment binaries can call this unconditionally at the end of
+/// `main` without changing their default-run artifacts.
+pub fn write_metrics() {
+    if !sfq_obs::enabled() {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    let written =
+        std::fs::create_dir_all(dir).and_then(|()| supernpu::export::write_metrics_json(dir));
+    match written {
+        Ok(Some(path)) => eprintln!("metrics written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("could not write metrics.json: {e}"),
+    }
+}

@@ -23,7 +23,8 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use jjsim::extract::{
     and_clock_to_q, and_cycle_energy, dff_clock_to_q, dff_cycle_energy, jtl_characteristics,
@@ -106,21 +107,39 @@ fn measure_key(jtl: &JtlParams, dff: &DffParams, and: &AndParams) -> MeasureKey 
 /// fine: there is one key per distinct parameter set, a handful per
 /// process at most.
 static MEASURE_CACHE: RwLock<Vec<(MeasureKey, Measurements)>> = RwLock::new(Vec::new());
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Always-on `chars.measure.cache_hit` / `chars.measure.cache_miss`
+/// counters in the [`sfq_obs`] registry (the former ad-hoc statics):
+/// they record whether or not `SUPERNPU_METRICS` is set, so the
+/// [`measure_cache_stats`] alias keeps its pre-registry behavior.
+fn cache_counters() -> (&'static sfq_obs::Counter, &'static sfq_obs::Counter) {
+    static C: OnceLock<(&'static sfq_obs::Counter, &'static sfq_obs::Counter)> = OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            sfq_obs::counter("chars.measure.cache_hit"),
+            sfq_obs::counter("chars.measure.cache_miss"),
+        )
+    })
+}
 
 /// `(hits, misses)` of the measurement cache since process start (or
 /// the last [`clear_measure_cache`]).
+///
+/// Deprecated alias: thin wrapper over the `chars.measure.cache_hit` /
+/// `chars.measure.cache_miss` counters in the [`sfq_obs`] registry;
+/// prefer reading those (or [`sfq_obs::snapshot`]) in new code.
 pub fn measure_cache_stats() -> (u64, u64) {
-    (CACHE_HITS.load(Ordering::Relaxed), CACHE_MISSES.load(Ordering::Relaxed))
+    let (hits, misses) = cache_counters();
+    (hits.get(), misses.get())
 }
 
 /// Drop all cached measurements and reset the hit/miss counters.
 pub fn clear_measure_cache() {
     let mut cache = MEASURE_CACHE.write();
     cache.clear();
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    CACHE_MISSES.store(0, Ordering::Relaxed);
+    let (hits, misses) = cache_counters();
+    hits.reset();
+    misses.reset();
 }
 
 /// Run every transient testbench and collect the raw numbers.
@@ -140,11 +159,13 @@ pub fn measure() -> Result<Measurements, SimError> {
     let and_p = AndParams::default();
     let key = measure_key(&jtl_p, &dff_p, &and_p);
 
+    let (cache_hits, cache_misses) = cache_counters();
     if let Some((_, m)) = MEASURE_CACHE.read().iter().find(|(k, _)| *k == key) {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        cache_hits.inc();
         return Ok(*m);
     }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    cache_misses.inc();
+    let fill_started = sfq_obs::enabled().then(Instant::now);
 
     let jtl = jtl_characteristics(JTL_STAGES, &jtl_p)?;
     let m = Measurements {
@@ -157,6 +178,9 @@ pub fn measure() -> Result<Measurements, SimError> {
         and_energy_aj: and_cycle_energy(&and_p)? * 1e18,
         sr_max_ghz: max_shift_frequency(&dff_p, SR_BISECT_LO_GHZ, SR_BISECT_HI_GHZ)? / 1e9,
     };
+    if let Some(t0) = fill_started {
+        sfq_obs::observe("chars.measure.fill_ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
 
     let mut cache = MEASURE_CACHE.write();
     if !cache.iter().any(|(k, _)| *k == key) {
@@ -276,9 +300,15 @@ mod tests {
         let reference = CellLibrary::aist_10um();
         for kind in [GateKind::Jtl, GateKind::Splitter, GateKind::And] {
             let ratio = measured.gate(kind).delay_ps / reference.gate(kind).delay_ps;
-            assert!((0.5..2.0).contains(&ratio), "{kind:?} delay ratio {ratio:.2}");
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{kind:?} delay ratio {ratio:.2}"
+            );
             let e_ratio = measured.gate(kind).energy_aj / reference.gate(kind).energy_aj;
-            assert!((0.4..2.5).contains(&e_ratio), "{kind:?} energy ratio {e_ratio:.2}");
+            assert!(
+                (0.4..2.5).contains(&e_ratio),
+                "{kind:?} energy ratio {e_ratio:.2}"
+            );
         }
     }
 

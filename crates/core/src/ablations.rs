@@ -104,9 +104,7 @@ pub fn ablation_dau() -> AblationRow {
     let dup = geomean(
         &nets
             .iter()
-            .map(|n| {
-                1.0 - dnn_models::duplication::network_duplication(n).duplicated_ratio()
-            })
+            .map(|n| 1.0 - dnn_models::duplication::network_duplication(n).duplicated_ratio())
             .collect::<Vec<_>>(),
     );
     without.npu.ifmap_buf_bytes = (with_dau.npu.ifmap_buf_bytes as f64 * dup) as u64;
@@ -185,12 +183,7 @@ mod tests {
         let rows = all_ablations();
         assert_eq!(rows.len(), 5);
         for row in rows {
-            assert!(
-                row.gain() > 1.0,
-                "{}: gain {:.2}",
-                row.choice,
-                row.gain()
-            );
+            assert!(row.gain() > 1.0, "{}: gain {:.2}", row.choice, row.gain());
         }
     }
 
@@ -200,7 +193,11 @@ mod tests {
         // rate: between 1.5x and 4x slower end-to-end (memory-bound
         // layers dilute the gap).
         let row = ablation_bitserial();
-        assert!(row.gain() > 1.3 && row.gain() < 5.0, "gain {:.2}", row.gain());
+        assert!(
+            row.gain() > 1.3 && row.gain() < 5.0,
+            "gain {:.2}",
+            row.gain()
+        );
     }
 
     #[test]
@@ -216,7 +213,11 @@ mod tests {
         // The WS/OS throughput ratio should track the Fig. 7(c)
         // clock ratio (~2.2x) within the compute-bound share.
         let row = ablation_dataflow();
-        assert!(row.gain() > 1.2 && row.gain() < 3.0, "gain {:.2}", row.gain());
+        assert!(
+            row.gain() > 1.2 && row.gain() < 3.0,
+            "gain {:.2}",
+            row.gain()
+        );
     }
 
     #[test]

@@ -95,7 +95,13 @@ mod tests {
         let labels: Vec<&str> = DesignPoint::ALL.iter().map(|d| d.label()).collect();
         assert_eq!(
             labels,
-            ["TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"]
+            [
+                "TPU",
+                "Baseline",
+                "Buffer opt.",
+                "Resource opt.",
+                "SuperNPU"
+            ]
         );
     }
 

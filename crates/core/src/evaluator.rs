@@ -7,9 +7,7 @@ use scale_sim::{simulate_network as simulate_tpu, CmosNpuConfig};
 use serde::{Deserialize, Serialize};
 use sfq_cells::{BiasScheme, CellLibrary};
 use sfq_estimator::estimate;
-use sfq_npu_sim::{
-    simulate_network, simulate_network_with_batch, structural_max_batch, SimConfig,
-};
+use sfq_npu_sim::{simulate_network, simulate_network_with_batch, structural_max_batch, SimConfig};
 use sfq_par::par_map;
 
 use crate::designs::DesignPoint;
@@ -308,11 +306,19 @@ pub fn table3_power() -> Vec<Table3Row> {
     for bias in [BiasScheme::Rsfq, BiasScheme::Ersfq] {
         let cfg = DesignPoint::SuperNpu.sim_config().with_bias(bias);
         let stats = par_map(&nets, |n| simulate_network(&cfg, n));
-        let perf = geomean(&stats.iter().map(|s| s.effective_tmacs()).collect::<Vec<_>>());
-        let chip_w: f64 =
-            stats.iter().map(|s| s.total_power_w()).sum::<f64>() / stats.len() as f64;
+        let perf = geomean(
+            &stats
+                .iter()
+                .map(|s| s.effective_tmacs())
+                .collect::<Vec<_>>(),
+        );
+        let chip_w: f64 = stats.iter().map(|s| s.total_power_w()).sum::<f64>() / stats.len() as f64;
         for (cooled, label) in [(false, "w/o cooling"), (true, "w/ cooling")] {
-            let power = if cooled { cooling.wall_power_w(chip_w) } else { chip_w };
+            let power = if cooled {
+                cooling.wall_power_w(chip_w)
+            } else {
+                chip_w
+            };
             let eff = cryo::PowerEfficiency::new(perf, power);
             rows.push(Table3Row {
                 variant: format!("{bias}-SuperNPU ({label})"),
@@ -344,7 +350,12 @@ mod tests {
     fn fig15_fractions_sum_to_one_and_prep_dominates() {
         for row in fig15_cycle_breakdown() {
             assert!((row.preparation + row.computation - 1.0).abs() < 1e-12);
-            assert!(row.preparation > 0.75, "{}: prep {:.2}", row.network, row.preparation);
+            assert!(
+                row.preparation > 0.75,
+                "{}: prep {:.2}",
+                row.network,
+                row.preparation
+            );
         }
     }
 
@@ -424,7 +435,11 @@ mod tests {
         // Cooling multiplies power by 400.
         assert!((rsfq_cool.power_w / rsfq.power_w - 400.0).abs() < 1.0);
         // Efficiency ordering: ERSFQ free-cooling ≫ TPU ≫ RSFQ cooled.
-        assert!(ersfq.perf_per_watt_vs_tpu > 50.0, "{:.0}", ersfq.perf_per_watt_vs_tpu);
+        assert!(
+            ersfq.perf_per_watt_vs_tpu > 50.0,
+            "{:.0}",
+            ersfq.perf_per_watt_vs_tpu
+        );
         assert!(rsfq_cool.perf_per_watt_vs_tpu < 0.05);
         assert!(ersfq_cool.perf_per_watt_vs_tpu > rsfq_cool.perf_per_watt_vs_tpu);
     }

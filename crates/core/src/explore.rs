@@ -41,6 +41,10 @@ pub struct BufferSweepPoint {
 /// increasing division degrees, in performance (single and max batch)
 /// and area, all normalized to Baseline.
 pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
+    let _sweep = sfq_obs::span("explore.fig20.ms");
+    sfq_obs::log(sfq_obs::Level::Info, || {
+        "fig20: buffer-division sweep starting".into()
+    });
     let lib = CellLibrary::aist_10um();
     let nets = paper_workloads();
     let baseline_cfg = SimConfig::paper_baseline();
@@ -50,6 +54,7 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
 
     let divisions = [2u32, 4, 16, 64, 256, 1024, 4096];
     let swept = par_map(&divisions, |&division| {
+        let _point = sfq_obs::span("explore.fig20.point_ms");
         let npu = NpuConfig {
             name: format!("+Division {division}"),
             division,
@@ -105,6 +110,10 @@ pub struct ResourceSweepPoint {
 /// reinvest the area into buffer capacity (the paper's capacity
 /// schedule), and measure max-batch performance and intensity.
 pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
+    let _sweep = sfq_obs::span("explore.fig21.ms");
+    sfq_obs::log(sfq_obs::Level::Info, || {
+        "fig21: resource-balancing sweep starting".into()
+    });
     let lib = CellLibrary::aist_10um();
     let nets = paper_workloads();
     let baseline_cfg = SimConfig::paper_baseline();
@@ -120,41 +129,42 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     let schedule: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
 
     par_map(&schedule, |&(width, buffer_mb)| {
-            let make = |total_mb: u64| {
-                let npu = NpuConfig {
-                    name: format!("width {width}"),
-                    array_width: width,
-                    ifmap_buf_bytes: total_mb * MB / 2,
-                    output_buf_bytes: total_mb * MB / 2,
-                    psum_buf_bytes: 0,
-                    integrated_output: true,
-                    // Keep chunk lengths constant as width shrinks
-                    // (the paper scales 64 → 256 divisions).
-                    division: 64 * (256 / width).max(1),
-                    ..NpuConfig::paper_baseline()
-                };
-                SimConfig::from_npu(npu, &lib)
+        let _point = sfq_obs::span("explore.fig21.point_ms");
+        let make = |total_mb: u64| {
+            let npu = NpuConfig {
+                name: format!("width {width}"),
+                array_width: width,
+                ifmap_buf_bytes: total_mb * MB / 2,
+                output_buf_bytes: total_mb * MB / 2,
+                psum_buf_bytes: 0,
+                integrated_output: true,
+                // Keep chunk lengths constant as width shrinks
+                // (the paper scales 64 → 256 divisions).
+                division: 64 * (256 / width).max(1),
+                ..NpuConfig::paper_baseline()
             };
-            let fixed = make(24);
-            let added = make(u64::from(buffer_mb));
+            SimConfig::from_npu(npu, &lib)
+        };
+        let fixed = make(24);
+        let added = make(u64::from(buffer_mb));
 
-            let intensity = geomean(
-                &nets
-                    .iter()
-                    .map(|n| {
-                        let b = sfq_npu_sim::structural_max_batch(&added.npu, n);
-                        dnn_models::intensity::network_intensity(n, b)
-                    })
-                    .collect::<Vec<_>>(),
-            ) / base_intensity;
+        let intensity = geomean(
+            &nets
+                .iter()
+                .map(|n| {
+                    let b = sfq_npu_sim::structural_max_batch(&added.npu, n);
+                    dnn_models::intensity::network_intensity(n, b)
+                })
+                .collect::<Vec<_>>(),
+        ) / base_intensity;
 
-            ResourceSweepPoint {
-                width,
-                buffer_mb,
-                max_batch_fixed_buffer: geomean_tmacs(&fixed, &nets, false) / base_max,
-                max_batch_added_buffer: geomean_tmacs(&added, &nets, false) / base_max,
-                intensity,
-            }
+        ResourceSweepPoint {
+            width,
+            buffer_mb,
+            max_batch_fixed_buffer: geomean_tmacs(&fixed, &nets, false) / base_max,
+            max_batch_added_buffer: geomean_tmacs(&added, &nets, false) / base_max,
+            intensity,
+        }
     })
 }
 
@@ -174,6 +184,10 @@ pub struct RegisterSweepPoint {
 /// The per-PE register sweep (Fig. 22) at widths 64 and 128 with the
 /// Fig. 21 "added buffer" capacities.
 pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
+    let _sweep = sfq_obs::span("explore.fig22.ms");
+    sfq_obs::log(sfq_obs::Level::Info, || {
+        "fig22: per-PE register sweep starting".into()
+    });
     let lib = CellLibrary::aist_10um();
     let nets = paper_workloads();
     let base_max = geomean_tmacs(&SimConfig::paper_baseline(), &nets, false);
@@ -184,6 +198,7 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
         }
     }
     par_map(&grid, |&(width, buffer_mb, regs)| {
+        let _point = sfq_obs::span("explore.fig22.point_ms");
         let npu = NpuConfig {
             name: format!("w{width} r{regs}"),
             array_width: width,
@@ -215,7 +230,11 @@ mod tests {
         assert_eq!(pts.len(), 8);
         // Single-batch performance grows with division and saturates.
         let d64 = pts.iter().find(|p| p.division == 64).unwrap();
-        assert!(d64.single_batch > 3.0, "d=64 single {:.2}", d64.single_batch);
+        assert!(
+            d64.single_batch > 3.0,
+            "d=64 single {:.2}",
+            d64.single_batch
+        );
         assert!(d64.max_batch > 10.0, "d=64 max {:.2}", d64.max_batch);
         // Area at 4096 clearly above baseline; at 64 modest.
         let d4096 = pts.iter().find(|p| p.division == 4096).unwrap();
@@ -292,10 +311,18 @@ mod tests {
                 .performance
         };
         // Width 64 gains from 1 → 8 registers (paper Fig. 22).
-        assert!(perf(64, 8) > perf(64, 1), "{} vs {}", perf(64, 8), perf(64, 1));
+        assert!(
+            perf(64, 8) > perf(64, 1),
+            "{} vs {}",
+            perf(64, 8),
+            perf(64, 1)
+        );
         // Width 128 gains less (its intensity is memory-bound).
         let gain64 = perf(64, 8) / perf(64, 1);
         let gain128 = perf(128, 8) / perf(128, 1);
-        assert!(gain64 >= gain128 * 0.98, "64: {gain64:.2} 128: {gain128:.2}");
+        assert!(
+            gain64 >= gain128 * 0.98,
+            "64: {gain64:.2} 128: {gain128:.2}"
+        );
     }
 }

@@ -18,11 +18,51 @@ pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     };
     let mut out = String::new();
-    let _ = writeln!(out, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    let _ = writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for row in rows {
-        let _ = writeln!(out, "{}", row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",")
+        );
     }
     out
+}
+
+/// Pretty-printed JSON of the current [`sfq_obs`] metrics snapshot,
+/// or `None` when metrics are disabled (`SUPERNPU_METRICS` unset).
+/// Experiment binaries write this as `metrics.json` next to their
+/// result files so every sweep run carries its own diagnostics.
+pub fn metrics_json() -> Option<String> {
+    sfq_obs::enabled().then(|| {
+        serde_json::to_string_pretty(&sfq_obs::snapshot())
+            .expect("metrics snapshot serializes infallibly")
+    })
+}
+
+/// Write `metrics.json` into `dir` when metrics are enabled; returns
+/// the path written, if any.
+///
+/// # Errors
+///
+/// Propagates the filesystem error when the write fails.
+pub fn write_metrics_json(dir: &std::path::Path) -> std::io::Result<Option<std::path::PathBuf>> {
+    match metrics_json() {
+        None => Ok(None),
+        Some(json) => {
+            let path = dir.join("metrics.json");
+            std::fs::write(&path, json)?;
+            Ok(Some(path))
+        }
+    }
 }
 
 /// One exported dataset: file stem and CSV contents.
@@ -45,7 +85,13 @@ pub fn all_datasets() -> Vec<Dataset> {
             &["network", "preparation", "computation"],
             &fig15
                 .iter()
-                .map(|r| vec![r.network.clone(), r.preparation.to_string(), r.computation.to_string()])
+                .map(|r| {
+                    vec![
+                        r.network.clone(),
+                        r.preparation.to_string(),
+                        r.computation.to_string(),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         ),
     });
@@ -54,7 +100,13 @@ pub fn all_datasets() -> Vec<Dataset> {
     out.push(Dataset {
         name: "fig17_roofline".into(),
         csv: to_csv(
-            &["network", "mac_per_byte", "roofline_gmacs", "effective_gmacs", "peak_gmacs"],
+            &[
+                "network",
+                "mac_per_byte",
+                "roofline_gmacs",
+                "effective_gmacs",
+                "peak_gmacs",
+            ],
             &fig17
                 .iter()
                 .map(|r| {
@@ -94,7 +146,13 @@ pub fn all_datasets() -> Vec<Dataset> {
     out.push(Dataset {
         name: "fig21_resource_balance".into(),
         csv: to_csv(
-            &["width", "buffer_mb", "fixed_buffer", "added_buffer", "intensity"],
+            &[
+                "width",
+                "buffer_mb",
+                "fixed_buffer",
+                "added_buffer",
+                "intensity",
+            ],
             &fig21
                 .iter()
                 .map(|p| {
@@ -117,7 +175,13 @@ pub fn all_datasets() -> Vec<Dataset> {
             &["width", "regs", "performance"],
             &fig22
                 .iter()
-                .map(|p| vec![p.width.to_string(), p.regs.to_string(), p.performance.to_string()])
+                .map(|p| {
+                    vec![
+                        p.width.to_string(),
+                        p.regs.to_string(),
+                        p.performance.to_string(),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         ),
     });
@@ -126,7 +190,14 @@ pub fn all_datasets() -> Vec<Dataset> {
     out.push(Dataset {
         name: "fig23_performance".into(),
         csv: to_csv(
-            &["network", "tpu_tmacs", "baseline_x", "buffer_opt_x", "resource_opt_x", "supernpu_x"],
+            &[
+                "network",
+                "tpu_tmacs",
+                "baseline_x",
+                "buffer_opt_x",
+                "resource_opt_x",
+                "supernpu_x",
+            ],
             &fig23
                 .iter()
                 .map(|r| {
@@ -150,7 +221,13 @@ pub fn all_datasets() -> Vec<Dataset> {
             &["variant", "power_w", "perf_per_watt_vs_tpu"],
             &table3
                 .iter()
-                .map(|r| vec![r.variant.clone(), r.power_w.to_string(), r.perf_per_watt_vs_tpu.to_string()])
+                .map(|r| {
+                    vec![
+                        r.variant.clone(),
+                        r.power_w.to_string(),
+                        r.perf_per_watt_vs_tpu.to_string(),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         ),
     });
@@ -166,7 +243,10 @@ mod tests {
     fn csv_escaping() {
         let csv = to_csv(
             &["a", "b"],
-            &[vec!["plain".into(), "with,comma".into()], vec!["with\"quote".into(), "x".into()]],
+            &[
+                vec!["plain".into(), "with,comma".into()],
+                vec!["with\"quote".into(), "x".into()],
+            ],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b");
@@ -183,7 +263,12 @@ mod tests {
             let header_cols = lines.next().expect("header").split(',').count();
             let mut records = 0;
             for line in lines {
-                assert_eq!(line.split(',').count(), header_cols, "{}: ragged row", d.name);
+                assert_eq!(
+                    line.split(',').count(),
+                    header_cols,
+                    "{}: ragged row",
+                    d.name
+                );
                 records += 1;
             }
             assert!(records >= 5, "{}: only {records} records", d.name);

@@ -53,12 +53,12 @@ pub fn latency_curve(cfg: &SimConfig, net: &Network) -> Vec<LatencyPoint> {
 ///
 /// Panics if `fraction` is not in `(0, 1]` or the curve is empty.
 pub fn knee(curve: &[LatencyPoint], fraction: f64) -> &LatencyPoint {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0,1]"
+    );
     assert!(!curve.is_empty(), "empty curve");
-    let best = curve
-        .iter()
-        .map(|p| p.images_per_s)
-        .fold(0.0f64, f64::max);
+    let best = curve.iter().map(|p| p.images_per_s).fold(0.0f64, f64::max);
     curve
         .iter()
         .find(|p| p.images_per_s >= fraction * best)
@@ -103,7 +103,11 @@ mod tests {
         // a millisecond.
         let cfg = SimConfig::paper_supernpu();
         let curve = latency_curve(&cfg, &zoo::resnet50());
-        assert!(curve[0].image_latency_ms < 1.0, "{} ms", curve[0].image_latency_ms);
+        assert!(
+            curve[0].image_latency_ms < 1.0,
+            "{} ms",
+            curve[0].image_latency_ms
+        );
     }
 
     #[test]

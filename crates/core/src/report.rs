@@ -55,6 +55,14 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Human-readable dump of the live [`sfq_obs`] registry, or `None`
+/// when metrics are disabled. Append this to experiment reports so a
+/// `SUPERNPU_METRICS=1` run shows where its time went next to its
+/// results (same table [`sfq_obs::dump_on_exit`] prints).
+pub fn metrics_table() -> Option<String> {
+    sfq_obs::enabled().then(sfq_obs::render_table)
+}
+
 /// Format a float with `digits` decimals.
 pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")

@@ -136,8 +136,12 @@ mod tests {
         assert_eq!(pts.len(), 6);
         let first = pts.first().unwrap();
         let last = pts.last().unwrap();
-        assert!(last.speedup() > first.speedup(),
-            "speedup {:.1} -> {:.1}", first.speedup(), last.speedup());
+        assert!(
+            last.speedup() > first.speedup(),
+            "speedup {:.1} -> {:.1}",
+            first.speedup(),
+            last.speedup()
+        );
         // SuperNPU throughput is monotone in bandwidth.
         for w in pts.windows(2) {
             assert!(w[1].supernpu_tmacs >= w[0].supernpu_tmacs * 0.999);
@@ -149,15 +153,30 @@ mod tests {
         let pts = process_sweep();
         // Clock quintuples by 200 nm…
         let f0 = pts[0].frequency_ghz;
-        let f200 = pts.iter().find(|p| p.feature_um == 0.2).unwrap().frequency_ghz;
+        let f200 = pts
+            .iter()
+            .find(|p| p.feature_um == 0.2)
+            .unwrap()
+            .frequency_ghz;
         assert!((f200 / f0 - 5.0).abs() < 0.01);
         // …but throughput grows sublinearly (memory-bound tail).
         let t0 = pts[0].supernpu_tmacs;
-        let t200 = pts.iter().find(|p| p.feature_um == 0.2).unwrap().supernpu_tmacs;
+        let t200 = pts
+            .iter()
+            .find(|p| p.feature_um == 0.2)
+            .unwrap()
+            .supernpu_tmacs;
         assert!(t200 > t0, "faster clock must help some");
-        assert!(t200 < 5.0 * t0, "memory wall must bite: {t0:.0} -> {t200:.0}");
+        assert!(
+            t200 < 5.0 * t0,
+            "memory wall must bite: {t0:.0} -> {t200:.0}"
+        );
         // And 100 nm buys nothing beyond 200 nm (scaling floor).
-        let t100 = pts.iter().find(|p| p.feature_um == 0.1).unwrap().supernpu_tmacs;
+        let t100 = pts
+            .iter()
+            .find(|p| p.feature_um == 0.1)
+            .unwrap()
+            .supernpu_tmacs;
         assert!((t100 - t200).abs() / t200 < 1e-9);
     }
 

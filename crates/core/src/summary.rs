@@ -13,7 +13,11 @@ use crate::explore::{fig20_buffer_sweep, fig21_resource_sweep, fig22_register_sw
 
 fn md_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
     let _ = writeln!(out, "| {} |", headers.join(" | "));
-    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for r in rows {
         let _ = writeln!(out, "| {} |", r.join(" | "));
     }
@@ -49,7 +53,14 @@ pub fn full_report() -> String {
     rows.push(geo);
     md_table(
         &mut out,
-        &["workload", "TPU TMAC/s", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"],
+        &[
+            "workload",
+            "TPU TMAC/s",
+            "Baseline",
+            "Buffer opt.",
+            "Resource opt.",
+            "SuperNPU",
+        ],
         &rows,
     );
 
@@ -67,7 +78,11 @@ pub fn full_report() -> String {
             ]
         })
         .collect();
-    md_table(&mut out, &["design", "array", "GHz", "peak TMAC/s", "mm² @28nm"], &rows);
+    md_table(
+        &mut out,
+        &["design", "array", "GHz", "peak TMAC/s", "mm² @28nm"],
+        &rows,
+    );
 
     // Table II.
     let _ = writeln!(out, "## Batches (Table II)\n");
@@ -81,7 +96,14 @@ pub fn full_report() -> String {
         .collect();
     md_table(
         &mut out,
-        &["workload", "TPU", "Baseline", "Buffer opt.", "Resource opt.", "SuperNPU"],
+        &[
+            "workload",
+            "TPU",
+            "Baseline",
+            "Buffer opt.",
+            "Resource opt.",
+            "SuperNPU",
+        ],
         &rows,
     );
 
@@ -132,7 +154,11 @@ pub fn full_report() -> String {
             ]
         })
         .collect();
-    md_table(&mut out, &["buffer config", "single batch", "max batch", "area"], &rows);
+    md_table(
+        &mut out,
+        &["buffer config", "single batch", "max batch", "area"],
+        &rows,
+    );
 
     let rows: Vec<Vec<String>> = fig21_resource_sweep()
         .into_iter()
@@ -144,7 +170,11 @@ pub fn full_report() -> String {
             ]
         })
         .collect();
-    md_table(&mut out, &["width / buffer", "24 MB kept", "added buffer"], &rows);
+    md_table(
+        &mut out,
+        &["width / buffer", "24 MB kept", "added buffer"],
+        &rows,
+    );
 
     let pts = fig22_register_sweep();
     let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32]
@@ -177,7 +207,11 @@ pub fn full_report() -> String {
             ]
         })
         .collect();
-    md_table(&mut out, &["choice", "adopted", "alternative", "gain"], &rows);
+    md_table(
+        &mut out,
+        &["choice", "adopted", "alternative", "gain"],
+        &rows,
+    );
 
     out
 }

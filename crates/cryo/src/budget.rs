@@ -34,7 +34,10 @@ impl SystemBudget {
     ///
     /// Panics on negative inputs.
     pub fn new(cold_chip_w: f64, cooling: &CoolingModel, sustained_gbs: f64) -> Self {
-        assert!(cold_chip_w >= 0.0 && sustained_gbs >= 0.0, "powers must be non-negative");
+        assert!(
+            cold_chip_w >= 0.0 && sustained_gbs >= 0.0,
+            "powers must be non-negative"
+        );
         let wall = cooling.wall_power_w(cold_chip_w);
         SystemBudget {
             cold_chip_w,
@@ -66,7 +69,11 @@ mod tests {
     fn cooled_ersfq_system_is_cooling_dominated() {
         // 2.3 W chip at 400x cooling + 300 GB/s of HBM.
         let b = SystemBudget::new(2.3, &CoolingModel::holmes_4k(), 300.0);
-        assert!(b.cooling_fraction() > 0.9, "fraction {:.2}", b.cooling_fraction());
+        assert!(
+            b.cooling_fraction() > 0.9,
+            "fraction {:.2}",
+            b.cooling_fraction()
+        );
         // Memory power (24 W) is small next to the ~918 W of cooling.
         assert!((b.memory_w - 24.0).abs() < 1e-9);
         assert!((b.total_w() - (2.3 * 400.0 + 24.0)).abs() < 1e-9);

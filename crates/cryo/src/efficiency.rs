@@ -23,7 +23,10 @@ impl PowerEfficiency {
             performance.is_finite() && performance > 0.0,
             "performance must be positive"
         );
-        assert!(power_w.is_finite() && power_w > 0.0, "power must be positive");
+        assert!(
+            power_w.is_finite() && power_w > 0.0,
+            "power must be positive"
+        );
         PowerEfficiency {
             performance,
             power_w,

@@ -115,8 +115,14 @@ mod tests {
 
     #[test]
     fn addition_accumulates() {
-        let a = Duplication { unique: 1, duplicated: 2 };
-        let b = Duplication { unique: 3, duplicated: 4 };
+        let a = Duplication {
+            unique: 1,
+            duplicated: 2,
+        };
+        let b = Duplication {
+            unique: 3,
+            duplicated: 4,
+        };
         let c = a + b;
         assert_eq!(c.unique, 4);
         assert_eq!(c.duplicated, 6);

@@ -36,7 +36,11 @@ pub fn network_intensity(net: &Network, batch: u32) -> f64 {
 /// Roofline-attainable throughput in MAC/s for a machine with
 /// `peak_macs_per_s` and `bandwidth_bytes_per_s`, at the given
 /// intensity (MAC/byte).
-pub fn roofline_macs_per_s(peak_macs_per_s: f64, bandwidth_bytes_per_s: f64, intensity: f64) -> f64 {
+pub fn roofline_macs_per_s(
+    peak_macs_per_s: f64,
+    bandwidth_bytes_per_s: f64,
+    intensity: f64,
+) -> f64 {
     peak_macs_per_s.min(bandwidth_bytes_per_s * intensity)
 }
 

@@ -71,7 +71,13 @@ impl Layer {
     /// # Panics
     ///
     /// Panics on zero dimensions (see [`Layer::conv`]).
-    pub fn depthwise(name: &str, in_hw: (u32, u32), channels: u32, kernel: u32, stride: u32) -> Self {
+    pub fn depthwise(
+        name: &str,
+        in_hw: (u32, u32),
+        channels: u32,
+        kernel: u32,
+        stride: u32,
+    ) -> Self {
         let l = Layer {
             name: name.to_owned(),
             kind: LayerKind::Depthwise,
@@ -115,9 +121,14 @@ impl Layer {
             "{}: zero dimension",
             self.name
         );
-        assert!(self.kernel > 0 && self.stride > 0, "{}: zero kernel/stride", self.name);
         assert!(
-            self.in_h + 2 * self.padding >= self.kernel && self.in_w + 2 * self.padding >= self.kernel,
+            self.kernel > 0 && self.stride > 0,
+            "{}: zero kernel/stride",
+            self.name
+        );
+        assert!(
+            self.in_h + 2 * self.padding >= self.kernel
+                && self.in_w + 2 * self.padding >= self.kernel,
             "{}: kernel larger than padded input",
             self.name
         );
@@ -180,7 +191,9 @@ impl Layer {
     /// PE-array *rows* under weight-stationary dataflow.
     pub fn contraction_len(&self) -> u64 {
         match self.kind {
-            LayerKind::Conv => u64::from(self.kernel) * u64::from(self.kernel) * u64::from(self.in_c),
+            LayerKind::Conv => {
+                u64::from(self.kernel) * u64::from(self.kernel) * u64::from(self.in_c)
+            }
             LayerKind::Depthwise => u64::from(self.kernel) * u64::from(self.kernel),
             LayerKind::FullyConnected => u64::from(self.in_c),
         }
@@ -204,7 +217,9 @@ impl Layer {
 
     /// Input feature-map bytes for `batch` images.
     pub fn ifmap_bytes(&self, batch: u32) -> u64 {
-        u64::from(self.in_h) * u64::from(self.in_w) * u64::from(self.in_c)
+        u64::from(self.in_h)
+            * u64::from(self.in_w)
+            * u64::from(self.in_c)
             * u64::from(batch)
             * ELEM_BYTES
     }
@@ -238,7 +253,16 @@ impl std::fmt::Display for Layer {
         write!(
             f,
             "{} [{:?} {}x{}x{} -> {}x{}x{}, k{} s{}]",
-            self.name, self.kind, self.in_h, self.in_w, self.in_c, oh, ow, self.out_c, self.kernel, self.stride
+            self.name,
+            self.kind,
+            self.in_h,
+            self.in_w,
+            self.in_c,
+            oh,
+            ow,
+            self.out_c,
+            self.kernel,
+            self.stride
         )
     }
 }

@@ -37,9 +37,9 @@
 pub mod batching;
 pub mod duplication;
 pub mod intensity;
-pub mod stats;
 mod layer;
 mod network;
+pub mod stats;
 pub mod zoo;
 pub mod zoo_ext;
 

@@ -18,7 +18,10 @@ impl Network {
     ///
     /// Panics if `layers` is empty.
     pub fn new(name: &str, layers: Vec<Layer>) -> Self {
-        assert!(!layers.is_empty(), "{name}: a network needs at least one layer");
+        assert!(
+            !layers.is_empty(),
+            "{name}: a network needs at least one layer"
+        );
         Network {
             name: name.to_owned(),
             layers,

@@ -93,7 +93,11 @@ mod tests {
         // AlexNet's fc6 (9216×4096) holds most of its 60M parameters.
         let s = network_stats(&zoo::alexnet());
         assert_eq!(s.layer_counts, (5, 0, 3));
-        assert!(s.weight_concentration() > 0.5, "{}", s.weight_concentration());
+        assert!(
+            s.weight_concentration() > 0.5,
+            "{}",
+            s.weight_concentration()
+        );
         // But convs dominate the MACs.
         assert!(s.fc_mac_fraction() < 0.15, "{}", s.fc_mac_fraction());
     }
@@ -127,7 +131,12 @@ mod tests {
             let s = network_stats(&net);
             assert_eq!(s.total_macs(), net.total_macs(1), "{}", net.name());
             assert_eq!(s.weight_bytes, net.total_weight_bytes(), "{}", net.name());
-            assert_eq!(s.max_working_set_bytes, net.max_working_set_bytes(), "{}", net.name());
+            assert_eq!(
+                s.max_working_set_bytes,
+                net.max_working_set_bytes(),
+                "{}",
+                net.name()
+            );
         }
     }
 

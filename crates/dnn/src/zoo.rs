@@ -90,10 +90,42 @@ fn inception(
     b4: u32,
 ) -> u32 {
     layers.push(Layer::conv(&format!("{name}_1x1"), hw, in_c, b1, 1, 1, 0));
-    layers.push(Layer::conv(&format!("{name}_3x3r"), hw, in_c, b2_reduce, 1, 1, 0));
-    layers.push(Layer::conv(&format!("{name}_3x3"), hw, b2_reduce, b2, 3, 1, 1));
-    layers.push(Layer::conv(&format!("{name}_5x5r"), hw, in_c, b3_reduce, 1, 1, 0));
-    layers.push(Layer::conv(&format!("{name}_5x5"), hw, b3_reduce, b3, 5, 1, 2));
+    layers.push(Layer::conv(
+        &format!("{name}_3x3r"),
+        hw,
+        in_c,
+        b2_reduce,
+        1,
+        1,
+        0,
+    ));
+    layers.push(Layer::conv(
+        &format!("{name}_3x3"),
+        hw,
+        b2_reduce,
+        b2,
+        3,
+        1,
+        1,
+    ));
+    layers.push(Layer::conv(
+        &format!("{name}_5x5r"),
+        hw,
+        in_c,
+        b3_reduce,
+        1,
+        1,
+        0,
+    ));
+    layers.push(Layer::conv(
+        &format!("{name}_5x5"),
+        hw,
+        b3_reduce,
+        b3,
+        5,
+        1,
+        2,
+    ));
     layers.push(Layer::conv(&format!("{name}_poolp"), hw, in_c, b4, 1, 1, 0));
     b1 + b2 + b3 + b4
 }
@@ -141,7 +173,13 @@ pub fn mobilenet() -> Network {
     ];
     for (i, &(hw, in_c, out_c, s)) in pairs.iter().enumerate() {
         let out_hw = hw / s;
-        layers.push(Layer::depthwise(&format!("dw{}", i + 1), (hw, hw), in_c, 3, s));
+        layers.push(Layer::depthwise(
+            &format!("dw{}", i + 1),
+            (hw, hw),
+            in_c,
+            3,
+            s,
+        ));
         layers.push(Layer::conv(
             &format!("pw{}", i + 1),
             (out_hw, out_hw),
@@ -172,13 +210,45 @@ pub fn resnet50() -> Network {
         for b in 0..blocks {
             let stride = if b == 0 { first_stride } else { 1 };
             let name = |part: &str| format!("{stage}_{}_{part}", b + 1);
-            layers.push(Layer::conv(&name("1x1a"), (hw, hw), in_c, mid, 1, stride, 0));
+            layers.push(Layer::conv(
+                &name("1x1a"),
+                (hw, hw),
+                in_c,
+                mid,
+                1,
+                stride,
+                0,
+            ));
             let hw_mid = hw / stride;
-            layers.push(Layer::conv(&name("3x3"), (hw_mid, hw_mid), mid, mid, 3, 1, 1));
-            layers.push(Layer::conv(&name("1x1b"), (hw_mid, hw_mid), mid, out_c, 1, 1, 0));
+            layers.push(Layer::conv(
+                &name("3x3"),
+                (hw_mid, hw_mid),
+                mid,
+                mid,
+                3,
+                1,
+                1,
+            ));
+            layers.push(Layer::conv(
+                &name("1x1b"),
+                (hw_mid, hw_mid),
+                mid,
+                out_c,
+                1,
+                1,
+                0,
+            ));
             if b == 0 {
                 // Projection shortcut.
-                layers.push(Layer::conv(&name("proj"), (hw, hw), in_c, out_c, 1, stride, 0));
+                layers.push(Layer::conv(
+                    &name("proj"),
+                    (hw, hw),
+                    in_c,
+                    out_c,
+                    1,
+                    stride,
+                    0,
+                ));
             }
             in_c = out_c;
             hw = hw_mid;
@@ -211,7 +281,14 @@ mod tests {
         let names: Vec<&str> = nets.iter().map(Network::name).collect();
         assert_eq!(
             names,
-            ["AlexNet", "FasterRCNN", "GoogLeNet", "MobileNet", "ResNet50", "VGG16"]
+            [
+                "AlexNet",
+                "FasterRCNN",
+                "GoogLeNet",
+                "MobileNet",
+                "ResNet50",
+                "VGG16"
+            ]
         );
     }
 

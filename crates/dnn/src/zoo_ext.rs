@@ -59,12 +59,28 @@ pub fn resnet101() -> Network {
         for b in 0..blocks {
             let stride = if b == 0 { first_stride } else { 1 };
             let name = |part: &str| format!("{stage}_{}_{part}", b + 1);
-            layers.push(Layer::conv(&name("1x1a"), (hw, hw), in_c, mid, 1, stride, 0));
+            layers.push(Layer::conv(
+                &name("1x1a"),
+                (hw, hw),
+                in_c,
+                mid,
+                1,
+                stride,
+                0,
+            ));
             let hw2 = hw / stride;
             layers.push(Layer::conv(&name("3x3"), (hw2, hw2), mid, mid, 3, 1, 1));
             layers.push(Layer::conv(&name("1x1b"), (hw2, hw2), mid, out_c, 1, 1, 0));
             if b == 0 {
-                layers.push(Layer::conv(&name("proj"), (hw, hw), in_c, out_c, 1, stride, 0));
+                layers.push(Layer::conv(
+                    &name("proj"),
+                    (hw, hw),
+                    in_c,
+                    out_c,
+                    1,
+                    stride,
+                    0,
+                ));
             }
             in_c = out_c;
             hw = hw2;

@@ -6,11 +6,11 @@ use proptest::prelude::*;
 /// Strategy: a valid conv layer.
 fn conv_layer() -> impl Strategy<Value = Layer> {
     (
-        4u32..=64,   // input h = w
-        1u32..=64,   // in channels
-        1u32..=128,  // out channels
+        4u32..=64,  // input h = w
+        1u32..=64,  // in channels
+        1u32..=128, // out channels
         prop_oneof![Just(1u32), Just(3), Just(5), Just(7)],
-        1u32..=2,    // stride
+        1u32..=2, // stride
     )
         .prop_filter_map("kernel must fit", |(hw, c, k, kernel, stride)| {
             if hw + 2 * (kernel / 2) < kernel {

@@ -199,9 +199,25 @@ mod tests {
         assert!(f.sr_feedforward_ghz > f.sr_feedback_ghz);
         // Paper values: 66→30 GHz (FA), 133→71 GHz (SR). Allow ±20%.
         let close = |got: f64, want: f64| (got - want).abs() / want < 0.2;
-        assert!(close(f.fa_feedforward_ghz, 66.0), "FA ff {:.1}", f.fa_feedforward_ghz);
-        assert!(close(f.fa_feedback_ghz, 30.0), "FA fb {:.1}", f.fa_feedback_ghz);
-        assert!(close(f.sr_feedforward_ghz, 133.0), "SR ff {:.1}", f.sr_feedforward_ghz);
-        assert!(close(f.sr_feedback_ghz, 71.0), "SR fb {:.1}", f.sr_feedback_ghz);
+        assert!(
+            close(f.fa_feedforward_ghz, 66.0),
+            "FA ff {:.1}",
+            f.fa_feedforward_ghz
+        );
+        assert!(
+            close(f.fa_feedback_ghz, 30.0),
+            "FA fb {:.1}",
+            f.fa_feedback_ghz
+        );
+        assert!(
+            close(f.sr_feedforward_ghz, 133.0),
+            "SR ff {:.1}",
+            f.sr_feedforward_ghz
+        );
+        assert!(
+            close(f.sr_feedback_ghz, 71.0),
+            "SR fb {:.1}",
+            f.sr_feedback_ghz
+        );
     }
 }

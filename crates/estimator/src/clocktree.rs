@@ -108,7 +108,10 @@ mod tests {
         let lib = CellLibrary::aist_10um().with_bias(sfq_cells::BiasScheme::Ersfq);
         let t = ClockTree::for_sinks(20_000_000);
         let power_w = t.energy_per_cycle_j(&lib) * 52.6e9;
-        assert!(power_w > 0.5 && power_w < 10.0, "clock power {power_w:.2} W");
+        assert!(
+            power_w > 0.5 && power_w < 10.0,
+            "clock power {power_w:.2} W"
+        );
     }
 
     #[test]
@@ -116,7 +119,10 @@ mod tests {
         let small = ClockTree::for_sinks(1_000).skew_ps();
         let large = ClockTree::for_sinks(1_000_000).skew_ps();
         assert!(large > small);
-        assert!(large < 3.0 * small, "log growth expected: {small} -> {large}");
+        assert!(
+            large < 3.0 * small,
+            "log growth expected: {small} -> {large}"
+        );
         // And stays well under the 19 ps cycle for any realistic chip.
         assert!(large < 5.0);
     }

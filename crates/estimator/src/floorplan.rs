@@ -254,7 +254,11 @@ mod tests {
         a.ifmap *= scale * scale;
         a.output *= scale * scale;
         let fp = Floorplan::place(&a);
-        assert!(fp.inter_unit_skew_ps() < 5.0, "skew {:.2} ps", fp.inter_unit_skew_ps());
+        assert!(
+            fp.inter_unit_skew_ps() < 5.0,
+            "skew {:.2} ps",
+            fp.inter_unit_skew_ps()
+        );
     }
 
     #[test]

@@ -83,7 +83,15 @@ impl NetworkDesign {
                 let jtl_runs = (w * w * w / 2) * b;
                 g.add(GateKind::Splitter, tree_splitters);
                 g.add(GateKind::Dff, leaf_dffs);
-                g.add(GateKind::Jtl, jtl_runs * if self == NetworkDesign::SplitterTree2d { 2 } else { 1 });
+                g.add(
+                    GateKind::Jtl,
+                    jtl_runs
+                        * if self == NetworkDesign::SplitterTree2d {
+                            2
+                        } else {
+                            1
+                        },
+                );
             }
         }
         g
@@ -163,7 +171,10 @@ mod tests {
         let lib = CellLibrary::aist_10um();
         let ratio = NetworkDesign::SplitterTree1d.area_mm2(64, 8, &lib)
             / NetworkDesign::Systolic2d.area_mm2(64, 8, &lib);
-        assert!(ratio > 1.8 && ratio < 5.0, "tree/systolic area ratio {ratio:.2}");
+        assert!(
+            ratio > 1.8 && ratio < 5.0,
+            "tree/systolic area ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! models into whole-NPU frequency, power, area and per-access energy
 //! numbers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -233,9 +234,9 @@ fn inter_unit_pairs(lib: &CellLibrary, skew_ps: f64) -> Vec<PairTiming> {
         clocking: Clocking::Concurrent,
     };
     vec![
-        hop(GateKind::Dff, GateKind::Dff),      // buffer tail -> NW unit
-        hop(GateKind::Dff, GateKind::And),      // NW unit -> PE operand port
-        hop(GateKind::Xor, GateKind::Dff),      // PE psum out -> output buffer
+        hop(GateKind::Dff, GateKind::Dff), // buffer tail -> NW unit
+        hop(GateKind::Dff, GateKind::And), // NW unit -> PE operand port
+        hop(GateKind::Xor, GateKind::Dff), // PE psum out -> output buffer
     ]
 }
 
@@ -275,22 +276,41 @@ type EstimateKey = (NpuConfig, Vec<u64>);
 /// cheaper than one estimation. Cleared wholesale if it ever grows
 /// past a bound no legitimate sweep reaches.
 static ESTIMATE_CACHE: RwLock<Vec<(EstimateKey, NpuEstimate)>> = RwLock::new(Vec::new());
-static ESTIMATE_HITS: AtomicU64 = AtomicU64::new(0);
-static ESTIMATE_MISSES: AtomicU64 = AtomicU64::new(0);
 const ESTIMATE_CACHE_CAP: usize = 1024;
+
+/// Always-on `estimator.estimate.cache_hit` / `.cache_miss` counters
+/// in the [`sfq_obs`] registry (the former ad-hoc statics): they
+/// record whether or not `SUPERNPU_METRICS` is set, so the
+/// [`estimate_cache_stats`] alias keeps its pre-registry behavior.
+fn cache_counters() -> (&'static sfq_obs::Counter, &'static sfq_obs::Counter) {
+    static C: OnceLock<(&'static sfq_obs::Counter, &'static sfq_obs::Counter)> = OnceLock::new();
+    *C.get_or_init(|| {
+        (
+            sfq_obs::counter("estimator.estimate.cache_hit"),
+            sfq_obs::counter("estimator.estimate.cache_miss"),
+        )
+    })
+}
 
 /// `(hits, misses)` of the estimate memo since process start (or the
 /// last [`clear_estimate_cache`]).
+///
+/// Deprecated alias: thin wrapper over the
+/// `estimator.estimate.cache_hit` / `estimator.estimate.cache_miss`
+/// counters in the [`sfq_obs`] registry; prefer reading those (or
+/// [`sfq_obs::snapshot`]) in new code.
 pub fn estimate_cache_stats() -> (u64, u64) {
-    (ESTIMATE_HITS.load(Ordering::Relaxed), ESTIMATE_MISSES.load(Ordering::Relaxed))
+    let (hits, misses) = cache_counters();
+    (hits.get(), misses.get())
 }
 
 /// Drop all memoized estimates and reset the hit/miss counters.
 pub fn clear_estimate_cache() {
     let mut cache = ESTIMATE_CACHE.write();
     cache.clear();
-    ESTIMATE_HITS.store(0, Ordering::Relaxed);
-    ESTIMATE_MISSES.store(0, Ordering::Relaxed);
+    let (hits, misses) = cache_counters();
+    hits.reset();
+    misses.reset();
 }
 
 /// Run the full three-layer estimation for `cfg` under `lib`.
@@ -306,12 +326,20 @@ pub fn clear_estimate_cache() {
 /// assert their inputs).
 pub fn estimate(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let key: EstimateKey = (cfg.clone(), library_fingerprint(lib));
+    let (cache_hits, cache_misses) = cache_counters();
     if let Some((_, est)) = ESTIMATE_CACHE.read().iter().find(|(k, _)| *k == key) {
-        ESTIMATE_HITS.fetch_add(1, Ordering::Relaxed);
+        cache_hits.inc();
         return est.clone();
     }
-    ESTIMATE_MISSES.fetch_add(1, Ordering::Relaxed);
+    cache_misses.inc();
+    let fill_started = sfq_obs::enabled().then(Instant::now);
     let est = estimate_uncached(cfg, lib);
+    if let Some(t0) = fill_started {
+        sfq_obs::observe(
+            "estimator.estimate.fill_ms",
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
     let mut cache = ESTIMATE_CACHE.write();
     if cache.len() >= ESTIMATE_CACHE_CAP {
         cache.clear();
@@ -328,7 +356,11 @@ fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let dau = dau_model(cfg.array_height, cfg.bits);
     let ifmap = buffer_model("ifmap", cfg.ifmap_buffer());
     let output = buffer_model(
-        if cfg.integrated_output { "output(int)" } else { "ofmap" },
+        if cfg.integrated_output {
+            "output(int)"
+        } else {
+            "ofmap"
+        },
         cfg.output_buffer(),
     );
     let weight = buffer_model(
@@ -380,7 +412,8 @@ fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     // Floorplan at the 28 nm-equivalent geometry (the scale at which
     // the paper compares dies; the 1.0 µm areas are treated as scaled,
     // per its footnote 2).
-    let area_scale = sfq_cells::scaling::area_factor(lib.device().feature_um, scaling::NODE_28NM_UM);
+    let area_scale =
+        sfq_cells::scaling::area_factor(lib.device().feature_um, scaling::NODE_28NM_UM);
     let scaled = |idx: usize| units[idx].area_mm2 * area_scale;
     let unit_areas = UnitAreas {
         pe_array: scaled(0),
@@ -409,8 +442,7 @@ fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     // Clock-distribution / power-routing overlay plus the floorplan's
     // inter-unit wiring channels.
     let cell_area: f64 = units.iter().map(|u| u.area_mm2).sum();
-    let area_mm2_native: f64 =
-        cell_area * 1.12 + floorplan.wiring_area_mm2() / area_scale;
+    let area_mm2_native: f64 = cell_area * 1.12 + floorplan.wiring_area_mm2() / area_scale;
     let area_mm2_28nm = scaling::scale_area_mm2(
         area_mm2_native,
         lib.device().feature_um,
@@ -423,8 +455,7 @@ fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let s = lib.gate(GateKind::Splitter);
     // One entry-shift of one row lane clocks `bits` storage cells and
     // their clock splitters.
-    let buffer_shift_energy_j =
-        f64::from(cfg.bits) * (d.energy_aj + s.energy_aj) * 1e-18;
+    let buffer_shift_energy_j = f64::from(cfg.bits) * (d.energy_aj + s.energy_aj) * 1e-18;
     let dau_energy_j = {
         let bp = lib.gate(GateKind::DffBypass);
         // An aligned element traverses on average half the PE pipeline
@@ -450,8 +481,7 @@ fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
         let logic_sinks = (clocked_in(&pe.gates) + clocked_in(&nw.gates)) * cfg.pe_count()
             + clocked_in(&dau.gates);
         let tree = ClockTree::for_sinks(logic_sinks.max(1));
-        let active_buffer_cells = (cfg.ifmap_buffer().chunk_entries()
-            * u64::from(cfg.array_height)
+        let active_buffer_cells = (cfg.ifmap_buffer().chunk_entries() * u64::from(cfg.array_height)
             + cfg.output_buffer().chunk_entries() * u64::from(cfg.array_width))
             as f64
             * f64::from(cfg.bits);
@@ -570,8 +600,18 @@ mod tests {
         .iter()
         .map(|c| estimate(c, &lib).area_mm2_28nm)
         .collect();
-        assert!(a[1] >= a[0] * 0.98, "buffer opt {:.0} vs baseline {:.0}", a[1], a[0]);
-        assert!(a[3] >= a[2] * 0.98, "supernpu {:.0} vs resource {:.0}", a[3], a[2]);
+        assert!(
+            a[1] >= a[0] * 0.98,
+            "buffer opt {:.0} vs baseline {:.0}",
+            a[1],
+            a[0]
+        );
+        assert!(
+            a[3] >= a[2] * 0.98,
+            "supernpu {:.0} vs resource {:.0}",
+            a[3],
+            a[2]
+        );
     }
 
     #[test]

@@ -180,7 +180,9 @@ mod tests {
             pairs: vec![],
             activity: 0.5,
         };
-        assert!((unit.access_energy_j(&lib) - 0.5 * gates.full_switch_energy_j(&lib)).abs() < 1e-30);
+        assert!(
+            (unit.access_energy_j(&lib) - 0.5 * gates.full_switch_energy_j(&lib)).abs() < 1e-30
+        );
         assert!(unit.frequency_ghz(&lib).is_none());
     }
 }

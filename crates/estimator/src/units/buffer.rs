@@ -55,7 +55,10 @@ pub fn mux_overhead_per_lane(division: u32) -> GateCounts {
 /// Structure model of one buffer bank.
 pub fn buffer_model(name: &str, cfg: BufferConfig) -> UnitModel {
     assert!(cfg.capacity_bytes > 0, "buffer needs capacity");
-    assert!(cfg.rows > 0 && cfg.bits > 0 && cfg.division > 0, "buffer config fields must be positive");
+    assert!(
+        cfg.rows > 0 && cfg.bits > 0 && cfg.division > 0,
+        "buffer config fields must be positive"
+    );
     let bits_total = cfg.capacity_bytes * 8;
     let mut g = GateCounts::new();
     // Storage cells.
@@ -83,7 +86,11 @@ pub fn buffer_model(name: &str, cfg: BufferConfig) -> UnitModel {
         clocking: Clocking::CounterFlow,
     };
     UnitModel {
-        name: format!("{name}[{} MB /{}]", cfg.capacity_bytes / (1024 * 1024), cfg.division),
+        name: format!(
+            "{name}[{} MB /{}]",
+            cfg.capacity_bytes / (1024 * 1024),
+            cfg.division
+        ),
         gates: g,
         pairs: vec![hop],
         // Per shift cycle only the active chunk's cells are clocked;
@@ -134,8 +141,16 @@ mod tests {
         assert!(a64 > a1);
         assert!(a4096 > a64);
         // Division 64 is cheap (<10% over monolithic); 4096 is not.
-        assert!((a64 - a1) / a1 < 0.10, "d=64 overhead {:.3}", (a64 - a1) / a1);
-        assert!((a4096 - a1) / a1 > 0.25, "d=4096 overhead {:.3}", (a4096 - a1) / a1);
+        assert!(
+            (a64 - a1) / a1 < 0.10,
+            "d=64 overhead {:.3}",
+            (a64 - a1) / a1
+        );
+        assert!(
+            (a4096 - a1) / a1 > 0.25,
+            "d=4096 overhead {:.3}",
+            (a4096 - a1) / a1
+        );
     }
 
     #[test]

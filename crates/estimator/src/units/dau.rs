@@ -54,7 +54,7 @@ pub fn dau_model(rows: u32, bits: u32) -> UnitModel {
         // Only the cascade stages the current mapping uses switch; on
         // average a small fraction of the triangle is active.
         activity: 0.05,
-    pairs: vec![hop],
+        pairs: vec![hop],
     }
 }
 

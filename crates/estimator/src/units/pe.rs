@@ -34,7 +34,10 @@ pub fn pe_pipeline_depth(bits: u32) -> u32 {
 /// Structure model of one PE: `bits`-wide multiplier, accumulation
 /// adder, `regs` weight registers and the gate-level pipeline DFFs.
 pub fn pe_model(bits: u32, regs: u32) -> UnitModel {
-    assert!(bits > 0 && regs > 0, "PE needs positive width and registers");
+    assert!(
+        bits > 0 && regs > 0,
+        "PE needs positive width and registers"
+    );
     let b = u64::from(bits);
     let fa = full_adder_gates();
     let mut g = GateCounts::new();

@@ -173,7 +173,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("inductor", "l", l)?;
-        self.inductors.push(TwoTerminal { a: a.0, b: b.0, value: l });
+        self.inductors.push(TwoTerminal {
+            a: a.0,
+            b: b.0,
+            value: l,
+        });
         Ok(ElementId(self.inductors.len() - 1))
     }
 
@@ -186,7 +190,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("resistor", "r", r)?;
-        self.resistors.push(TwoTerminal { a: a.0, b: b.0, value: r });
+        self.resistors.push(TwoTerminal {
+            a: a.0,
+            b: b.0,
+            value: r,
+        });
         Ok(ElementId(self.resistors.len() - 1))
     }
 
@@ -199,7 +207,11 @@ impl Circuit {
         self.check_node(a)?;
         self.check_node(b)?;
         Self::check_positive("capacitor", "c", c)?;
-        self.capacitors.push(TwoTerminal { a: a.0, b: b.0, value: c });
+        self.capacitors.push(TwoTerminal {
+            a: a.0,
+            b: b.0,
+            value: c,
+        });
         Ok(ElementId(self.capacitors.len() - 1))
     }
 

@@ -43,7 +43,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "newton iteration failed to converge at t = {time:e} s")
             }
             SimError::SingularMatrix { time } => {
-                write!(f, "singular conductance matrix at t = {time:e} s (floating node?)")
+                write!(
+                    f,
+                    "singular conductance matrix at t = {time:e} s (floating node?)"
+                )
             }
         }
     }

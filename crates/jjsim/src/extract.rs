@@ -3,7 +3,9 @@
 //! energies), mirroring the paper's use of JSIM in §IV-A.1.
 
 use crate::solver::{SimOptions, Solver};
-use crate::stdlib::{clocked_and, dff, jtl_chain, shift_register, splitter, AndParams, DffParams, JtlParams};
+use crate::stdlib::{
+    clocked_and, dff, jtl_chain, shift_register, splitter, AndParams, DffParams, JtlParams,
+};
 use crate::SimError;
 
 /// Measured characteristics of a simulated cell.

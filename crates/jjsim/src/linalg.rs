@@ -98,7 +98,9 @@ mod tests {
         // Deterministic pseudo-random SPD matrices: A = M^T M + n*I.
         let mut seed = 0x12345678u64;
         let mut rnd = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for n in [2usize, 5, 9] {

@@ -52,16 +52,14 @@ impl Margin {
 /// # Panics
 ///
 /// Panics if `nominal`, `span` or `iters` are degenerate.
-pub fn find_margin<F>(
-    nominal: f64,
-    span: f64,
-    iters: u32,
-    mut works: F,
-) -> Result<Margin, SimError>
+pub fn find_margin<F>(nominal: f64, span: f64, iters: u32, mut works: F) -> Result<Margin, SimError>
 where
     F: FnMut(f64) -> Result<bool, SimError>,
 {
-    assert!(nominal.is_finite() && nominal > 0.0, "nominal must be positive");
+    assert!(
+        nominal.is_finite() && nominal > 0.0,
+        "nominal must be positive"
+    );
     assert!(span > 0.0 && span < 1.0, "span must be in (0,1)");
     assert!(iters > 0, "need at least one bisection step");
 

@@ -132,7 +132,10 @@ fn parse_waveform(tok: &str, line: usize) -> Result<Waveform, NetlistError> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("{name}() takes {n} arguments, got {}", args.len())))
+            Err(err(
+                line,
+                format!("{name}() takes {n} arguments, got {}", args.len()),
+            ))
         }
     };
     match name.to_ascii_lowercase().as_str() {
@@ -177,10 +180,7 @@ impl ModelTable {
             .ok_or_else(|| err(line, ".model needs a name"))?
             .to_ascii_uppercase();
         let spec: String = parts.collect::<Vec<_>>().join("").to_ascii_lowercase();
-        let Some(body) = spec
-            .strip_prefix("jj(")
-            .and_then(|s| s.strip_suffix(')'))
-        else {
+        let Some(body) = spec.strip_prefix("jj(").and_then(|s| s.strip_suffix(')')) else {
             return Err(err(line, "only jj(...) models are supported"));
         };
         let mut ic = None;
@@ -254,11 +254,13 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
                 }
                 "TRAN" => {
                     let dt = parse_value(
-                        toks.next().ok_or_else(|| err(lineno, ".tran needs a timestep"))?,
+                        toks.next()
+                            .ok_or_else(|| err(lineno, ".tran needs a timestep"))?,
                         lineno,
                     )?;
                     let stop = parse_value(
-                        toks.next().ok_or_else(|| err(lineno, ".tran needs a stop time"))?,
+                        toks.next()
+                            .ok_or_else(|| err(lineno, ".tran needs a stop time"))?,
                         lineno,
                     )?;
                     tran = Some((dt, stop));
@@ -288,32 +290,43 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
                     .next()
                     .ok_or_else(|| err(lineno, "junction needs a model name"))?;
                 let params = models.get(model, lineno)?;
-                let id = circuit.add_jj(a, b, params).map_err(|e| as_sim(e, lineno))?;
+                let id = circuit
+                    .add_jj(a, b, params)
+                    .map_err(|e| as_sim(e, lineno))?;
                 junctions.insert(upper.clone(), id);
             }
             b'L' => {
                 let (a, b) = two_nodes()?;
                 let v = parse_value(
-                    toks.next().ok_or_else(|| err(lineno, "inductor needs a value"))?,
+                    toks.next()
+                        .ok_or_else(|| err(lineno, "inductor needs a value"))?,
                     lineno,
                 )?;
-                circuit.add_inductor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+                circuit
+                    .add_inductor(a, b, v)
+                    .map_err(|e| as_sim(e, lineno))?;
             }
             b'R' => {
                 let (a, b) = two_nodes()?;
                 let v = parse_value(
-                    toks.next().ok_or_else(|| err(lineno, "resistor needs a value"))?,
+                    toks.next()
+                        .ok_or_else(|| err(lineno, "resistor needs a value"))?,
                     lineno,
                 )?;
-                circuit.add_resistor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+                circuit
+                    .add_resistor(a, b, v)
+                    .map_err(|e| as_sim(e, lineno))?;
             }
             b'C' => {
                 let (a, b) = two_nodes()?;
                 let v = parse_value(
-                    toks.next().ok_or_else(|| err(lineno, "capacitor needs a value"))?,
+                    toks.next()
+                        .ok_or_else(|| err(lineno, "capacitor needs a value"))?,
                     lineno,
                 )?;
-                circuit.add_capacitor(a, b, v).map_err(|e| as_sim(e, lineno))?;
+                circuit
+                    .add_capacitor(a, b, v)
+                    .map_err(|e| as_sim(e, lineno))?;
             }
             b'I' => {
                 let (a, b) = two_nodes()?;
@@ -331,9 +344,14 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
                 } else if b == NodeId::GROUND {
                     // Pulling current out of `a`.
                     let negated = negate(wave);
-                    circuit.add_source(a, negated).map_err(|e| as_sim(e, lineno))?;
+                    circuit
+                        .add_source(a, negated)
+                        .map_err(|e| as_sim(e, lineno))?;
                 } else {
-                    return Err(err(lineno, "floating current sources are not supported; reference one side to ground"));
+                    return Err(err(
+                        lineno,
+                        "floating current sources are not supported; reference one side to ground",
+                    ));
                 }
             }
             other => {
@@ -359,17 +377,29 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
 fn negate(w: Waveform) -> Waveform {
     match w {
         Waveform::Dc(a) => Waveform::Dc(-a),
-        Waveform::Gaussian { t0, sigma, amplitude } => Waveform::Gaussian {
+        Waveform::Gaussian {
+            t0,
+            sigma,
+            amplitude,
+        } => Waveform::Gaussian {
             t0,
             sigma,
             amplitude: -amplitude,
         },
-        Waveform::Train { times, sigma, amplitude } => Waveform::Train {
+        Waveform::Train {
+            times,
+            sigma,
+            amplitude,
+        } => Waveform::Train {
             times,
             sigma,
             amplitude: -amplitude,
         },
-        Waveform::Ramp { t0, rise, amplitude } => Waveform::Ramp {
+        Waveform::Ramp {
+            t0,
+            rise,
+            amplitude,
+        } => Waveform::Ramp {
             t0,
             rise,
             amplitude: -amplitude,

@@ -2,21 +2,79 @@
 //! Newton iteration.
 
 use std::f64::consts::PI;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use crate::circuit::Circuit;
 use crate::error::SimError;
 use crate::linalg::{factor_banded, solve_dense, solve_factored};
 use crate::{ElementId, PHI0};
 
-/// Process-wide count of transient analyses started (every
-/// [`Solver::try_run`] call). Lets characterization caches prove, in
-/// tests, that a repeated request performed no new transient work.
-static TRANSIENT_RUNS: AtomicU64 = AtomicU64::new(0);
+/// The always-on `jjsim.solver.transient_runs` counter: every
+/// [`Solver::try_run`] call increments it, metrics enabled or not,
+/// exactly like the ad-hoc static it replaced. Lets characterization
+/// caches prove, in tests, that a repeated request performed no new
+/// transient work.
+fn transient_counter() -> &'static sfq_obs::Counter {
+    static C: OnceLock<&'static sfq_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| sfq_obs::counter("jjsim.solver.transient_runs"))
+}
 
 /// Number of transient analyses started by this process so far.
+///
+/// Deprecated alias: this is now a thin wrapper over the
+/// `jjsim.solver.transient_runs` counter in the [`sfq_obs`] registry;
+/// prefer `sfq_obs::counter("jjsim.solver.transient_runs").get()` (or
+/// [`sfq_obs::snapshot`]) in new code.
 pub fn transient_runs() -> u64 {
-    TRANSIENT_RUNS.load(Ordering::Relaxed)
+    transient_counter().get()
+}
+
+/// Per-run metric accumulators, flushed into the [`sfq_obs`] registry
+/// in one batch at every exit of [`Solver::try_run`]. The counters are
+/// plain locals while the run is in flight, so the per-iteration cost
+/// is a register increment whether metrics are on or off; the flush
+/// itself is gated on [`sfq_obs::enabled`].
+#[derive(Default)]
+struct RunMetrics {
+    started: Option<Instant>,
+    steps: u64,
+    newton_iters: u64,
+    lu_factor: u64,
+    lu_reuse: u64,
+    dense_solves: u64,
+}
+
+impl RunMetrics {
+    fn start() -> Self {
+        RunMetrics {
+            started: sfq_obs::enabled().then(Instant::now),
+            ..Self::default()
+        }
+    }
+
+    fn flush(&self, error: Option<&SimError>) {
+        if !sfq_obs::enabled() {
+            return;
+        }
+        sfq_obs::add("jjsim.solver.steps", self.steps);
+        sfq_obs::add("jjsim.solver.newton_iters", self.newton_iters);
+        sfq_obs::add("jjsim.solver.lu_factor", self.lu_factor);
+        sfq_obs::add("jjsim.solver.lu_reuse", self.lu_reuse);
+        sfq_obs::add("jjsim.solver.dense_solves", self.dense_solves);
+        match error {
+            Some(SimError::NoConvergence { .. }) => {
+                sfq_obs::inc("jjsim.solver.convergence_failures");
+            }
+            Some(SimError::SingularMatrix { .. }) => {
+                sfq_obs::inc("jjsim.solver.singular_matrix");
+            }
+            _ => {}
+        }
+        if let Some(t0) = self.started {
+            sfq_obs::observe("jjsim.solver.run_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
 }
 
 /// Solver options.
@@ -130,7 +188,8 @@ impl Solver {
     /// See [`Solver::run`].
     #[allow(clippy::too_many_lines)]
     pub fn try_run(&self, t_end: f64) -> Result<SimResult, SimError> {
-        TRANSIENT_RUNS.fetch_add(1, Ordering::Relaxed);
+        transient_counter().inc();
+        let mut metrics = RunMetrics::start();
         let ckt = &self.ckt;
         let n_unknown = ckt.node_count - 1; // ground excluded
         let h = self.opts.dt;
@@ -253,6 +312,7 @@ impl Solver {
         let mut lu_valid = false;
 
         for step in 0..steps {
+            metrics.steps += 1;
             let t_next = (step + 1) as f64 * h;
             v_prev.copy_from_slice(&v);
             v_iter.copy_from_slice(&v);
@@ -283,6 +343,7 @@ impl Solver {
             // Newton iteration on node voltages at t_next.
             let mut converged = false;
             for _ in 0..self.opts.max_newton {
+                metrics.newton_iters += 1;
                 // Linearize every junction around v_iter and decide
                 // whether the existing factorization still applies.
                 let mut reuse = use_banded && lu_valid;
@@ -291,9 +352,7 @@ impl Solver {
                     let vb_k = vbr(&v_iter, jj.a, jj.b);
                     let phi_k = phase[k] + (PI * h / PHI0) * (vb_k + vb_prev);
                     let g_cap = 2.0 * jj.p.c / h;
-                    let i_at_vk = jj.p.ic * phi_k.sin()
-                        + vb_k / jj.p.r
-                        + g_cap * (vb_k - vb_prev)
+                    let i_at_vk = jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
                         - i_jj_cap[k];
                     let g = jj.p.ic * phi_k.cos() * (PI * h / PHI0) + 1.0 / jj.p.r + g_cap;
                     g_now[k] = g;
@@ -315,10 +374,9 @@ impl Solver {
                         let vb_prev = vbr(&v_prev, jj.a, jj.b);
                         let phi_k = phase[k] + (PI * h / PHI0) * (vb_k + vb_prev);
                         let g_cap = 2.0 * jj.p.c / h;
-                        let i_at_vk = jj.p.ic * phi_k.sin()
-                            + vb_k / jj.p.r
-                            + g_cap * (vb_k - vb_prev)
-                            - i_jj_cap[k];
+                        let i_at_vk =
+                            jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
+                                - i_jj_cap[k];
                         ihist_now[k] = i_at_vk - g_now[k] * vb_k;
                     }
                 }
@@ -331,6 +389,7 @@ impl Solver {
                 let mut solved_in_rhs = false;
                 if use_banded {
                     if !reuse {
+                        metrics.lu_factor += 1;
                         lu.copy_from_slice(&a_lin);
                         for (k, jj) in ckt.jjs.iter().enumerate() {
                             stamp_g(&mut lu, jj.a, jj.b, g_now[k]);
@@ -341,6 +400,8 @@ impl Solver {
                         } else {
                             lu_valid = false;
                         }
+                    } else {
+                        metrics.lu_reuse += 1;
                     }
                     if lu_valid {
                         solve_factored(&lu, &mut rhs, n_unknown, bandwidth);
@@ -348,6 +409,7 @@ impl Solver {
                     }
                 }
                 if !solved_in_rhs {
+                    metrics.dense_solves += 1;
                     // Dense elimination with pivoting: small circuits,
                     // and the fallback when the no-pivot banded
                     // factorization hits a tiny pivot.
@@ -356,7 +418,9 @@ impl Solver {
                         stamp_g(&mut a_mat, jj.a, jj.b, g_now[k]);
                     }
                     let Some(sol) = solve_dense(&mut a_mat, &mut rhs, n_unknown) else {
-                        return Err(SimError::SingularMatrix { time: t_next });
+                        let e = SimError::SingularMatrix { time: t_next };
+                        metrics.flush(Some(&e));
+                        return Err(e);
                     };
                     rhs.copy_from_slice(&sol);
                 }
@@ -375,7 +439,9 @@ impl Solver {
                 }
             }
             if !converged {
-                return Err(SimError::NoConvergence { time: t_next });
+                let e = SimError::NoConvergence { time: t_next };
+                metrics.flush(Some(&e));
+                return Err(e);
             }
 
             // Commit state updates.
@@ -417,6 +483,7 @@ impl Solver {
             }
         }
 
+        metrics.flush(None);
         Ok(SimResult {
             dt: h,
             t_end,
@@ -508,7 +575,8 @@ mod tests {
         let n = c.node();
         let jj = c.add_jj(n, NodeId::GROUND, JjParams::default()).unwrap();
         c.add_bias(n, 0.7e-4).unwrap();
-        c.add_source(n, Waveform::sfq_pulse(60e-12, 1.5e-4)).unwrap();
+        c.add_source(n, Waveform::sfq_pulse(60e-12, 1.5e-4))
+            .unwrap();
         let out = Solver::new(c, SimOptions::default())
             .unwrap()
             .try_run(120e-12)

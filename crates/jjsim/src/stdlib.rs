@@ -82,8 +82,11 @@ pub fn splitter(p: &JtlParams) -> (Circuit, SplitterProbes) {
     let input = c.node();
     // The hub junction has doubled critical current, so the trigger is
     // scaled by the same factor.
-    c.add_source(input, Waveform::sfq_pulse(p.input_time, 2.0 * p.input_amplitude))
-        .expect("valid node");
+    c.add_source(
+        input,
+        Waveform::sfq_pulse(p.input_time, 2.0 * p.input_amplitude),
+    )
+    .expect("valid node");
 
     let hub = c.node();
     c.add_inductor(input, hub, p.l / 2.0).expect("valid nodes");
@@ -126,7 +129,11 @@ pub struct MergerProbes {
 /// Build a confluence buffer: pulses arriving on either input emerge on
 /// the single output. The input branch junctions also isolate the
 /// inputs from each other.
-pub fn merger(pulse_a: Option<f64>, pulse_b: Option<f64>, p: &JtlParams) -> (Circuit, MergerProbes) {
+pub fn merger(
+    pulse_a: Option<f64>,
+    pulse_b: Option<f64>,
+    p: &JtlParams,
+) -> (Circuit, MergerProbes) {
     let mut c = Circuit::new();
     let jj = JjParams::critically_damped(p.ic);
 
@@ -150,14 +157,7 @@ pub fn merger(pulse_a: Option<f64>, pulse_b: Option<f64>, p: &JtlParams) -> (Cir
     c.add_inductor(nb, out, p.l).expect("valid nodes");
     let output = c.add_jj(out, NodeId::GROUND, jj).expect("valid nodes");
     c.add_bias(out, p.bias_frac * p.ic).expect("valid node");
-    (
-        c,
-        MergerProbes {
-            in_a,
-            in_b,
-            output,
-        },
-    )
+    (c, MergerProbes { in_a, in_b, output })
 }
 
 /// DFF (destructive-readout storage cell) parameters.
@@ -226,7 +226,8 @@ pub fn dff(data_times: &[f64], clock_times: &[f64], p: &DffParams) -> (Circuit, 
             .expect("valid node");
     }
     let store = c.node();
-    c.add_inductor(data_entry, store, 6.0e-12).expect("valid nodes");
+    c.add_inductor(data_entry, store, 6.0e-12)
+        .expect("valid nodes");
     let input = c
         .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
         .expect("valid nodes");
@@ -400,12 +401,20 @@ mod tests {
         let (c, probes) = merger(Some(60e-12), None, &p);
         let out = run(c, 160e-12);
         assert_eq!(out.pulse_count(probes.in_a), 1, "driven branch fires");
-        assert_eq!(out.pulse_count(probes.output), 1, "A-side pulse must emerge");
+        assert_eq!(
+            out.pulse_count(probes.output),
+            1,
+            "A-side pulse must emerge"
+        );
 
         let (c, probes) = merger(None, Some(80e-12), &p);
         let out = run(c, 180e-12);
         assert_eq!(out.pulse_count(probes.in_b), 1, "driven branch fires");
-        assert_eq!(out.pulse_count(probes.output), 1, "B-side pulse must emerge");
+        assert_eq!(
+            out.pulse_count(probes.output),
+            1,
+            "B-side pulse must emerge"
+        );
     }
 
     #[test]
@@ -424,7 +433,10 @@ mod tests {
         assert_eq!(out.pulse_count(probes.input), 1, "datum captured");
         assert_eq!(out.pulse_count(probes.output), 1, "datum released by clock");
         let t_out = out.pulse_times(probes.output)[0];
-        assert!(t_out > 100e-12, "release happens after the clock: {t_out:e}");
+        assert!(
+            t_out > 100e-12,
+            "release happens after the clock: {t_out:e}"
+        );
         assert_eq!(out.pulse_count(probes.forward), 1, "pulse propagates out");
     }
 
@@ -433,7 +445,11 @@ mod tests {
         let p = DffParams::default();
         let (c, probes) = dff(&[], &[100e-12], &p);
         let out = run(c, 160e-12);
-        assert_eq!(out.pulse_count(probes.output), 0, "no stored fluxon, no output");
+        assert_eq!(
+            out.pulse_count(probes.output),
+            0,
+            "no stored fluxon, no output"
+        );
         assert_eq!(out.pulse_count(probes.forward), 0);
     }
 
@@ -463,7 +479,10 @@ mod tests {
             pr.stage_outputs.iter().all(|j| out.pulse_count(*j) == 1)
         };
         assert!(trial(-2e-12), "counter-flow skew must shift correctly");
-        assert!(!trial(2e-12), "concurrent-direction skew must race at this period");
+        assert!(
+            !trial(2e-12),
+            "concurrent-direction skew must race at this period"
+        );
     }
 
     #[test]
@@ -586,7 +605,11 @@ pub fn clocked_and(
         let store = c.node();
         c.add_inductor(entry, store, 6.0e-12).expect("valid nodes");
         let id = c
-            .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_store))
+            .add_jj(
+                store,
+                NodeId::GROUND,
+                JjParams::critically_damped(p.ic_store),
+            )
             .expect("valid nodes");
         c.add_bias(store, p.bias_store).expect("valid node");
         c.add_inductor(store, read, p.l_store).expect("valid nodes");

@@ -63,7 +63,11 @@ impl Waveform {
                 }
                 sum * amplitude
             }
-            Waveform::Ramp { t0, rise, amplitude } => {
+            Waveform::Ramp {
+                t0,
+                rise,
+                amplitude,
+            } => {
                 if t <= *t0 {
                     0.0
                 } else if t >= t0 + rise {

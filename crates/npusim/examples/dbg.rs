@@ -1,22 +1,41 @@
-use sfq_npu_sim::*;
 use dnn_models::zoo;
 use scale_sim as ss;
+use sfq_npu_sim::*;
 fn main() {
     let tpu = ss::CmosNpuConfig::tpu_core();
     for net in zoo::all() {
         let t = ss::simulate_network(&tpu, &net);
-        println!("TPU {:12} b{:2} {:6.2} TMAC/s util {:.3}", net.name(), t.batch, t.effective_tmacs(), t.pe_utilization());
+        println!(
+            "TPU {:12} b{:2} {:6.2} TMAC/s util {:.3}",
+            net.name(),
+            t.batch,
+            t.effective_tmacs(),
+            t.pe_utilization()
+        );
     }
-    let designs = [SimConfig::paper_baseline(), SimConfig::paper_buffer_opt(), SimConfig::paper_resource_opt(), SimConfig::paper_supernpu()];
+    let designs = [
+        SimConfig::paper_baseline(),
+        SimConfig::paper_buffer_opt(),
+        SimConfig::paper_resource_opt(),
+        SimConfig::paper_supernpu(),
+    ];
     for cfg in &designs {
         let mut log = 0.0;
         for net in zoo::all() {
             let s = simulate_network(cfg, &net);
             let t = ss::simulate_network(&tpu, &net);
-            let ratio = s.effective_tmacs()/t.effective_tmacs();
-            print!(" {:4}:{:6.2}", &net.name()[..4.min(net.name().len())], ratio);
+            let ratio = s.effective_tmacs() / t.effective_tmacs();
+            print!(
+                " {:4}:{:6.2}",
+                &net.name()[..4.min(net.name().len())],
+                ratio
+            );
             log += ratio.ln();
         }
-        println!("   {:14} geo speedup vs TPU = {:.2}", cfg.npu.name, (log/6.0f64).exp());
+        println!(
+            "   {:14} geo speedup vs TPU = {:.2}",
+            cfg.npu.name,
+            (log / 6.0f64).exp()
+        );
     }
 }

@@ -29,7 +29,12 @@ pub fn structural_max_batch(npu: &NpuConfig, net: &Network) -> u32 {
 
     // Ifmap capacity bound: the largest layer's ifmap per image
     // against its buffer.
-    let max_if = net.iter().map(|l| l.ifmap_bytes(1)).max().unwrap_or(1).max(1);
+    let max_if = net
+        .iter()
+        .map(|l| l.ifmap_bytes(1))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let if_bound = (ifmap_cap / max_if) as u32;
 
     // Output capacity bound with the Fig. 18(b) width-utilization
@@ -91,7 +96,12 @@ mod tests {
     #[test]
     fn supernpu_small_nets_hit_cap() {
         let npu = NpuConfig::paper_supernpu();
-        for net in [zoo::alexnet(), zoo::googlenet(), zoo::mobilenet(), zoo::resnet50()] {
+        for net in [
+            zoo::alexnet(),
+            zoo::googlenet(),
+            zoo::mobilenet(),
+            zoo::resnet50(),
+        ] {
             let b = structural_max_batch(&npu, &net);
             assert_eq!(b, PAPER_BATCH_CAP, "{}", net.name());
         }

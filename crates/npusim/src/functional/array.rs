@@ -24,7 +24,10 @@ impl SystolicArray {
     ///
     /// Panics on zero dimensions.
     pub fn new(height: usize, width: usize, regs: usize) -> Self {
-        assert!(height > 0 && width > 0 && regs > 0, "array dimensions must be positive");
+        assert!(
+            height > 0 && width > 0 && regs > 0,
+            "array dimensions must be positive"
+        );
         SystolicArray {
             height,
             width,
@@ -58,7 +61,11 @@ impl SystolicArray {
     /// applies each of its weights once per pixel.
     ///
     /// Returns `out[pixel][col][reg]` — the finished column sums.
-    pub fn stream(&self, pixels: usize, mut operand: impl FnMut(usize, usize) -> i32) -> Vec<Vec<Vec<i32>>> {
+    pub fn stream(
+        &self,
+        pixels: usize,
+        mut operand: impl FnMut(usize, usize) -> i32,
+    ) -> Vec<Vec<Vec<i32>>> {
         let (h, w, regs) = (self.height, self.width, self.regs);
         let slots = pixels * regs;
         let total_cycles = slots + h + w;

@@ -180,8 +180,17 @@ mod tests {
     fn check(layer: &Layer, height: u32, width: u32, regs: u32) {
         let (h, w) = layer.input_hw();
         let mut gen = fill(layer.name().len() as u64 + u64::from(height * 131 + width));
-        let ifmap = Tensor3::from_fn(h as usize, w as usize, layer.in_channels() as usize, |_, _, _| gen());
-        let wc = if layer.kind() == dnn_models::LayerKind::Depthwise { 1 } else { layer.in_channels() as usize };
+        let ifmap = Tensor3::from_fn(
+            h as usize,
+            w as usize,
+            layer.in_channels() as usize,
+            |_, _, _| gen(),
+        );
+        let wc = if layer.kind() == dnn_models::LayerKind::Depthwise {
+            1
+        } else {
+            layer.in_channels() as usize
+        };
         let weights = Tensor4::from_fn(
             layer.out_channels() as usize,
             layer.kernel() as usize,
@@ -191,7 +200,12 @@ mod tests {
         );
         let golden = golden_conv(layer, &ifmap, &weights);
         let systolic = run_conv_ws(layer, &ifmap, &weights, height, width, regs);
-        assert_eq!(systolic, golden, "{} on {height}x{width}x{regs}", layer.name());
+        assert_eq!(
+            systolic,
+            golden,
+            "{} on {height}x{width}x{regs}",
+            layer.name()
+        );
     }
 
     #[test]

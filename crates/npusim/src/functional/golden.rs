@@ -45,8 +45,8 @@ pub fn golden_conv(layer: &Layer, ifmap: &Tensor3, weights: &Tensor4) -> Tensor3
                             }
                             _ => {
                                 for ci in 0..ic {
-                                    acc += ifmap.get_padded(iy, ix, ci)
-                                        * weights.get(kf, ry, sx, ci);
+                                    acc +=
+                                        ifmap.get_padded(iy, ix, ci) * weights.get(kf, ry, sx, ci);
                                 }
                             }
                         }

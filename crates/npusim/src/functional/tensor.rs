@@ -19,7 +19,10 @@ impl Tensor3 {
     ///
     /// Panics on zero dimensions.
     pub fn zeros(h: usize, w: usize, c: usize) -> Self {
-        assert!(h > 0 && w > 0 && c > 0, "tensor dimensions must be positive");
+        assert!(
+            h > 0 && w > 0 && c > 0,
+            "tensor dimensions must be positive"
+        );
         Tensor3 {
             h,
             w,
@@ -29,7 +32,12 @@ impl Tensor3 {
     }
 
     /// Build from a generator `f(y, x, ch)`.
-    pub fn from_fn(h: usize, w: usize, c: usize, mut f: impl FnMut(usize, usize, usize) -> i32) -> Self {
+    pub fn from_fn(
+        h: usize,
+        w: usize,
+        c: usize,
+        mut f: impl FnMut(usize, usize, usize) -> i32,
+    ) -> Self {
         let mut t = Self::zeros(h, w, c);
         for y in 0..h {
             for x in 0..w {
@@ -96,7 +104,10 @@ impl Tensor4 {
     ///
     /// Panics on zero dimensions.
     pub fn zeros(k: usize, r: usize, s: usize, c: usize) -> Self {
-        assert!(k > 0 && r > 0 && s > 0 && c > 0, "tensor dimensions must be positive");
+        assert!(
+            k > 0 && r > 0 && s > 0 && c > 0,
+            "tensor dimensions must be positive"
+        );
         Tensor4 {
             k,
             r,

@@ -110,6 +110,18 @@ pub fn simulate_layer(
     energy.clock_j +=
         (prep_cycles + compute_cycles + stall_cycles) as f64 * cfg.energy.clock_per_cycle_j;
 
+    // One gated flush per layer: where this layer's time and traffic
+    // went, funneled into the shared registry.
+    if sfq_obs::enabled() {
+        sfq_obs::inc("npusim.layer.count");
+        sfq_obs::add("npusim.layer.prep_cycles", prep_cycles);
+        sfq_obs::add("npusim.layer.compute_cycles", compute_cycles);
+        sfq_obs::add("npusim.layer.stall_cycles", stall_cycles);
+        sfq_obs::add("npusim.layer.dram_bytes", dram_bytes);
+        sfq_obs::add("npusim.layer.macs", macs_total);
+        sfq_obs::add("npusim.layer.mappings", mappings.len() as u64);
+    }
+
     LayerStats {
         name: layer.name().to_owned(),
         prep_cycles,
@@ -182,7 +194,12 @@ mod tests {
         let cfg = SimConfig::paper_supernpu();
         let l = Layer::fully_connected("fc", 9216, 4096);
         let s = simulate_layer(&cfg, &l, 1, true);
-        assert!(s.stall_cycles > s.prep_cycles, "stall {} prep {}", s.stall_cycles, s.prep_cycles);
+        assert!(
+            s.stall_cycles > s.prep_cycles,
+            "stall {} prep {}",
+            s.stall_cycles,
+            s.prep_cycles
+        );
         assert!(s.dram_bytes >= l.weight_bytes());
     }
 

@@ -20,7 +20,10 @@ impl DramModel {
     ///
     /// Panics on non-positive bandwidth or frequency.
     pub fn new(bandwidth_gbs: f64, frequency_ghz: f64) -> Self {
-        assert!(bandwidth_gbs > 0.0 && frequency_ghz > 0.0, "DRAM model needs positive parameters");
+        assert!(
+            bandwidth_gbs > 0.0 && frequency_ghz > 0.0,
+            "DRAM model needs positive parameters"
+        );
         DramModel {
             bandwidth_gbs,
             frequency_ghz,

@@ -27,6 +27,8 @@ pub fn simulate_network(cfg: &SimConfig, net: &Network) -> NetworkStats {
 /// Panics if `batch == 0`.
 pub fn simulate_network_with_batch(cfg: &SimConfig, net: &Network, batch: u32) -> NetworkStats {
     assert!(batch > 0, "batch must be positive");
+    let _span = sfq_obs::span("npusim.network.sim_ms");
+    sfq_obs::inc("npusim.network.count");
     let est = estimate(&cfg.npu, &CellLibrary::aist_10um());
     let out_cap = cfg.npu.output_buf_bytes + cfg.npu.psum_buf_bytes;
 
@@ -137,7 +139,10 @@ mod tests {
         let net = zoo::resnet50();
         let t_base = simulate_network_with_batch(&base, &net, 1).effective_tmacs();
         let t_s = simulate_network_with_batch(&s, &net, 1).effective_tmacs();
-        assert!(t_s > 2.0 * t_base, "supernpu {t_s:.1} vs baseline {t_base:.1}");
+        assert!(
+            t_s > 2.0 * t_base,
+            "supernpu {t_s:.1} vs baseline {t_base:.1}"
+        );
     }
 
     #[test]

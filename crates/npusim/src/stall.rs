@@ -96,7 +96,10 @@ mod tests {
         let r = analyze_stalls(&cfg, &zoo::resnet50(), 30);
         assert_ne!(r.dominant(), "on-chip data movement");
         let (compute, movement, _) = r.fractions();
-        assert!(compute > movement, "compute {compute:.2} vs movement {movement:.2}");
+        assert!(
+            compute > movement,
+            "compute {compute:.2} vs movement {movement:.2}"
+        );
     }
 
     #[test]

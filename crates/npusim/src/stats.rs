@@ -90,7 +90,10 @@ impl NetworkStats {
 
     /// Preparation cycles across all layers.
     pub fn prep_cycles(&self) -> u64 {
-        self.layers.iter().map(|l| l.prep_cycles + l.stall_cycles).sum()
+        self.layers
+            .iter()
+            .map(|l| l.prep_cycles + l.stall_cycles)
+            .sum()
     }
 
     /// Computation cycles across all layers.

@@ -68,7 +68,11 @@ pub struct LayerTrace {
 impl LayerTrace {
     /// Total cycles covered by the trace (end of the last event).
     pub fn total_cycles(&self) -> u64 {
-        self.events.iter().map(TraceEvent::end_cycle).max().unwrap_or(0)
+        self.events
+            .iter()
+            .map(TraceEvent::end_cycle)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of cycles spent in one access kind.
@@ -239,7 +243,11 @@ mod tests {
         assert!(t.cycles_of(AccessKind::PsumMove) > 0);
         let opt = SimConfig::paper_supernpu();
         let t = trace_layer(&opt, &l, 1);
-        assert_eq!(t.cycles_of(AccessKind::PsumMove), 0, "integrated buffer moves no psums");
+        assert_eq!(
+            t.cycles_of(AccessKind::PsumMove),
+            0,
+            "integrated buffer moves no psums"
+        );
     }
 
     #[test]

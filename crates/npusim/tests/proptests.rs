@@ -6,7 +6,13 @@ use sfq_estimator::NpuConfig;
 use sfq_npu_sim::{enumerate_mappings, simulate_layer, SimConfig};
 
 fn conv_layer() -> impl Strategy<Value = Layer> {
-    (4u32..=56, 1u32..=128, 1u32..=512, prop_oneof![Just(1u32), Just(3), Just(5)], 1u32..=2)
+    (
+        4u32..=56,
+        1u32..=128,
+        1u32..=512,
+        prop_oneof![Just(1u32), Just(3), Just(5)],
+        1u32..=2,
+    )
         .prop_map(|(hw, c, k, kernel, stride)| {
             Layer::conv("p", (hw, hw), c, k, kernel, stride, kernel / 2)
         })
@@ -107,9 +113,23 @@ mod functional_equivalence {
     use sfq_npu_sim::functional::{golden_conv, run_conv_ws, Tensor3, Tensor4};
 
     fn small_conv() -> impl Strategy<Value = Layer> {
-        (2u32..=6, 1u32..=4, 1u32..=9, prop_oneof![Just(1u32), Just(3)], 1u32..=2)
+        (
+            2u32..=6,
+            1u32..=4,
+            1u32..=9,
+            prop_oneof![Just(1u32), Just(3)],
+            1u32..=2,
+        )
             .prop_map(|(hw, c, k, kernel, stride)| {
-                Layer::conv("p", (hw.max(kernel), hw.max(kernel)), c, k, kernel, stride, kernel / 2)
+                Layer::conv(
+                    "p",
+                    (hw.max(kernel), hw.max(kernel)),
+                    c,
+                    k,
+                    kernel,
+                    stride,
+                    kernel / 2,
+                )
             })
     }
 

@@ -22,6 +22,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -107,31 +108,61 @@ where
     }
     let guard = PermitGuard(acquire_permits(n - 1));
     if guard.0 == 0 {
+        // Nested call or single-thread pool: degrade to inline serial.
+        sfq_obs::inc("par.serial_fallback");
         return items.iter().map(&f).collect();
+    }
+    // Metrics gate, sampled once per region so every worker of this
+    // region agrees (a mid-region toggle cannot skew the counts).
+    let metrics_on = sfq_obs::enabled();
+    if metrics_on {
+        sfq_obs::inc("par.regions");
+        sfq_obs::gauge_set("par.threads", threads() as f64);
     }
 
     let next = AtomicUsize::new(0);
-    let run = |out: &mut Vec<(usize, R)>| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= n {
-            break;
+    // `worker` 0 is the calling thread; 1..=permits are the spawned
+    // workers. Items a worker pulls from the shared dispenser beyond
+    // the caller count as steals.
+    let run = |worker: usize, out: &mut Vec<(usize, R)>| {
+        let mut tasks = 0u64;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            if metrics_on {
+                let t0 = Instant::now();
+                out.push((i, f(&items[i])));
+                sfq_obs::observe("par.task_ms", t0.elapsed().as_secs_f64() * 1e3);
+            } else {
+                out.push((i, f(&items[i])));
+            }
+            tasks += 1;
         }
-        out.push((i, f(&items[i])));
+        if metrics_on && tasks > 0 {
+            sfq_obs::add("par.tasks", tasks);
+            sfq_obs::counter(&format!("par.worker.{worker}.tasks")).add(tasks);
+            if worker != 0 {
+                sfq_obs::add("par.steals", tasks);
+            }
+        }
     };
 
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(guard.0 + 1);
+    let run = &run;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..guard.0)
-            .map(|_| {
-                scope.spawn(|| {
+        let handles: Vec<_> = (1..=guard.0)
+            .map(|worker| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
-                    run(&mut out);
+                    run(worker, &mut out);
                     out
                 })
             })
             .collect();
         let mut mine = Vec::new();
-        run(&mut mine);
+        run(0, &mut mine);
         parts.push(mine);
         for h in handles {
             match h.join() {

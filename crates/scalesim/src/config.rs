@@ -86,8 +86,7 @@ impl CmosNpuConfig {
 
     /// Peak throughput, TMAC/s.
     pub fn peak_tmacs(&self) -> f64 {
-        f64::from(self.array_height) * f64::from(self.array_width) * self.frequency_ghz * 1e9
-            / 1e12
+        f64::from(self.array_height) * f64::from(self.array_width) * self.frequency_ghz * 1e9 / 1e12
     }
 
     /// DRAM bytes per clock cycle.

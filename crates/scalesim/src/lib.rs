@@ -29,4 +29,6 @@ mod config;
 mod sim;
 
 pub use config::{CmosNpuConfig, Dataflow};
-pub use sim::{simulate_layer, simulate_network, simulate_network_with_batch, CmosLayerStats, CmosNetworkStats};
+pub use sim::{
+    simulate_layer, simulate_network, simulate_network_with_batch, CmosLayerStats, CmosNetworkStats,
+};

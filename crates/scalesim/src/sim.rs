@@ -159,10 +159,7 @@ pub fn simulate_network_with_batch(
         frequency_ghz: cfg.frequency_ghz,
         peak_tmacs: cfg.peak_tmacs(),
         chip_power_w: cfg.chip_power_w,
-        layers: net
-            .iter()
-            .map(|l| simulate_layer(cfg, l, batch))
-            .collect(),
+        layers: net.iter().map(|l| simulate_layer(cfg, l, batch)).collect(),
     }
 }
 

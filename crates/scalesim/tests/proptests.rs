@@ -5,7 +5,12 @@ use proptest::prelude::*;
 use scale_sim::{simulate_layer, simulate_network_with_batch, CmosNpuConfig, Dataflow};
 
 fn conv_layer() -> impl Strategy<Value = Layer> {
-    (4u32..=56, 1u32..=256, 1u32..=512, prop_oneof![Just(1u32), Just(3), Just(5)])
+    (
+        4u32..=56,
+        1u32..=256,
+        1u32..=512,
+        prop_oneof![Just(1u32), Just(3), Just(5)],
+    )
         .prop_map(|(hw, c, k, kernel)| Layer::conv("p", (hw, hw), c, k, kernel, 1, kernel / 2))
 }
 

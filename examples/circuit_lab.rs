@@ -19,10 +19,11 @@ fn main() {
         let t = out.pulse_times(*jj).first().copied().unwrap_or(f64::NAN);
         println!("  stage {k}: {:6.2} ps", t * 1e12);
     }
-    let delay =
-        (out.pulse_times(stages[7])[0] - out.pulse_times(stages[0])[0]) / 7.0 * 1e12;
-    println!("  -> {delay:.2} ps per stage, {:.2} aJ dissipated per switching\n",
-        out.dissipated_j / 8.0 * 1e18);
+    let delay = (out.pulse_times(stages[7])[0] - out.pulse_times(stages[0])[0]) / 7.0 * 1e12;
+    println!(
+        "  -> {delay:.2} ps per stage, {:.2} aJ dissipated per switching\n",
+        out.dissipated_j / 8.0 * 1e18
+    );
 
     // 2. A DFF stores a fluxon and releases it on the clock.
     let p = DffParams::default();

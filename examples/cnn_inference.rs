@@ -25,7 +25,9 @@ fn pick(name: &str) -> Network {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "googlenet".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "googlenet".into());
     let net = pick(&name);
     println!("{net}");
 

@@ -36,11 +36,19 @@ fn main() {
     };
     println!("{layer}");
     println!("array: {height} rows x {width} cols x {regs} regs\n");
-    println!("{:>4} {:>4} {:>6} {:>8} {:>6} {:>6}", "rowG", "colG", "rows", "filters", "cols", "reuse");
+    println!(
+        "{:>4} {:>4} {:>6} {:>8} {:>6} {:>6}",
+        "rowG", "colG", "rows", "filters", "cols", "reuse"
+    );
     for m in enumerate_mappings(&layer, &npu) {
         println!(
             "{:>4} {:>4} {:>6} {:>8} {:>6} {:>6}",
-            m.row_group, m.col_group, m.active_rows, m.active_filters, m.active_cols, m.reuse_per_pe
+            m.row_group,
+            m.col_group,
+            m.active_rows,
+            m.active_filters,
+            m.active_cols,
+            m.reuse_per_pe
         );
     }
 

@@ -18,7 +18,10 @@ fn main() {
     println!("  clock      : {:.1} GHz", est.frequency_ghz);
     println!("  peak       : {:.0} TMAC/s", est.peak_tmacs);
     println!("  static     : {:.0} W (RSFQ biasing)", est.static_w);
-    println!("  area       : {:.0} mm^2 scaled to 28 nm", est.area_mm2_28nm);
+    println!(
+        "  area       : {:.0} mm^2 scaled to 28 nm",
+        est.area_mm2_28nm
+    );
     println!("  junctions  : {:.2} billion", est.jj_total as f64 / 1e9);
 
     // 2. Cycle simulation of ResNet-50 inference.

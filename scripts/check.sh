@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: release build, the whole test suite, and a
+# Full pre-merge gate: format check, release build, the whole test
+# suite (with the observability tests called out explicitly), and a
 # warning-free clippy pass. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo fmt --all -- --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
 
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
+
+echo "== cargo test -q -p sfq-obs =="
+cargo test -q -p sfq-obs
+
+echo "== cargo test -q --test observability =="
+cargo test -q --test observability
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -34,11 +34,13 @@ fn switching_energy_near_ic_phi0() {
 /// tens of GHz.
 #[test]
 fn shift_register_frequency_consistent() {
-    let measured = max_shift_frequency(&DffParams::default(), 5.0, 50.0)
-        .expect("bisection converges")
-        / 1e9;
+    let measured =
+        max_shift_frequency(&DffParams::default(), 5.0, 50.0).expect("bisection converges") / 1e9;
     let model = feedback_comparison(&CellLibrary::aist_10um()).sr_feedback_ghz;
-    assert!(measured > 20.0 && measured < 200.0, "measured {measured:.1} GHz");
+    assert!(
+        measured > 20.0 && measured < 200.0,
+        "measured {measured:.1} GHz"
+    );
     let ratio = model / measured;
     assert!(ratio > 0.5 && ratio < 2.0, "model/measured = {ratio:.2}");
 }
@@ -63,7 +65,11 @@ fn validation_die_scale() {
     };
     let est = estimate(&tiny, &CellLibrary::aist_10um());
     assert!(est.frequency_ghz > 30.0 && est.frequency_ghz < 80.0);
-    assert!(est.static_w > 1e-4 && est.static_w < 0.1, "{} W", est.static_w);
+    assert!(
+        est.static_w > 1e-4 && est.static_w < 0.1,
+        "{} W",
+        est.static_w
+    );
     assert!(est.area_mm2_native > 0.1 && est.area_mm2_native < 50.0);
     // And it is ~6 orders of magnitude smaller than the full chip.
     let full = estimate(&NpuConfig::paper_supernpu(), &CellLibrary::aist_10um());

@@ -110,7 +110,12 @@ fn bias_scheme_is_performance_neutral() {
 fn tpu_utilization_ordering() {
     let tpu = scale_sim::CmosNpuConfig::tpu_core();
     let mob = scale_sim::simulate_network(&tpu, &zoo::mobilenet()).pe_utilization();
-    for net in [zoo::vgg16(), zoo::resnet50(), zoo::googlenet(), zoo::alexnet()] {
+    for net in [
+        zoo::vgg16(),
+        zoo::resnet50(),
+        zoo::googlenet(),
+        zoo::alexnet(),
+    ] {
         let u = scale_sim::simulate_network(&tpu, &net).pe_utilization();
         assert!(u > mob, "{} util {u:.3} <= MobileNet {mob:.3}", net.name());
     }

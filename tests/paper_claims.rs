@@ -18,7 +18,10 @@ fn headline_speedup() {
         supernpu > 10.0 && supernpu < 40.0,
         "SuperNPU speedup {supernpu:.1} outside the reproduction band"
     );
-    assert!(baseline < 1.0, "Baseline must trail the TPU, got {baseline:.2}");
+    assert!(
+        baseline < 1.0,
+        "Baseline must trail the TPU, got {baseline:.2}"
+    );
 }
 
 /// §I / §V: the architectural optimizations span a performance variance
@@ -76,7 +79,12 @@ fn table1_frequency_and_area() {
             "{}: SFQ clock advantage lost",
             r.design
         );
-        assert!(r.area_mm2_28nm < 330.0, "{}: {:.0} mm²", r.design, r.area_mm2_28nm);
+        assert!(
+            r.area_mm2_28nm < 330.0,
+            "{}: {:.0} mm²",
+            r.design,
+            r.area_mm2_28nm
+        );
     }
 }
 

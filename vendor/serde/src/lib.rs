@@ -218,7 +218,8 @@ impl Serialize for u64 {
 }
 impl Deserialize for u64 {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
-        v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))
+        v.as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", v))
     }
 }
 
@@ -229,8 +230,11 @@ impl Serialize for usize {
 }
 impl Deserialize for usize {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
-        let raw = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
-        usize::try_from(raw).map_err(|_| DeError::new(format!("integer {raw} out of range for usize")))
+        let raw = v
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", v))?;
+        usize::try_from(raw)
+            .map_err(|_| DeError::new(format!("integer {raw} out of range for usize")))
     }
 }
 
@@ -421,7 +425,12 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
         v.as_object()
             .ok_or_else(|| DeError::expected("object", v))?
             .iter()
-            .map(|(k, val)| Ok((K::deserialize(&Value::Str(k.clone()))?, V::deserialize(val)?)))
+            .map(|(k, val)| {
+                Ok((
+                    K::deserialize(&Value::Str(k.clone()))?,
+                    V::deserialize(val)?,
+                ))
+            })
             .collect()
     }
 }

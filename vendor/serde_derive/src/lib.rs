@@ -27,8 +27,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip outer attributes (`#[...]`) and visibility (`pub`,

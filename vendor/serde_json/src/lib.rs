@@ -260,7 +260,10 @@ impl<'a> Parser<'a> {
                     let start = self.pos - 1;
                     let s = std::str::from_utf8(&self.bytes[start..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
