@@ -1,0 +1,237 @@
+//! Fixed-step vs adaptive-step transient solver benchmark across the
+//! stdlib cells, written to `BENCH_solver.json`.
+//!
+//! For every cell testbench the binary runs the same circuit twice —
+//! once with the historical fixed 0.1 ps march, once with
+//! `SimOptions::adaptive()` — and records accepted/rejected step
+//! counts, best-of-3 wall clock, per-junction pulse counts and the
+//! worst pulse-time deviation. It exits nonzero if any cell's pulse
+//! counts differ, any pulse time moves by more than 0.5 ps, or the
+//! aggregate step reduction falls below the 3× the adaptive
+//! controller is expected to deliver on this (mostly quiescent)
+//! suite, so the perf trajectory is enforced, not just logged.
+
+use std::time::Instant;
+
+use jjsim::stdlib::{
+    clocked_and, dff, jtl_chain, shift_register, splitter, AndParams, DffParams, JtlParams,
+};
+use jjsim::{Circuit, ElementId, SimOptions, SimResult, Solver};
+use serde_json::Value;
+
+/// Maximum tolerated pulse-time shift between the two modes, seconds.
+const PULSE_TOL_S: f64 = 0.5e-12;
+
+/// Required aggregate (summed over cells) step reduction.
+const MIN_STEP_RATIO: f64 = 3.0;
+
+struct CellBench {
+    name: &'static str,
+    fixed_steps: u64,
+    adaptive_steps: u64,
+    adaptive_rejected: u64,
+    fixed_ms: f64,
+    adaptive_ms: f64,
+    pulse_counts: Vec<usize>,
+    pulse_counts_match: bool,
+    max_pulse_delta_s: f64,
+}
+
+/// Best-of-3 wall clock for one solve; min (not mean) because
+/// scheduling noise only ever adds time.
+fn timed(build: &dyn Fn() -> Circuit, opts: &SimOptions, t_end: f64) -> (SimResult, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let solver = Solver::new(build(), opts.clone()).expect("valid stdlib circuit");
+        let t0 = Instant::now();
+        let res = solver.try_run(t_end).expect("stdlib transient converges");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(res);
+    }
+    (out.expect("three iterations ran"), best)
+}
+
+fn bench(
+    name: &'static str,
+    t_end: f64,
+    probes: &[ElementId],
+    build: &dyn Fn() -> Circuit,
+) -> CellBench {
+    let (fixed, fixed_ms) = timed(build, &SimOptions::default(), t_end);
+    let (adaptive, adaptive_ms) = timed(build, &SimOptions::adaptive(), t_end);
+
+    let mut counts_match = true;
+    let mut max_delta = 0.0f64;
+    let mut pulse_counts = Vec::with_capacity(probes.len());
+    for &jj in probes {
+        let f = fixed.pulse_times(jj);
+        let a = adaptive.pulse_times(jj);
+        pulse_counts.push(f.len());
+        if f.len() != a.len() {
+            counts_match = false;
+            continue;
+        }
+        for (tf, ta) in f.iter().zip(a) {
+            max_delta = max_delta.max((tf - ta).abs());
+        }
+    }
+
+    println!(
+        "{name:>16}: fixed {:6} steps {fixed_ms:7.2} ms | adaptive {:5} (+{:3} rej) steps \
+         {adaptive_ms:7.2} ms | {:4.1}x fewer | max pulse shift {:5.3} ps | counts match: \
+         {counts_match}",
+        fixed.accepted_steps,
+        adaptive.accepted_steps,
+        adaptive.rejected_steps,
+        fixed.accepted_steps as f64 / adaptive.accepted_steps as f64,
+        max_delta * 1e12,
+    );
+    CellBench {
+        name,
+        fixed_steps: fixed.accepted_steps,
+        adaptive_steps: adaptive.accepted_steps,
+        adaptive_rejected: adaptive.rejected_steps,
+        fixed_ms,
+        adaptive_ms,
+        pulse_counts,
+        pulse_counts_match: counts_match,
+        max_pulse_delta_s: max_delta,
+    }
+}
+
+fn main() {
+    sfq_obs::set_enabled(true);
+    supernpu_bench::header(
+        "BENCH solver",
+        "fixed vs adaptive timestepping on the stdlib cell testbenches",
+    );
+
+    let jtl_p = JtlParams::default();
+    let dff_p = DffParams::default();
+    let and_p = AndParams::default();
+    let clocks = [100e-12, 140e-12, 180e-12];
+
+    let mut results: Vec<CellBench> = Vec::new();
+    {
+        let (_, probes) = jtl_chain(8, &jtl_p);
+        results.push(bench("jtl_chain_8", 380e-12, &probes, &|| {
+            jtl_chain(8, &jtl_p).0
+        }));
+    }
+    {
+        let (_, p) = splitter(&jtl_p);
+        results.push(bench(
+            "splitter",
+            140e-12,
+            &[p.input, p.out_a, p.out_b],
+            &|| splitter(&jtl_p).0,
+        ));
+    }
+    {
+        let (_, p) = dff(&[60e-12], &[100e-12], &dff_p);
+        results.push(bench("dff", 170e-12, &[p.input, p.output], &|| {
+            dff(&[60e-12], &[100e-12], &dff_p).0
+        }));
+    }
+    {
+        let (_, p) = clocked_and(&[60e-12], &[60e-12], &[100e-12], &and_p);
+        results.push(bench(
+            "clocked_and",
+            170e-12,
+            &[p.store_a, p.store_b, p.output],
+            &|| clocked_and(&[60e-12], &[60e-12], &[100e-12], &and_p).0,
+        ));
+    }
+    {
+        let (_, p) = shift_register(3, 60e-12, &clocks, 0.0, &dff_p);
+        results.push(bench(
+            "shift_register_3",
+            240e-12,
+            &p.stage_outputs,
+            &|| shift_register(3, 60e-12, &clocks, 0.0, &dff_p).0,
+        ));
+    }
+
+    let fixed_total: u64 = results.iter().map(|r| r.fixed_steps).sum();
+    let adaptive_total: u64 = results.iter().map(|r| r.adaptive_steps).sum();
+    let ratio = fixed_total as f64 / adaptive_total as f64;
+    let worst_delta = results
+        .iter()
+        .map(|r| r.max_pulse_delta_s)
+        .fold(0.0f64, f64::max);
+    let all_match = results.iter().all(|r| r.pulse_counts_match);
+    println!(
+        "\ntotal: fixed {fixed_total} steps vs adaptive {adaptive_total} steps = {ratio:.1}x \
+         reduction; worst pulse shift {:.3} ps",
+        worst_delta * 1e12
+    );
+
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("name".into(), Value::Str(r.name.into())),
+                ("fixed_steps".into(), Value::U64(r.fixed_steps)),
+                ("adaptive_steps".into(), Value::U64(r.adaptive_steps)),
+                ("adaptive_rejected".into(), Value::U64(r.adaptive_rejected)),
+                (
+                    "step_ratio".into(),
+                    Value::F64(r.fixed_steps as f64 / r.adaptive_steps as f64),
+                ),
+                ("fixed_ms".into(), Value::F64(r.fixed_ms)),
+                ("adaptive_ms".into(), Value::F64(r.adaptive_ms)),
+                ("speedup".into(), Value::F64(r.fixed_ms / r.adaptive_ms)),
+                (
+                    "pulse_counts".into(),
+                    Value::Array(
+                        r.pulse_counts
+                            .iter()
+                            .map(|&c| Value::U64(c as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "pulse_counts_match".into(),
+                    Value::Bool(r.pulse_counts_match),
+                ),
+                (
+                    "max_pulse_delta_ps".into(),
+                    Value::F64(r.max_pulse_delta_s * 1e12),
+                ),
+            ])
+        })
+        .collect();
+    let report = Value::Object(vec![
+        ("pulse_tol_ps".into(), Value::F64(PULSE_TOL_S * 1e12)),
+        ("min_step_ratio".into(), Value::F64(MIN_STEP_RATIO)),
+        ("fixed_steps_total".into(), Value::U64(fixed_total)),
+        ("adaptive_steps_total".into(), Value::U64(adaptive_total)),
+        ("step_ratio_total".into(), Value::F64(ratio)),
+        (
+            "worst_pulse_delta_ps".into(),
+            Value::F64(worst_delta * 1e12),
+        ),
+        ("cells".into(), Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("wrote BENCH_solver.json");
+
+    if !all_match {
+        eprintln!("ERROR: adaptive pulse counts diverged from fixed-step");
+        std::process::exit(1);
+    }
+    if worst_delta > PULSE_TOL_S {
+        eprintln!(
+            "ERROR: pulse time moved {:.3} ps (tolerance {:.3} ps)",
+            worst_delta * 1e12,
+            PULSE_TOL_S * 1e12
+        );
+        std::process::exit(1);
+    }
+    if ratio < MIN_STEP_RATIO {
+        eprintln!("ERROR: step reduction {ratio:.2}x below required {MIN_STEP_RATIO}x");
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,12 @@ pub struct Extraction {
 }
 
 fn run(c: crate::Circuit, t_end: f64) -> Result<crate::SimResult, SimError> {
-    Solver::new(c, SimOptions::default())?.try_run(t_end)
+    // Extraction cares about pulse counts, pulse times and dissipated
+    // energies — exactly what the adaptive controller preserves (same
+    // counts, sub-0.5 ps times) while cutting step counts several-fold
+    // on these mostly-quiescent testbenches. This is the hot path
+    // under `chars::measure` and everything built on it.
+    Solver::new(c, SimOptions::adaptive())?.try_run(t_end)
 }
 
 /// Per-stage delay and per-event switching energy of a JTL, measured

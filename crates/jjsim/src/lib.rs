@@ -53,7 +53,7 @@ mod waveform;
 pub use circuit::{Circuit, ElementId, JjParams, NodeId};
 pub use error::SimError;
 pub use netlist::{parse_netlist, NetlistError, ParsedNetlist};
-pub use solver::{transient_runs, SimOptions, SimResult, Solver};
+pub use solver::{transient_runs, SimOptions, SimResult, Solver, StepControl};
 pub use waveform::Waveform;
 
 /// Magnetic flux quantum Φ₀ in webers.

@@ -1,5 +1,40 @@
 //! Transient MNA solver with trapezoidal integration and per-step
 //! Newton iteration.
+//!
+//! Two stepping modes (see [`StepControl`]):
+//!
+//! * **Fixed** — the classic march at `SimOptions::dt`. This is the
+//!   default and is bit-identical to the solver the workspace has
+//!   always shipped.
+//! * **Adaptive** — a local-truncation-error controller grows the step
+//!   up to `dt_max` while the circuit is quiescent and shrinks it back
+//!   to `dt_min` around events. An SFQ waveform is flat almost
+//!   everywhere outside ~2 ps pulse windows, so this cuts step counts
+//!   by an order of magnitude on the stdlib cells while keeping pulse
+//!   counts identical and pulse times within a fraction of a
+//!   picosecond (see `BENCH_solver.json`).
+//!
+//! The adaptive controller combines three refinement triggers:
+//!
+//! 1. **LTE rejection** — each converged step is compared against a
+//!    linear extrapolation of the two previous accepted node-voltage
+//!    vectors; a deviation above `lte_tol` rejects the step, rolls the
+//!    state back and retries at half the step.
+//! 2. **Phase-rate refinement** — if any junction phase moved more
+//!    than [`PHASE_MAX_STEP`] radians in one step (a pulse in flight),
+//!    the step is rejected and refined so switching events are always
+//!    resolved at `dt_min` granularity.
+//! 3. **Source-event refinement** — source waveforms publish
+//!    [`crate::Waveform::refinement_windows`]; the controller never
+//!    steps *across* a window start and caps the step inside a window,
+//!    so a large quiescent step cannot jump over a trigger pulse the
+//!    LTE estimator has no way of seeing.
+//!
+//! The banded-LU fast path survives adaptation: the factored matrix
+//! (and the one-time linear-element stamp) is invalidated only when
+//! the step size actually changes, and the controller grows/shrinks
+//! `dt` in ×2 plateaus so chord-Newton reuse keeps paying off between
+//! events.
 
 use std::f64::consts::PI;
 use std::sync::OnceLock;
@@ -30,6 +65,26 @@ pub fn transient_runs() -> u64 {
     transient_counter().get()
 }
 
+/// Largest per-step junction phase advance the adaptive controller
+/// accepts before rejecting and refining, radians. A 2π slip takes
+/// ~2–4 ps, so this pins the step near `dt_min` for the whole flight
+/// of a pulse — the same resolution the fixed 0.1 ps march gives it.
+const PHASE_MAX_STEP: f64 = 0.35;
+
+/// Phase advance below which a step counts toward growing the
+/// plateau, radians: the step only doubles while every junction is
+/// essentially static.
+const PHASE_SLOW: f64 = 0.05;
+
+/// Accepted steps (quiet on both the LTE and phase criteria) required
+/// before the plateau doubles. Amortizes the LU refactorization a
+/// step-size change forces.
+const GROW_AFTER: u32 = 4;
+
+/// Fraction of `lte_tol` a step must stay under to count toward
+/// growth.
+const GROW_MARGIN: f64 = 0.3;
+
 /// Per-run metric accumulators, flushed into the [`sfq_obs`] registry
 /// in one batch at every exit of [`Solver::try_run`]. The counters are
 /// plain locals while the run is in flight, so the per-iteration cost
@@ -43,6 +98,11 @@ struct RunMetrics {
     lu_factor: u64,
     lu_reuse: u64,
     dense_solves: u64,
+    reject_lte: u64,
+    reject_phase: u64,
+    reject_newton: u64,
+    refine_source: u64,
+    restamps: u64,
 }
 
 impl RunMetrics {
@@ -51,6 +111,10 @@ impl RunMetrics {
             started: sfq_obs::enabled().then(Instant::now),
             ..Self::default()
         }
+    }
+
+    fn rejected(&self) -> u64 {
+        self.reject_lte + self.reject_phase + self.reject_newton
     }
 
     fn flush(&self, error: Option<&SimError>) {
@@ -62,6 +126,12 @@ impl RunMetrics {
         sfq_obs::add("jjsim.solver.lu_factor", self.lu_factor);
         sfq_obs::add("jjsim.solver.lu_reuse", self.lu_reuse);
         sfq_obs::add("jjsim.solver.dense_solves", self.dense_solves);
+        sfq_obs::add("jjsim.solver.steps_rejected", self.rejected());
+        sfq_obs::add("jjsim.solver.reject_lte", self.reject_lte);
+        sfq_obs::add("jjsim.solver.reject_phase", self.reject_phase);
+        sfq_obs::add("jjsim.solver.reject_newton", self.reject_newton);
+        sfq_obs::add("jjsim.solver.refine_source", self.refine_source);
+        sfq_obs::add("jjsim.solver.restamps", self.restamps);
         match error {
             Some(SimError::NoConvergence { .. }) => {
                 sfq_obs::inc("jjsim.solver.convergence_failures");
@@ -77,11 +147,40 @@ impl RunMetrics {
     }
 }
 
+/// Timestep policy of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StepControl {
+    /// March at the fixed `SimOptions::dt`. The default; results are
+    /// bit-identical to the historical fixed-step solver.
+    #[default]
+    Fixed,
+    /// Local-truncation-error controlled stepping with event-aware
+    /// refinement. The step starts at `dt_min`, doubles (up to
+    /// `dt_max`) after a streak of quiet accepted steps, and halves
+    /// back toward `dt_min` whenever the LTE estimate exceeds
+    /// `lte_tol`, a junction phase moves fast, Newton fails to
+    /// converge, or a source waveform has an edge inside the step.
+    Adaptive {
+        /// Smallest step taken, seconds. Pulses are resolved at this
+        /// granularity; matching the fixed-mode `dt` (0.1 ps) keeps
+        /// adaptive pulse times within a fraction of a picosecond of
+        /// fixed-step results.
+        dt_min: f64,
+        /// Largest step taken during quiescent intervals, seconds.
+        dt_max: f64,
+        /// Local-truncation-error tolerance on node voltages, volts:
+        /// the maximum deviation of a step from the linear
+        /// extrapolation of the previous two accepted solutions.
+        lte_tol: f64,
+    },
+}
+
 /// Solver options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {
     /// Timestep in seconds (default 0.1 ps — SFQ pulses are ~2 ps wide
-    /// so this resolves them comfortably).
+    /// so this resolves them comfortably). Used directly by
+    /// [`StepControl::Fixed`]; ignored in adaptive mode.
     pub dt: f64,
     /// Absolute Newton convergence tolerance on node voltages, volts.
     pub tol_v: f64,
@@ -89,6 +188,9 @@ pub struct SimOptions {
     pub max_newton: usize,
     /// Nodes whose voltage traces should be recorded (empty = none).
     pub record_nodes: Vec<crate::NodeId>,
+    /// Timestep policy (default [`StepControl::Fixed`], so existing
+    /// callers keep bit-identical results).
+    pub step: StepControl,
 }
 
 impl Default for SimOptions {
@@ -98,14 +200,68 @@ impl Default for SimOptions {
             tol_v: 1.0e-9,
             max_newton: 50,
             record_nodes: Vec::new(),
+            step: StepControl::Fixed,
         }
     }
+}
+
+impl SimOptions {
+    /// The workspace's standard adaptive configuration: `dt_min` equal
+    /// to the fixed-mode default step (0.1 ps) so events are resolved
+    /// at the same granularity, `dt_max` 20× larger for quiescent
+    /// intervals, and a 1 µV LTE tolerance (SFQ pulse peaks are a few
+    /// hundred µV).
+    pub fn adaptive() -> Self {
+        SimOptions {
+            step: StepControl::Adaptive {
+                dt_min: 0.1e-12,
+                dt_max: 2.0e-12,
+                lte_tol: 1.0e-6,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// A refinement interval on the simulated time axis, merged from the
+/// source waveforms' [`crate::Waveform::refinement_windows`].
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    start: f64,
+    end: f64,
+    /// Largest step allowed while inside the window.
+    cap: f64,
+}
+
+/// Collect, sort and merge the refinement windows of every source.
+fn merge_windows(ckt: &Circuit) -> Vec<Window> {
+    let mut raw: Vec<Window> = Vec::new();
+    for s in &ckt.sources {
+        for (start, end, cap) in s.waveform.refinement_windows() {
+            if end > 0.0 {
+                raw.push(Window { start, end, cap });
+            }
+        }
+    }
+    raw.sort_by(|a, b| a.start.total_cmp(&b.start));
+    let mut merged: Vec<Window> = Vec::with_capacity(raw.len());
+    for w in raw {
+        match merged.last_mut() {
+            Some(last) if w.start <= last.end => {
+                last.end = last.end.max(w.end);
+                last.cap = last.cap.min(w.cap);
+            }
+            _ => merged.push(w),
+        }
+    }
+    merged
 }
 
 /// Result of a transient run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Timestep used.
+    /// Base timestep of the run: `SimOptions::dt` in fixed mode, the
+    /// controller's `dt_min` in adaptive mode.
     pub dt: f64,
     /// Final simulation time.
     pub t_end: f64,
@@ -117,16 +273,29 @@ pub struct SimResult {
     /// circuit's junctions).
     pub jj_dissipated_j: Vec<f64>,
     /// Recorded voltage traces, parallel to `SimOptions::record_nodes`;
-    /// one sample per timestep.
+    /// one sample per accepted timestep. In adaptive mode the samples
+    /// are non-uniformly spaced — pair them with [`SimResult::trace_times`]
+    /// or resample through [`SimResult::trace_at`].
     pub traces: Vec<Vec<f64>>,
     /// Times corresponding to trace samples (only filled when traces
     /// are recorded).
     pub trace_times: Vec<f64>,
+    /// Accepted solver steps.
+    pub accepted_steps: u64,
+    /// Steps rejected and retried at a smaller dt (always 0 in fixed
+    /// mode).
+    pub rejected_steps: u64,
 }
 
 impl SimResult {
     /// Times (seconds) at which junction `jj` emitted an SFQ pulse
     /// (completed a forward 2π phase slip).
+    ///
+    /// In fixed mode a pulse is stamped at the end of the step that
+    /// crossed the 2π boundary (historical behavior, bit-identical);
+    /// in adaptive mode the crossing is interpolated inside the step,
+    /// so consumers see sub-step timing accuracy regardless of how
+    /// large the surrounding steps were.
     pub fn pulse_times(&self, jj: ElementId) -> &[f64] {
         &self.pulse_times[jj.index()]
     }
@@ -139,6 +308,28 @@ impl SimResult {
     /// Final superconducting phase of junction `jj`, radians.
     pub fn final_phase(&self, jj: ElementId) -> f64 {
         self.final_phases[jj.index()]
+    }
+
+    /// Linearly interpolated voltage of recorded trace `slot` at time
+    /// `t`, clamping outside the recorded range. Gives adaptive-mode
+    /// consumers a uniform view of the non-uniform samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or nothing was recorded.
+    pub fn trace_at(&self, slot: usize, t: f64) -> f64 {
+        let times = &self.trace_times;
+        let vs = &self.traces[slot];
+        assert!(!vs.is_empty(), "no samples recorded for slot {slot}");
+        match times.partition_point(|&x| x < t) {
+            0 => vs[0],
+            i if i >= times.len() => vs[times.len() - 1],
+            i => {
+                let (t0, t1) = (times[i - 1], times[i]);
+                let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                vs[i - 1] + w * (vs[i] - vs[i - 1])
+            }
+        }
     }
 }
 
@@ -156,15 +347,46 @@ impl Solver {
     /// # Errors
     ///
     /// Returns the circuit's validation error, or
-    /// [`SimError::InvalidParameter`] for a non-positive timestep.
+    /// [`SimError::InvalidParameter`] for a non-positive timestep,
+    /// tolerance or adaptive step bound, a `dt_max` below `dt_min`,
+    /// or a zero Newton iteration budget.
     pub fn new(ckt: Circuit, opts: SimOptions) -> Result<Self, SimError> {
         ckt.validate()?;
-        if !opts.dt.is_finite() || opts.dt <= 0.0 {
+        let check = |field: &'static str, value: f64| -> Result<(), SimError> {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SimError::InvalidParameter {
+                    element: "options",
+                    field,
+                    value,
+                });
+            }
+            Ok(())
+        };
+        check("dt", opts.dt)?;
+        check("tol_v", opts.tol_v)?;
+        if opts.max_newton == 0 {
             return Err(SimError::InvalidParameter {
                 element: "options",
-                field: "dt",
-                value: opts.dt,
+                field: "max_newton",
+                value: 0.0,
             });
+        }
+        if let StepControl::Adaptive {
+            dt_min,
+            dt_max,
+            lte_tol,
+        } = opts.step
+        {
+            check("dt_min", dt_min)?;
+            check("dt_max", dt_max)?;
+            check("lte_tol", lte_tol)?;
+            if dt_max < dt_min {
+                return Err(SimError::InvalidParameter {
+                    element: "options",
+                    field: "dt_max",
+                    value: dt_max,
+                });
+            }
         }
         Ok(Solver { ckt, opts })
     }
@@ -193,7 +415,24 @@ impl Solver {
         let ckt = &self.ckt;
         let n_unknown = ckt.node_count - 1; // ground excluded
         let h = self.opts.dt;
-        let steps = (t_end / h).ceil() as usize;
+        let (adaptive, dt_min, dt_max, lte_tol) = match self.opts.step {
+            StepControl::Fixed => (false, h, h, f64::INFINITY),
+            StepControl::Adaptive {
+                dt_min,
+                dt_max,
+                lte_tol,
+            } => (true, dt_min, dt_max, lte_tol),
+        };
+        // Fixed-mode step count; also the trace capacity hint.
+        let fixed_steps = (t_end / h).ceil() as usize;
+        let steps_hint = if adaptive {
+            (t_end / dt_max).ceil() as usize
+        } else {
+            fixed_steps
+        };
+        // Per-accepted-step dt histogram, resolved once per run so the
+        // hot loop pays a pointer deref, not a registry lookup.
+        let dt_hist = sfq_obs::enabled().then(|| sfq_obs::histogram("jjsim.solver.dt_ps"));
 
         // State.
         let mut v = vec![0.0f64; ckt.node_count]; // index 0 = ground, always 0
@@ -210,9 +449,9 @@ impl Solver {
             .opts
             .record_nodes
             .iter()
-            .map(|_| Vec::with_capacity(steps))
+            .map(|_| Vec::with_capacity(steps_hint))
             .collect();
-        let mut trace_times: Vec<f64> = Vec::with_capacity(if record { steps } else { 0 });
+        let mut trace_times: Vec<f64> = Vec::with_capacity(if record { steps_hint } else { 0 });
 
         let vbr = |v: &[f64], a: usize, b: usize| v[a] - v[b];
 
@@ -267,23 +506,24 @@ impl Solver {
         };
 
         // The linear elements' conductances (R, C, L companions) do not
-        // depend on time or on the Newton iterate — stamp them ONCE and
-        // start every Newton assembly from this matrix instead of
-        // re-stamping the full element list per iteration. Only their
-        // history currents (rhs side) change, once per step.
-        let a_lin = {
-            let mut m = vec![0.0f64; n_unknown * n_unknown];
+        // depend on time or on the Newton iterate — only on the step
+        // size. Stamp them once per dt *plateau* and start every Newton
+        // assembly from this matrix; the stamp (and the banded LU built
+        // on top of it) is invalidated only when dt actually changes.
+        let mut a_lin = vec![0.0f64; n_unknown * n_unknown];
+        let stamp_lin = |m: &mut [f64], h_s: f64| {
+            m.iter_mut().for_each(|x| *x = 0.0);
             for r in &ckt.resistors {
-                stamp_g(&mut m, r.a, r.b, 1.0 / r.value);
+                stamp_g(m, r.a, r.b, 1.0 / r.value);
             }
             for c in &ckt.capacitors {
-                stamp_g(&mut m, c.a, c.b, 2.0 * c.value / h);
+                stamp_g(m, c.a, c.b, 2.0 * c.value / h_s);
             }
             for l in &ckt.inductors {
-                stamp_g(&mut m, l.a, l.b, h / (2.0 * l.value));
+                stamp_g(m, l.a, l.b, h_s / (2.0 * l.value));
             }
-            m
         };
+        let mut h_stamped = f64::NAN;
 
         // Work buffers, allocated once and reused across every step and
         // Newton iteration.
@@ -311,9 +551,93 @@ impl Solver {
         let mut lu_g = vec![0.0f64; ckt.jjs.len()];
         let mut lu_valid = false;
 
-        for step in 0..steps {
-            metrics.steps += 1;
-            let t_next = (step + 1) as f64 * h;
+        // Adaptive controller state. `h_cur` is the plateau step; the
+        // per-step `h_step` may be temporarily smaller (window caps,
+        // landing on a window start or on t_end).
+        //
+        // The LTE predictor extrapolates the *trapezoid-filtered*
+        // voltage v̄ₙ = (vₙ + vₙ₋₁)/2 (midpoint samples at tₙ − h/2)
+        // rather than the raw node voltage: the trapezoidal rule is
+        // only marginally stable on stiff modes, so a switching event
+        // leaves behind an undamped period-2 (+a, −a, …) numerical
+        // ringing of a few µV on storage-loop nodes. The raw-voltage
+        // LTE would see that ringing as a permanent error and pin dt
+        // at dt_min forever; the two-sample average cancels the
+        // alternating mode exactly while representing the smooth
+        // solution to the same O(h²). (The phase-rate guard uses
+        // vb_new + vb_prev and is ring-immune for the same reason.)
+        let windows = if adaptive {
+            merge_windows(ckt)
+        } else {
+            Vec::new()
+        };
+        let mut win_idx = 0usize;
+        let mut h_cur = if adaptive { dt_min } else { h };
+        let mut vbar_prev = v.clone();
+        let mut vbar_prev2 = v.clone();
+        let mut vbar_new = v.clone();
+        let mut tbar_prev = 0.0f64;
+        let mut tbar_prev2 = -dt_min;
+        let mut good_streak = 0u32;
+
+        let mut t = 0.0f64; // last accepted time
+        let mut step_idx = 0usize; // accepted steps
+
+        loop {
+            // Termination.
+            if adaptive {
+                if t_end - t < 1e-18 {
+                    break;
+                }
+            } else if step_idx >= fixed_steps {
+                break;
+            }
+
+            // Effective step for this attempt.
+            let h_step = if adaptive {
+                while win_idx < windows.len() && windows[win_idx].end <= t {
+                    win_idx += 1;
+                }
+                let mut hh = h_cur;
+                if let Some(w) = windows.get(win_idx) {
+                    if t >= w.start {
+                        // Inside a source-event window: cap the step so
+                        // the waveform edge is resolved.
+                        if hh > w.cap {
+                            hh = w.cap;
+                            metrics.refine_source += 1;
+                        }
+                    } else if hh > w.start - t {
+                        // Land on the window start instead of stepping
+                        // across the event.
+                        hh = w.start - t;
+                        metrics.refine_source += 1;
+                    }
+                }
+                // A window-boundary truncation may go degenerate from
+                // floating-point dust; overshooting a window start by
+                // less than dt_min is harmless (windows carry slack).
+                hh = hh.max(dt_min).min(t_end - t);
+                hh
+            } else {
+                h
+            };
+            let t_next = if adaptive {
+                t + h_step
+            } else {
+                (step_idx + 1) as f64 * h
+            };
+
+            // Re-stamp the linear-element matrix only when dt actually
+            // changed; this also invalidates the banded LU (its values
+            // embed the companion conductances of the old step).
+            if h_step != h_stamped {
+                stamp_lin(&mut a_lin, h_step);
+                h_stamped = h_step;
+                lu_valid = false;
+                metrics.restamps += 1;
+            }
+
             v_prev.copy_from_slice(&v);
             v_iter.copy_from_slice(&v);
 
@@ -321,12 +645,12 @@ impl Solver {
             // step's Newton loop) and the source currents at t_next.
             rhs_base.iter_mut().for_each(|x| *x = 0.0);
             for (k, c) in ckt.capacitors.iter().enumerate() {
-                let g = 2.0 * c.value / h;
+                let g = 2.0 * c.value / h_step;
                 let i_hist = -g * vbr(&v_prev, c.a, c.b) - i_cap[k];
                 stamp_i(&mut rhs_base, c.a, c.b, i_hist);
             }
             for (k, l) in ckt.inductors.iter().enumerate() {
-                let g = h / (2.0 * l.value);
+                let g = h_step / (2.0 * l.value);
                 let i_hist = i_ind[k] + g * vbr(&v_prev, l.a, l.b);
                 stamp_i(&mut rhs_base, l.a, l.b, i_hist);
             }
@@ -350,11 +674,11 @@ impl Solver {
                 for (k, jj) in ckt.jjs.iter().enumerate() {
                     let vb_prev = vbr(&v_prev, jj.a, jj.b);
                     let vb_k = vbr(&v_iter, jj.a, jj.b);
-                    let phi_k = phase[k] + (PI * h / PHI0) * (vb_k + vb_prev);
-                    let g_cap = 2.0 * jj.p.c / h;
+                    let phi_k = phase[k] + (PI * h_step / PHI0) * (vb_k + vb_prev);
+                    let g_cap = 2.0 * jj.p.c / h_step;
                     let i_at_vk = jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
                         - i_jj_cap[k];
-                    let g = jj.p.ic * phi_k.cos() * (PI * h / PHI0) + 1.0 / jj.p.r + g_cap;
+                    let g = jj.p.ic * phi_k.cos() * (PI * h_step / PHI0) + 1.0 / jj.p.r + g_cap;
                     g_now[k] = g;
                     if reuse && (g - lu_g[k]).abs() > G_REUSE_RTOL * lu_g[k].abs() {
                         reuse = false;
@@ -372,8 +696,8 @@ impl Solver {
                     for (k, jj) in ckt.jjs.iter().enumerate() {
                         let vb_k = vbr(&v_iter, jj.a, jj.b);
                         let vb_prev = vbr(&v_prev, jj.a, jj.b);
-                        let phi_k = phase[k] + (PI * h / PHI0) * (vb_k + vb_prev);
-                        let g_cap = 2.0 * jj.p.c / h;
+                        let phi_k = phase[k] + (PI * h_step / PHI0) * (vb_k + vb_prev);
+                        let g_cap = 2.0 * jj.p.c / h_step;
                         let i_at_vk =
                             jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
                                 - i_jj_cap[k];
@@ -439,41 +763,130 @@ impl Solver {
                 }
             }
             if !converged {
+                // Adaptive mode treats a Newton failure as one more
+                // reason to refine: nothing was committed, so halving
+                // and retrying is a clean rollback.
+                if adaptive && h_step > dt_min {
+                    metrics.reject_newton += 1;
+                    h_cur = (h_step * 0.5).max(dt_min);
+                    good_streak = 0;
+                    continue;
+                }
                 let e = SimError::NoConvergence { time: t_next };
                 metrics.flush(Some(&e));
                 return Err(e);
             }
 
+            // Accept/reject the converged step (adaptive only; nothing
+            // has been committed yet, so a reject is a pure retry).
+            let mut dphi_max = 0.0f64;
+            if adaptive {
+                for jj in &ckt.jjs {
+                    let vb_prev = vbr(&v_prev, jj.a, jj.b);
+                    let vb_new = vbr(&v_iter, jj.a, jj.b);
+                    let dphi = ((PI * h_step / PHI0) * (vb_new + vb_prev)).abs();
+                    if dphi > dphi_max {
+                        dphi_max = dphi;
+                    }
+                }
+                // LTE estimate: deviation of the trapezoid-filtered
+                // voltage from the linear extrapolation of its two
+                // previous accepted samples. Exact for any linearly-
+                // evolving interval (bias ramps) and blind to the
+                // period-2 trapezoidal ringing mode; ~h²·|v″| on real
+                // dynamics.
+                let tbar_new = t + 0.5 * h_step;
+                let span = tbar_prev - tbar_prev2;
+                let scale = if span > 0.0 {
+                    (tbar_new - tbar_prev) / span
+                } else {
+                    1.0
+                };
+                let mut lte = 0.0f64;
+                for i in 1..ckt.node_count {
+                    vbar_new[i] = 0.5 * (v_iter[i] + v_prev[i]);
+                    let pred = vbar_prev[i] + (vbar_prev[i] - vbar_prev2[i]) * scale;
+                    let e = (vbar_new[i] - pred).abs();
+                    if e > lte {
+                        lte = e;
+                    }
+                }
+                if h_step > dt_min && (lte > lte_tol || dphi_max > PHASE_MAX_STEP) {
+                    if lte > lte_tol {
+                        metrics.reject_lte += 1;
+                    } else {
+                        metrics.reject_phase += 1;
+                    }
+                    h_cur = (h_step * 0.5).max(dt_min);
+                    good_streak = 0;
+                    continue;
+                }
+                // Plateau growth: double only after a streak of steps
+                // that were quiet on both criteria, so the LU
+                // refactorization a dt change forces is amortized.
+                if lte < GROW_MARGIN * lte_tol && dphi_max < PHASE_SLOW {
+                    good_streak += 1;
+                    if good_streak >= GROW_AFTER && h_cur < dt_max {
+                        h_cur = (h_cur * 2.0).min(dt_max);
+                        good_streak = 0;
+                    }
+                } else {
+                    good_streak = 0;
+                }
+            }
+
             // Commit state updates.
+            metrics.steps += 1;
             for (k, jj) in ckt.jjs.iter().enumerate() {
                 let vb_prev = vbr(&v_prev, jj.a, jj.b);
                 let vb_new = vbr(&v_iter, jj.a, jj.b);
-                let new_phase = phase[k] + (PI * h / PHI0) * (vb_new + vb_prev);
+                let old_phase = phase[k];
+                let new_phase = old_phase + (PI * h_step / PHI0) * (vb_new + vb_prev);
                 phase[k] = new_phase;
                 // Forward 2π slips: pulse recorded when phase passes
-                // (2k+1)π going up.
+                // (2k+1)π going up. Fixed mode stamps the end of the
+                // crossing step (bit-identical to the historical
+                // solver); adaptive mode interpolates the crossing
+                // inside the step for sub-step timing accuracy.
                 while new_phase > (2 * pulse_count[k] + 1) as f64 * PI {
-                    pulse_times[k].push(t_next);
+                    let t_pulse = if adaptive && new_phase > old_phase {
+                        let threshold = (2 * pulse_count[k] + 1) as f64 * PI;
+                        t + h_step * ((threshold - old_phase) / (new_phase - old_phase))
+                    } else {
+                        t_next
+                    };
+                    pulse_times[k].push(t_pulse);
                     pulse_count[k] += 1;
                 }
-                i_jj_cap[k] = (2.0 * jj.p.c / h) * (vb_new - vb_prev) - i_jj_cap[k];
+                i_jj_cap[k] = (2.0 * jj.p.c / h_step) * (vb_new - vb_prev) - i_jj_cap[k];
                 let p_shunt = vb_new * vb_new / jj.p.r;
-                jj_dissipated[k] += p_shunt * h;
-                dissipated += p_shunt * h;
+                jj_dissipated[k] += p_shunt * h_step;
+                dissipated += p_shunt * h_step;
             }
             for (k, c) in ckt.capacitors.iter().enumerate() {
-                let g = 2.0 * c.value / h;
+                let g = 2.0 * c.value / h_step;
                 i_cap[k] = g * (vbr(&v_iter, c.a, c.b) - vbr(&v_prev, c.a, c.b)) - i_cap[k];
             }
             for (k, l) in ckt.inductors.iter().enumerate() {
-                let g = h / (2.0 * l.value);
+                let g = h_step / (2.0 * l.value);
                 i_ind[k] += g * (vbr(&v_iter, l.a, l.b) + vbr(&v_prev, l.a, l.b));
             }
             for r in &ckt.resistors {
                 let vb = vbr(&v_iter, r.a, r.b);
-                dissipated += vb * vb / r.value * h;
+                dissipated += vb * vb / r.value * h_step;
+            }
+            if adaptive {
+                std::mem::swap(&mut vbar_prev2, &mut vbar_prev);
+                std::mem::swap(&mut vbar_prev, &mut vbar_new);
+                tbar_prev2 = tbar_prev;
+                tbar_prev = t + 0.5 * h_step;
             }
             v.copy_from_slice(&v_iter);
+            t = t_next;
+            step_idx += 1;
+            if let Some(hist) = dt_hist {
+                hist.observe(h_step * 1e12);
+            }
 
             if record {
                 trace_times.push(t_next);
@@ -485,7 +898,7 @@ impl Solver {
 
         metrics.flush(None);
         Ok(SimResult {
-            dt: h,
+            dt: dt_min,
             t_end,
             pulse_times,
             final_phases: phase,
@@ -493,6 +906,8 @@ impl Solver {
             jj_dissipated_j: jj_dissipated,
             traces,
             trace_times,
+            accepted_steps: metrics.steps,
+            rejected_steps: metrics.rejected(),
         })
     }
 }
@@ -600,6 +1015,152 @@ mod tests {
         };
         assert!(Solver::new(c, opts).is_err());
     }
+
+    #[test]
+    fn invalid_tolerance_and_newton_budget_rejected() {
+        let build = || {
+            let mut c = Circuit::new();
+            let _ = c.node();
+            c
+        };
+        for tol_v in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let opts = SimOptions {
+                tol_v,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    Solver::new(build(), opts),
+                    Err(SimError::InvalidParameter { field: "tol_v", .. })
+                ),
+                "tol_v = {tol_v} must be rejected"
+            );
+        }
+        let opts = SimOptions {
+            max_newton: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Solver::new(build(), opts),
+            Err(SimError::InvalidParameter {
+                field: "max_newton",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_adaptive_bounds_rejected() {
+        let build = || {
+            let mut c = Circuit::new();
+            let _ = c.node();
+            c
+        };
+        let cases = [
+            ("dt_min", 0.0, 1e-12, 1e-6),
+            ("dt_max", 1e-13, f64::NAN, 1e-6),
+            ("lte_tol", 1e-13, 1e-12, -1.0),
+            // dt_max below dt_min.
+            ("dt_max", 1e-12, 1e-13, 1e-6),
+        ];
+        for (field, dt_min, dt_max, lte_tol) in cases {
+            let opts = SimOptions {
+                step: StepControl::Adaptive {
+                    dt_min,
+                    dt_max,
+                    lte_tol,
+                },
+                ..Default::default()
+            };
+            let got = Solver::new(build(), opts);
+            assert!(
+                matches!(got, Err(SimError::InvalidParameter { field: f, .. }) if f == field),
+                "expected InvalidParameter for {field}"
+            );
+        }
+    }
+
+    /// Adaptive mode on the single-junction switching testbench: same
+    /// pulse count, pulse time within half a picosecond, and a large
+    /// reduction in accepted steps.
+    #[test]
+    fn adaptive_matches_fixed_on_single_switch() {
+        let build = || {
+            let mut c = Circuit::new();
+            let n = c.node();
+            let jj = c.add_jj(n, NodeId::GROUND, JjParams::default()).unwrap();
+            c.add_bias(n, 0.7e-4).unwrap();
+            c.add_source(n, Waveform::sfq_pulse(60e-12, 1.5e-4))
+                .unwrap();
+            (c, jj)
+        };
+        let (c, jj) = build();
+        let fixed = Solver::new(c, SimOptions::default())
+            .unwrap()
+            .try_run(120e-12)
+            .unwrap();
+        let (c, _) = build();
+        let adapt = Solver::new(c, SimOptions::adaptive())
+            .unwrap()
+            .try_run(120e-12)
+            .unwrap();
+        assert_eq!(fixed.pulse_count(jj), 1);
+        assert_eq!(adapt.pulse_count(jj), 1);
+        let dt = (fixed.pulse_times(jj)[0] - adapt.pulse_times(jj)[0]).abs();
+        assert!(dt < 0.5e-12, "pulse time delta {dt:e}");
+        assert!(
+            adapt.accepted_steps * 3 <= fixed.accepted_steps,
+            "adaptive {} vs fixed {} steps",
+            adapt.accepted_steps,
+            fixed.accepted_steps
+        );
+        // Energy agrees to a few percent.
+        let rel = (adapt.dissipated_j - fixed.dissipated_j).abs() / fixed.dissipated_j;
+        assert!(rel < 0.05, "energy delta {rel}");
+    }
+
+    /// The adaptive controller must not sail over a trigger pulse that
+    /// arrives deep inside a quiescent interval.
+    #[test]
+    fn adaptive_does_not_skip_late_pulse() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        let jj = c.add_jj(n, NodeId::GROUND, JjParams::default()).unwrap();
+        c.add_bias(n, 0.7e-4).unwrap();
+        // 180 ps of nothing before the trigger.
+        c.add_source(n, Waveform::sfq_pulse(200e-12, 1.5e-4))
+            .unwrap();
+        let out = Solver::new(c, SimOptions::adaptive())
+            .unwrap()
+            .try_run(260e-12)
+            .unwrap();
+        assert_eq!(out.pulse_count(jj), 1, "late pulse must be caught");
+        let t = out.pulse_times(jj)[0];
+        assert!((t - 200e-12).abs() < 5e-12, "pulse at {t:e}");
+    }
+
+    /// Interpolated traces: `trace_at` reproduces a recorded RC charge
+    /// curve between (non-uniform) adaptive samples.
+    #[test]
+    fn adaptive_trace_interpolation_is_consistent() {
+        let mut c = Circuit::new();
+        let n = c.node();
+        c.add_resistor(n, NodeId::GROUND, 2.0).unwrap();
+        c.add_capacitor(n, NodeId::GROUND, 1e-12).unwrap();
+        c.add_source(n, Waveform::Dc(1e-3)).unwrap();
+        let opts = SimOptions {
+            record_nodes: vec![n],
+            ..SimOptions::adaptive()
+        };
+        let out = Solver::new(c, opts).unwrap().try_run(100e-12).unwrap();
+        assert!((out.trace_at(0, 100e-12) - 2e-3).abs() < 1e-5);
+        // Interpolation at a recorded sample returns the sample.
+        let mid = out.trace_times.len() / 2;
+        let t_mid = out.trace_times[mid];
+        assert_eq!(out.trace_at(0, t_mid), out.traces[0][mid]);
+        // Before the first sample: clamps.
+        assert_eq!(out.trace_at(0, -1.0), out.traces[0][0]);
+    }
 }
 
 #[cfg(test)]
@@ -626,5 +1187,38 @@ mod banded_path_tests {
         for w in times.windows(2) {
             assert!(w[1] > w[0]);
         }
+    }
+
+    /// The same long chain under the adaptive controller: banded-LU
+    /// reuse across dt plateaus, identical pulse counts and sub-0.5 ps
+    /// pulse times. A 40-stage chain keeps a pulse in flight for most
+    /// of the run (the phase-rate guard correctly pins dt near dt_min
+    /// the whole time), so the step reduction here is modest — the
+    /// ≥3× wins on the mostly-quiescent characterization cells are
+    /// asserted in `tests/adaptive.rs` and `BENCH_solver.json`.
+    #[test]
+    fn long_chain_adaptive_matches_fixed() {
+        let p = JtlParams::default();
+        let (c, stages) = jtl_chain(40, &p);
+        let fixed = Solver::new(c, SimOptions::default())
+            .unwrap()
+            .try_run(400e-12)
+            .unwrap();
+        let (c, _) = jtl_chain(40, &p);
+        let adapt = Solver::new(c, SimOptions::adaptive())
+            .unwrap()
+            .try_run(400e-12)
+            .unwrap();
+        for (k, jj) in stages.iter().enumerate() {
+            assert_eq!(adapt.pulse_count(*jj), fixed.pulse_count(*jj), "stage {k}");
+            let dt = (adapt.pulse_times(*jj)[0] - fixed.pulse_times(*jj)[0]).abs();
+            assert!(dt < 0.5e-12, "stage {k} pulse delta {dt:e}");
+        }
+        assert!(
+            adapt.accepted_steps * 3 <= fixed.accepted_steps * 2,
+            "adaptive {} vs fixed {}",
+            adapt.accepted_steps,
+            fixed.accepted_steps
+        );
     }
 }

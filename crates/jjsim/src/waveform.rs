@@ -79,6 +79,60 @@ impl Waveform {
         }
     }
 
+    /// Time intervals in which an adaptive-step solver must refine,
+    /// as `(start, end, dt_cap)` tuples: while `start ≤ t < end` the
+    /// step must not exceed `dt_cap`, and a quiescent step must not
+    /// jump across `start`. Gaussian pulses refine over t0 ± 4σ at a
+    /// σ/2 cap; ramps refine around both corners (an LTE estimator
+    /// based on linear extrapolation cannot see a slope
+    /// discontinuity coming). DC sources and zero-amplitude pulses
+    /// contribute nothing.
+    pub fn refinement_windows(&self) -> Vec<(f64, f64, f64)> {
+        match self {
+            Waveform::Dc(_) => Vec::new(),
+            Waveform::Gaussian {
+                t0,
+                sigma,
+                amplitude,
+            } => {
+                if *amplitude == 0.0 {
+                    Vec::new()
+                } else {
+                    vec![(t0 - 4.0 * sigma, t0 + 4.0 * sigma, sigma / 2.0)]
+                }
+            }
+            Waveform::Train {
+                times,
+                sigma,
+                amplitude,
+            } => {
+                if *amplitude == 0.0 {
+                    Vec::new()
+                } else {
+                    times
+                        .iter()
+                        .map(|t0| (t0 - 4.0 * sigma, t0 + 4.0 * sigma, sigma / 2.0))
+                        .collect()
+                }
+            }
+            Waveform::Ramp {
+                t0,
+                rise,
+                amplitude,
+            } => {
+                if *amplitude == 0.0 {
+                    Vec::new()
+                } else {
+                    let corner = 1.0e-12;
+                    vec![
+                        (t0 - corner, t0 + corner, 0.5e-12),
+                        (t0 + rise - corner, t0 + rise + corner, 0.5e-12),
+                    ]
+                }
+            }
+        }
+    }
+
     /// A standard SFQ trigger pulse at `t0`: 1 ps sigma, amplitude in
     /// amperes chosen by the caller (usually ≈0.8·I_c of the target
     /// junction).
@@ -133,6 +187,36 @@ mod tests {
         assert!((w.value(30e-12) - 1e-4).abs() < 1e-9);
         assert!((w.value(50e-12) - 1e-4).abs() < 1e-9);
         assert!(w.value(70e-12) < 1e-8);
+    }
+
+    #[test]
+    fn refinement_windows_cover_events() {
+        // Gaussian: one window straddling t0.
+        let w = Waveform::sfq_pulse(60e-12, 1e-4);
+        let ws = w.refinement_windows();
+        assert_eq!(ws.len(), 1);
+        let (s, e, cap) = ws[0];
+        assert!(s < 60e-12 && e > 60e-12);
+        assert!(cap <= 1e-12);
+        // Zero amplitude: no windows.
+        assert!(Waveform::sfq_pulse(60e-12, 0.0)
+            .refinement_windows()
+            .is_empty());
+        // DC: no windows.
+        assert!(Waveform::Dc(1e-4).refinement_windows().is_empty());
+        // Train: one per pulse.
+        let w = Waveform::clock(10e-12, 20e-12, 3, 1e-4);
+        assert_eq!(w.refinement_windows().len(), 3);
+        // Ramp: both corners.
+        let w = Waveform::Ramp {
+            t0: 0.0,
+            rise: 20e-12,
+            amplitude: 1e-4,
+        };
+        let ws = w.refinement_windows();
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].0 <= 0.0 && ws[0].1 >= 0.0);
+        assert!(ws[1].0 <= 20e-12 && ws[1].1 >= 20e-12);
     }
 
     #[test]

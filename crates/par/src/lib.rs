@@ -42,6 +42,16 @@ pub fn set_threads(n: usize) {
     *PERMITS.lock().unwrap_or_else(|e| e.into_inner()) = n.max(1) - 1;
 }
 
+/// Clear a [`set_threads`] override, returning to the default
+/// resolution order (`SUPERNPU_THREADS`, then
+/// `std::thread::available_parallelism()`), and reset the worker
+/// permit pool so the next [`par_map`] region re-derives it. Like
+/// [`set_threads`], call only while no `par_map` region is active.
+pub fn clear_threads() {
+    THREAD_OVERRIDE.store(0, Ordering::SeqCst);
+    *PERMITS.lock().unwrap_or_else(|e| e.into_inner()) = usize::MAX;
+}
+
 /// The resolved total thread count [`par_map`] will aim for.
 pub fn threads() -> usize {
     let ov = THREAD_OVERRIDE.load(Ordering::SeqCst);
@@ -193,6 +203,21 @@ mod tests {
     fn matches_serial_exactly_and_handles_nesting() {
         // Single test so `set_threads` isn't raced by the parallel
         // test harness.
+
+        // With no override and no SUPERNPU_THREADS, the pool defaults
+        // to the machine's available parallelism — sweeps fan out by
+        // default instead of silently running single-threaded.
+        std::env::remove_var("SUPERNPU_THREADS");
+        clear_threads();
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(threads(), hw, "default must track the hardware");
+        // Env var takes effect once the override is cleared.
+        std::env::set_var("SUPERNPU_THREADS", "3");
+        assert_eq!(threads(), 3);
+        std::env::remove_var("SUPERNPU_THREADS");
+
         set_threads(4);
         assert_eq!(threads(), 4);
 
@@ -234,5 +259,8 @@ mod tests {
         let empty: Vec<f64> = par_map(&[] as &[u64], f);
         assert!(empty.is_empty());
         assert_eq!(par_map(&[7u64], |x| x + 1), vec![8]);
+
+        // Leave the process in the default state for any later code.
+        clear_threads();
     }
 }
