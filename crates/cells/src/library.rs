@@ -151,7 +151,8 @@ impl CellLibrary {
     /// Serialize the library to pretty JSON (for archiving a
     /// characterization alongside results).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("library serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("library serialization cannot fail: {e}"))
     }
 
     /// Load a library from JSON, re-validating every entry.

@@ -255,7 +255,7 @@ pub fn library_from(m: &Measurements) -> CellLibrary {
         gates.insert(kind, g);
     }
     CellLibrary::new(DeviceParams::aist_10um(), gates)
-        .expect("characterized parameters are positive and complete")
+        .unwrap_or_else(|e| unreachable!("characterized parameters are positive and complete: {e}"))
 }
 
 /// Measure and build in one call.

@@ -138,10 +138,9 @@ impl Fig23Row {
     /// Panics for [`DesignPoint::Tpu`] (its speed-up is 1 by
     /// definition).
     pub fn speedup(&self, design: DesignPoint) -> f64 {
-        let idx = DesignPoint::SFQ_DESIGNS
-            .iter()
-            .position(|d| *d == design)
-            .expect("TPU speedup is 1 by definition");
+        let Some(idx) = DesignPoint::SFQ_DESIGNS.iter().position(|d| *d == design) else {
+            panic!("TPU speedup is 1 by definition");
+        };
         self.sfq_tmacs[idx] / self.tpu_tmacs
     }
 }

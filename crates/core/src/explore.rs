@@ -5,11 +5,31 @@ use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
 use sfq_estimator::{estimate, NpuConfig};
 use sfq_npu_sim::SimConfig;
-use sfq_par::par_map;
+use sfq_par::par_map_catch;
 
 use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
 
 const MB: u64 = 1024 * 1024;
+
+/// Collect a crash-isolated sweep: a panicking point is dropped (and
+/// counted under `explore.points_lost`) instead of taking the whole
+/// sweep down. Deterministic: which points survive depends only on the
+/// inputs, never on the schedule.
+fn collect_sweep<P>(sweep: &'static str, results: Vec<Result<P, sfq_par::TaskPanic>>) -> Vec<P> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(p) => out.push(p),
+            Err(e) => {
+                sfq_obs::inc("explore.points_lost");
+                sfq_obs::log(sfq_obs::Level::Warn, || {
+                    format!("{sweep}: sweep point lost: {e}")
+                });
+            }
+        }
+    }
+    out
+}
 
 /// Geomean effective TMAC/s of a config across the six workloads.
 ///
@@ -53,7 +73,7 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
     let base_area = estimate(&baseline_cfg.npu, &lib).area_mm2_native;
 
     let divisions = [2u32, 4, 16, 64, 256, 1024, 4096];
-    let swept = par_map(&divisions, |&division| {
+    let swept = par_map_catch(&divisions, |&division| {
         let _point = sfq_obs::span("explore.fig20.point_ms");
         let npu = NpuConfig {
             name: format!("+Division {division}"),
@@ -82,7 +102,7 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
         max_batch: 1.0,
         area: 1.0,
     }];
-    points.extend(swept);
+    points.extend(collect_sweep("fig20", swept));
     points
 }
 
@@ -128,7 +148,7 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     // The paper's width → total-buffer schedule (Fig. 21 x-axis).
     let schedule: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
 
-    par_map(&schedule, |&(width, buffer_mb)| {
+    let swept = par_map_catch(&schedule, |&(width, buffer_mb)| {
         let _point = sfq_obs::span("explore.fig21.point_ms");
         let make = |total_mb: u64| {
             let npu = NpuConfig {
@@ -165,7 +185,8 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
             max_batch_added_buffer: geomean_tmacs(&added, &nets, false) / base_max,
             intensity,
         }
-    })
+    });
+    collect_sweep("fig21", swept)
 }
 
 // ---------------------------------------------------------------- Fig 22
@@ -197,7 +218,7 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
             grid.push((width, buffer_mb, regs));
         }
     }
-    par_map(&grid, |&(width, buffer_mb, regs)| {
+    let swept = par_map_catch(&grid, |&(width, buffer_mb, regs)| {
         let _point = sfq_obs::span("explore.fig22.point_ms");
         let npu = NpuConfig {
             name: format!("w{width} r{regs}"),
@@ -217,7 +238,8 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
             regs,
             performance: geomean_tmacs(&cfg, &nets, false) / base_max,
         }
-    })
+    });
+    collect_sweep("fig22", swept)
 }
 
 #[cfg(test)]

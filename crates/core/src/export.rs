@@ -44,7 +44,7 @@ pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
 pub fn metrics_json() -> Option<String> {
     sfq_obs::enabled().then(|| {
         serde_json::to_string_pretty(&sfq_obs::snapshot())
-            .expect("metrics snapshot serializes infallibly")
+            .unwrap_or_else(|e| unreachable!("metrics snapshot serializes infallibly: {e}"))
     })
 }
 

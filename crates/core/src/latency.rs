@@ -62,7 +62,7 @@ pub fn knee(curve: &[LatencyPoint], fraction: f64) -> &LatencyPoint {
     curve
         .iter()
         .find(|p| p.images_per_s >= fraction * best)
-        .expect("some point reaches the fraction of its own maximum")
+        .unwrap_or_else(|| unreachable!("some point reaches the fraction of its own maximum"))
 }
 
 #[cfg(test)]

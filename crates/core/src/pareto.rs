@@ -97,7 +97,7 @@ pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
         .filter(|c| !candidates.iter().any(|o| o.dominates(c)))
         .cloned()
         .collect();
-    front.sort_by(|a, b| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite areas"));
+    front.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
     front
 }
 

@@ -55,12 +55,16 @@ impl Network {
 
     /// The largest per-image working set (ifmap + ofmap of one image)
     /// over all layers — the quantity that bounds on-chip batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
     pub fn max_working_set_bytes(&self) -> u64 {
         self.layers
             .iter()
             .map(Layer::working_set_bytes)
             .max()
-            .expect("network is non-empty")
+            .unwrap_or_else(|| panic!("network {} has no layers", self.name))
     }
 
     /// Load a network from a JSON description file — the "DNN
@@ -75,7 +79,8 @@ impl Network {
 
     /// Serialize to a JSON description.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("network serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("network serialization cannot fail: {e}"))
     }
 }
 

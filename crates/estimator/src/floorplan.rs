@@ -143,7 +143,12 @@ impl Floorplan {
             let (bx, by) = b.center();
             (ax - bx).abs() + (ay - by).abs()
         };
-        let find = |name: &str| blocks.iter().find(|b| b.name == name).expect("placed");
+        let find = |name: &str| {
+            blocks
+                .iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| unreachable!("block {name} was placed above"))
+        };
         let wire_length_mm = dist(find("ifmap"), find("dau"))
             + dist(find("dau"), find("pe_array"))
             + dist(find("weight"), find("pe_array"))

@@ -107,7 +107,7 @@ impl UnitModel {
         self.pairs
             .iter()
             .map(|p| p.frequency_ghz(lib))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite frequencies"))
+            .min_by(f64::total_cmp)
     }
 
     /// Energy per access in joules: activity × full-switch energy.

@@ -1,0 +1,75 @@
+//! Seeded pulse-fault plans for the cycle simulator.
+//!
+//! The cycle simulator's fault model
+//! ([`sfq_npu_sim::PulseFaults`]) is deliberately deterministic —
+//! given a fault description it computes expected corrupted-MAC counts
+//! with no randomness. This module is where the randomness lives: it
+//! *draws* a per-layer plan from a seed, so a whole-network
+//! fault-injection experiment is reproducible from `(seed, intensity)`
+//! alone and independent of thread count.
+
+use sfq_npu_sim::PulseFaults;
+
+use crate::rng::SplitMix64;
+
+/// Substream namespace tag for fault plans (`b"plan"` as an integer).
+const PLAN_TAG: u64 = 0x706c_616e;
+
+/// Draw a per-layer fault plan for a network with `layers` layers.
+///
+/// `intensity` scales every fault family at once: 0 yields a clean
+/// plan, 1 a harsh one (pulse-drop rates up to `1e-3`, skews up to
+/// ~2 ps against a 1 ps hold window, up to 8 stuck PEs per layer).
+/// Each layer's draws come from its own substream of `(seed,
+/// PLAN_TAG, layer)`, so plans for different layer counts share their
+/// common prefix.
+pub fn draw_fault_plan(seed: u64, layers: usize, intensity: f64) -> Vec<PulseFaults> {
+    let intensity = if intensity.is_finite() {
+        intensity.max(0.0)
+    } else {
+        1.0
+    };
+    (0..layers)
+        .map(|i| {
+            let mut rng = SplitMix64::substream(seed, &[PLAN_TAG, i as u64]);
+            PulseFaults {
+                drop_rate: intensity * 1e-3 * rng.next_f64(),
+                skew_ps: intensity * 2.0 * rng.normal(),
+                hold_ps: 1.0,
+                stuck_pes: (intensity * 8.0 * rng.next_f64()).floor() as u32,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_prefix_stable() {
+        let a = draw_fault_plan(11, 8, 1.0);
+        let b = draw_fault_plan(11, 8, 1.0);
+        assert_eq!(a, b);
+        let longer = draw_fault_plan(11, 12, 1.0);
+        assert_eq!(&longer[..8], &a[..]);
+        assert_ne!(draw_fault_plan(12, 8, 1.0), a);
+    }
+
+    #[test]
+    fn zero_intensity_is_clean() {
+        for f in draw_fault_plan(5, 6, 0.0) {
+            assert!(f.is_clean(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn unit_intensity_injects_something() {
+        let plan = draw_fault_plan(5, 6, 1.0);
+        assert!(plan.iter().any(|f| !f.is_clean()));
+        for f in &plan {
+            assert!(f.drop_rate >= 0.0 && f.drop_rate <= 1e-3);
+            assert!(f.stuck_pes <= 8);
+        }
+    }
+}

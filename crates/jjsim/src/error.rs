@@ -27,6 +27,16 @@ pub enum SimError {
         /// Simulation time at the failure, seconds.
         time: f64,
     },
+    /// A probe, search or characterization run could not produce a
+    /// verdict: the circuit already misbehaves at its nominal point, or
+    /// every retry of a trial failed. Unlike [`SimError::NoConvergence`]
+    /// this is a *protocol*-level outcome — the transient itself may
+    /// have finished fine — and callers performing sweeps are expected
+    /// to record it and keep going rather than abort.
+    NonConvergent {
+        /// What failed to converge (human-readable, static).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -47,6 +57,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "singular conductance matrix at t = {time:e} s (floating node?)"
                 )
+            }
+            SimError::NonConvergent { what } => {
+                write!(f, "non-convergent probe: {what}")
             }
         }
     }

@@ -32,8 +32,8 @@ fn run(c: crate::Circuit, t_end: f64) -> Result<crate::SimResult, SimError> {
 ///
 /// # Errors
 ///
-/// Propagates solver failures; returns [`SimError::NoConvergence`]-like
-/// diagnostics unchanged.
+/// Propagates solver failures; returns [`SimError::NonConvergent`]
+/// when the chain does not fire at all.
 ///
 /// # Panics
 ///
@@ -45,7 +45,9 @@ pub fn jtl_characteristics(n: usize, p: &JtlParams) -> Result<Extraction, SimErr
     let t_first = out.pulse_times(stages[0]).first().copied();
     let t_last = out.pulse_times(stages[n - 1]).first().copied();
     let (Some(t0), Some(t1)) = (t_first, t_last) else {
-        return Err(SimError::NoConvergence { time: 0.0 });
+        return Err(SimError::NonConvergent {
+            what: "JTL chain did not propagate the launch pulse",
+        });
     };
     let delay = (t1 - t0) / (n - 1) as f64;
     // Total dissipation divided by the number of switching junctions.
@@ -68,7 +70,9 @@ pub fn splitter_delay(p: &JtlParams) -> Result<f64, SimError> {
         out.pulse_times(probes.input).first(),
         out.pulse_times(probes.out_a).first(),
     ) else {
-        return Err(SimError::NoConvergence { time: 0.0 });
+        return Err(SimError::NonConvergent {
+            what: "splitter did not fire on both probes",
+        });
     };
     Ok(t_out - t_in)
 }
@@ -83,7 +87,9 @@ pub fn dff_clock_to_q(p: &DffParams) -> Result<f64, SimError> {
     let (c, probes) = dff(&[60e-12], &[clock_t], p);
     let out = run(c, 170e-12)?;
     let Some(&t_out) = out.pulse_times(probes.output).first() else {
-        return Err(SimError::NoConvergence { time: 0.0 });
+        return Err(SimError::NonConvergent {
+            what: "DFF did not release its stored datum",
+        });
     };
     Ok(t_out - clock_t)
 }
@@ -99,7 +105,9 @@ pub fn and_clock_to_q(p: &AndParams) -> Result<f64, SimError> {
     let (c, probes) = clocked_and(&[60e-12], &[60e-12], &[clock_t], p);
     let out = run(c, 170e-12)?;
     let Some(&t_out) = out.pulse_times(probes.output).first() else {
-        return Err(SimError::NoConvergence { time: 0.0 });
+        return Err(SimError::NonConvergent {
+            what: "clocked AND did not fire with both inputs set",
+        });
     };
     Ok(t_out - clock_t)
 }
@@ -157,7 +165,9 @@ pub fn max_shift_frequency(p: &DffParams, lo_ps: f64, hi_ps: f64) -> Result<f64,
     let mut bad = lo_ps * 1e-12;
     let mut good = hi_ps * 1e-12;
     if !shift_register_works(good, p)? {
-        return Err(SimError::NoConvergence { time: good });
+        return Err(SimError::NonConvergent {
+            what: "shift register fails even at the slowest trial clock",
+        });
     }
     for _ in 0..8 {
         let mid = 0.5 * (bad + good);

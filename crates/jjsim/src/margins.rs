@@ -6,7 +6,7 @@
 //! report the working interval as a ± percentage. Cells with margins
 //! below ±20–30% are considered fragile and get redesigned.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::SimError;
 
@@ -25,7 +25,7 @@ where
     F: FnOnce(f64) -> Result<bool, SimError>,
 {
     let key = (cell, value.to_bits());
-    if let Some(&(_, ok)) = PROBE_CACHE.lock().unwrap().iter().find(|(k, _)| *k == key) {
+    if let Some(&(_, ok)) = probe_cache().iter().find(|(k, _)| *k == key) {
         if sfq_obs::enabled() {
             sfq_obs::inc("jjsim.margins.probe_hits");
         }
@@ -35,14 +35,23 @@ where
         sfq_obs::inc("jjsim.margins.probe_misses");
     }
     let ok = probe(value)?;
-    PROBE_CACHE.lock().unwrap().push((key, ok));
+    probe_cache().push((key, ok));
     Ok(ok)
+}
+
+/// Lock the probe memo, recovering from poisoning: a probe that
+/// panicked on another thread (e.g. under `catch_unwind` sweep
+/// isolation) never holds the lock across its panic, so the cached
+/// entries stay consistent and the sweep can keep going.
+#[allow(clippy::type_complexity)]
+fn probe_cache() -> std::sync::MutexGuard<'static, Vec<((&'static str, u64), bool)>> {
+    PROBE_CACHE.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Drop all memoized margin probes (test isolation; normal code never
 /// needs this — probe outcomes are deterministic for a given build).
 pub fn clear_probe_cache() {
-    PROBE_CACHE.lock().unwrap().clear();
+    probe_cache().clear();
 }
 
 /// The measured operating interval of one parameter.
@@ -83,25 +92,40 @@ impl Margin {
 ///
 /// # Errors
 ///
-/// Returns an error if the circuit fails *at nominal* (no margin to
-/// measure) or if a trial run itself errors.
-///
-/// # Panics
-///
-/// Panics if `nominal`, `span` or `iters` are degenerate.
+/// Returns [`SimError::InvalidParameter`] when `nominal`, `span` or
+/// `iters` are degenerate, [`SimError::NonConvergent`] when the
+/// circuit fails *at nominal* (no margin to measure), and propagates
+/// any error of a trial run itself.
 pub fn find_margin<F>(nominal: f64, span: f64, iters: u32, mut works: F) -> Result<Margin, SimError>
 where
     F: FnMut(f64) -> Result<bool, SimError>,
 {
-    assert!(
-        nominal.is_finite() && nominal > 0.0,
-        "nominal must be positive"
-    );
-    assert!(span > 0.0 && span < 1.0, "span must be in (0,1)");
-    assert!(iters > 0, "need at least one bisection step");
+    if !(nominal.is_finite() && nominal > 0.0) {
+        return Err(SimError::InvalidParameter {
+            element: "margin",
+            field: "nominal",
+            value: nominal,
+        });
+    }
+    if !(span > 0.0 && span < 1.0) {
+        return Err(SimError::InvalidParameter {
+            element: "margin",
+            field: "span",
+            value: span,
+        });
+    }
+    if iters == 0 {
+        return Err(SimError::InvalidParameter {
+            element: "margin",
+            field: "iters",
+            value: 0.0,
+        });
+    }
 
     if !works(nominal)? {
-        return Err(SimError::NoConvergence { time: 0.0 });
+        return Err(SimError::NonConvergent {
+            what: "margin probe fails at its nominal point",
+        });
     }
 
     let mut bisect = |mut good: f64, mut bad: f64| -> Result<f64, SimError> {
@@ -197,7 +221,36 @@ mod tests {
 
     #[test]
     fn failing_at_nominal_is_an_error() {
-        assert!(find_margin(1.0, 0.4, 6, |_| Ok(false)).is_err());
+        assert_eq!(
+            find_margin(1.0, 0.4, 6, |_| Ok(false)).unwrap_err(),
+            SimError::NonConvergent {
+                what: "margin probe fails at its nominal point"
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_arguments_are_typed_errors_not_panics() {
+        for (nominal, span, iters) in [
+            (0.0, 0.4, 6),
+            (-1.0, 0.4, 6),
+            (f64::NAN, 0.4, 6),
+            (1.0, 0.0, 6),
+            (1.0, 1.0, 6),
+            (1.0, 0.4, 0),
+        ] {
+            let e = find_margin(nominal, span, iters, |_| Ok(true)).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    SimError::InvalidParameter {
+                        element: "margin",
+                        ..
+                    }
+                ),
+                "{e}"
+            );
+        }
     }
 
     #[test]

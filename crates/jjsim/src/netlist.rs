@@ -243,7 +243,9 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, NetlistError> {
             continue;
         }
         let mut toks = line.split_whitespace();
-        let head = toks.next().expect("non-empty line has a token");
+        // The line is non-empty after comment stripping, but spell the
+        // fallback out instead of unwrapping.
+        let Some(head) = toks.next() else { continue };
         let upper = head.to_ascii_uppercase();
 
         if let Some(directive) = upper.strip_prefix('.') {

@@ -393,14 +393,17 @@ impl Solver {
 
     /// Run the transient analysis from t = 0 to `t_end` seconds.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// Propagates Newton non-convergence or a singular matrix (usually
-    /// a floating node).
+    /// Panics on Newton non-convergence or a singular matrix (usually
+    /// a floating node). Sweep and fault-injection code should call
+    /// [`Solver::try_run`] and record the typed [`SimError`] instead.
     #[allow(clippy::too_many_lines)]
     pub fn run(&self, t_end: f64) -> SimResult {
-        self.try_run(t_end)
-            .expect("transient analysis failed; check circuit topology")
+        match self.try_run(t_end) {
+            Ok(out) => out,
+            Err(e) => panic!("transient analysis failed: {e}; check circuit topology"),
+        }
     }
 
     /// Fallible variant of [`Solver::run`].

@@ -5,9 +5,70 @@
 //! Each builder returns the [`Circuit`] plus the [`ElementId`]s of the
 //! junctions whose phase slips mark the observable events (pulse
 //! arrival at each stage, output emission, …).
+//!
+//! ## Robustness contract
+//!
+//! The builders are *infallible*: every parameter set is first passed
+//! through a `sanitized()` projection that clamps non-finite or
+//! non-physical values onto the nearest valid ones (a critical current
+//! driven to zero or below by a variation draw becomes a vanishingly
+//! small — i.e. effectively dead — junction, not a panic). A fault- or
+//! variation-injected cell therefore always *builds and simulates*;
+//! whether it still *works* is what the functional probes and the
+//! `sfq-faults` yield estimator measure.
 
 use crate::circuit::{Circuit, ElementId, JjParams, NodeId};
+use crate::error::SimError;
 use crate::waveform::Waveform;
+
+/// Smallest critical current a sanitized cell will carry, amperes.
+/// Far below any bias level: such a junction switches on noise-scale
+/// drive and the cell fails functionally instead of panicking.
+const IC_FLOOR: f64 = 1.0e-9;
+/// Smallest inductance a sanitized cell will carry, henries.
+const L_FLOOR: f64 = 1.0e-15;
+
+/// Clamp onto the positive reals: non-finite or `<= floor` becomes
+/// `floor`.
+fn positive(v: f64, floor: f64) -> f64 {
+    if v.is_finite() && v > floor {
+        v
+    } else {
+        floor
+    }
+}
+
+/// Clamp onto the finite reals (amplitudes and biases may legitimately
+/// be zero or negative): non-finite becomes `fallback`.
+fn finite(v: f64, fallback: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        fallback
+    }
+}
+
+/// Clamp onto the finite non-negative reals (event times).
+fn non_negative(v: f64, fallback: f64) -> f64 {
+    if v.is_finite() && v >= 0.0 {
+        v
+    } else {
+        fallback
+    }
+}
+
+/// Unwrap an insertion that cannot fail: stdlib builders create every
+/// node locally and sanitize every parameter before use, so the
+/// `Circuit::add_*` validators have nothing left to reject.
+trait BuiltExt<T> {
+    fn built(self) -> T;
+}
+
+impl<T> BuiltExt<T> for Result<T, SimError> {
+    fn built(self) -> T {
+        self.unwrap_or_else(|e| unreachable!("stdlib builder invariant violated: {e}"))
+    }
+}
 
 /// Parameters of a JTL stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +97,20 @@ impl Default for JtlParams {
     }
 }
 
+impl JtlParams {
+    /// Project onto the nearest buildable parameter set (see the
+    /// module-level robustness contract).
+    pub fn sanitized(&self) -> Self {
+        JtlParams {
+            ic: positive(self.ic, IC_FLOOR),
+            bias_frac: finite(self.bias_frac, 0.0),
+            l: positive(self.l, L_FLOOR),
+            input_amplitude: finite(self.input_amplitude, 0.0),
+            input_time: non_negative(self.input_time, 0.0),
+        }
+    }
+}
+
 /// Build an `n`-stage Josephson transmission line with a single input
 /// pulse. Returns the circuit and one junction id per stage; the pulse
 /// arrival time at stage `k` is that junction's phase-slip time.
@@ -45,18 +120,19 @@ impl Default for JtlParams {
 /// Panics if `n == 0`.
 pub fn jtl_chain(n: usize, p: &JtlParams) -> (Circuit, Vec<ElementId>) {
     assert!(n > 0, "a JTL needs at least one stage");
+    let p = p.sanitized();
     let mut c = Circuit::new();
     let jj = JjParams::critically_damped(p.ic);
     let input = c.node();
     c.add_source(input, Waveform::sfq_pulse(p.input_time, p.input_amplitude))
-        .expect("valid node");
+        .built();
     let mut prev = input;
     let mut stages = Vec::with_capacity(n);
     for _ in 0..n {
         let node = c.node();
-        c.add_inductor(prev, node, p.l).expect("valid nodes");
-        let id = c.add_jj(node, NodeId::GROUND, jj).expect("valid nodes");
-        c.add_bias(node, p.bias_frac * p.ic).expect("valid node");
+        c.add_inductor(prev, node, p.l).built();
+        let id = c.add_jj(node, NodeId::GROUND, jj).built();
+        c.add_bias(node, p.bias_frac * p.ic).built();
         stages.push(id);
         prev = node;
     }
@@ -78,6 +154,7 @@ pub struct SplitterProbes {
 /// current drives two branch junctions; one input pulse produces one
 /// pulse on *each* branch.
 pub fn splitter(p: &JtlParams) -> (Circuit, SplitterProbes) {
+    let p = p.sanitized();
     let mut c = Circuit::new();
     let input = c.node();
     // The hub junction has doubled critical current, so the trigger is
@@ -86,21 +163,21 @@ pub fn splitter(p: &JtlParams) -> (Circuit, SplitterProbes) {
         input,
         Waveform::sfq_pulse(p.input_time, 2.0 * p.input_amplitude),
     )
-    .expect("valid node");
+    .built();
 
     let hub = c.node();
-    c.add_inductor(input, hub, p.l / 2.0).expect("valid nodes");
+    c.add_inductor(input, hub, p.l / 2.0).built();
     // Bigger junction at the hub so it can drive two loads.
     let jj_hub = JjParams::critically_damped(2.0 * p.ic);
-    let input_jj = c.add_jj(hub, NodeId::GROUND, jj_hub).expect("valid nodes");
-    c.add_bias(hub, 0.7 * 2.0 * p.ic).expect("valid node");
+    let input_jj = c.add_jj(hub, NodeId::GROUND, jj_hub).built();
+    c.add_bias(hub, 0.7 * 2.0 * p.ic).built();
 
     let jj = JjParams::critically_damped(p.ic);
     let branch = |c: &mut Circuit| {
         let node = c.node();
-        c.add_inductor(hub, node, p.l).expect("valid nodes");
-        let id = c.add_jj(node, NodeId::GROUND, jj).expect("valid nodes");
-        c.add_bias(node, p.bias_frac * p.ic).expect("valid node");
+        c.add_inductor(hub, node, p.l).built();
+        let id = c.add_jj(node, NodeId::GROUND, jj).built();
+        c.add_bias(node, p.bias_frac * p.ic).built();
         id
     };
     let out_a = branch(&mut c);
@@ -134,29 +211,33 @@ pub fn merger(
     pulse_b: Option<f64>,
     p: &JtlParams,
 ) -> (Circuit, MergerProbes) {
+    let p = p.sanitized();
     let mut c = Circuit::new();
     let jj = JjParams::critically_damped(p.ic);
 
     let input_branch = |c: &mut Circuit, t: Option<f64>| {
         let entry = c.node();
         if let Some(t0) = t {
-            c.add_source(entry, Waveform::sfq_pulse(t0, p.input_amplitude))
-                .expect("valid node");
+            c.add_source(
+                entry,
+                Waveform::sfq_pulse(non_negative(t0, 0.0), p.input_amplitude),
+            )
+            .built();
         }
         let stage = c.node();
-        c.add_inductor(entry, stage, p.l).expect("valid nodes");
-        let id = c.add_jj(stage, NodeId::GROUND, jj).expect("valid nodes");
-        c.add_bias(stage, p.bias_frac * p.ic).expect("valid node");
+        c.add_inductor(entry, stage, p.l).built();
+        let id = c.add_jj(stage, NodeId::GROUND, jj).built();
+        c.add_bias(stage, p.bias_frac * p.ic).built();
         (stage, id)
     };
     let (na, in_a) = input_branch(&mut c, pulse_a);
     let (nb, in_b) = input_branch(&mut c, pulse_b);
 
     let out = c.node();
-    c.add_inductor(na, out, p.l).expect("valid nodes");
-    c.add_inductor(nb, out, p.l).expect("valid nodes");
-    let output = c.add_jj(out, NodeId::GROUND, jj).expect("valid nodes");
-    c.add_bias(out, p.bias_frac * p.ic).expect("valid node");
+    c.add_inductor(na, out, p.l).built();
+    c.add_inductor(nb, out, p.l).built();
+    let output = c.add_jj(out, NodeId::GROUND, jj).built();
+    c.add_bias(out, p.bias_frac * p.ic).built();
     (c, MergerProbes { in_a, in_b, output })
 }
 
@@ -191,6 +272,21 @@ impl Default for DffParams {
     }
 }
 
+impl DffParams {
+    /// Project onto the nearest buildable parameter set (see the
+    /// module-level robustness contract).
+    pub fn sanitized(&self) -> Self {
+        DffParams {
+            ic_in: positive(self.ic_in, IC_FLOOR),
+            ic_out: positive(self.ic_out, IC_FLOOR),
+            l_store: positive(self.l_store, L_FLOOR),
+            bias_store: finite(self.bias_store, 0.0),
+            bias_out: finite(self.bias_out, 0.0),
+            pulse_amplitude: finite(self.pulse_amplitude, 0.0),
+        }
+    }
+}
+
 /// DFF probes.
 #[derive(Debug, Clone, Copy)]
 pub struct DffProbes {
@@ -217,44 +313,50 @@ pub struct DffProbes {
 ///
 /// `data_times` and `clock_times` give the injection schedules.
 pub fn dff(data_times: &[f64], clock_times: &[f64], p: &DffParams) -> (Circuit, DffProbes) {
+    let p = p.sanitized();
     let mut c = Circuit::new();
 
     // Data input through a short JTL stage.
     let data_entry = c.node();
     for &t in data_times {
-        c.add_source(data_entry, Waveform::sfq_pulse(t, p.pulse_amplitude))
-            .expect("valid node");
+        c.add_source(
+            data_entry,
+            Waveform::sfq_pulse(non_negative(t, 0.0), p.pulse_amplitude),
+        )
+        .built();
     }
     let store = c.node();
-    c.add_inductor(data_entry, store, 6.0e-12)
-        .expect("valid nodes");
+    c.add_inductor(data_entry, store, 6.0e-12).built();
     let input = c
         .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
-        .expect("valid nodes");
-    c.add_bias(store, p.bias_store).expect("valid node");
+        .built();
+    c.add_bias(store, p.bias_store).built();
 
     // Quantizing storage loop from the storage node to the readout node.
     let read = c.node();
-    c.add_inductor(store, read, p.l_store).expect("valid nodes");
+    c.add_inductor(store, read, p.l_store).built();
     let output = c
         .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
-        .expect("valid nodes");
-    c.add_bias(read, p.bias_out).expect("valid node");
+        .built();
+    c.add_bias(read, p.bias_out).built();
 
     // Clock injection at the readout node.
     let clock_node = read;
     for &t in clock_times {
-        c.add_source(read, Waveform::sfq_pulse(t, p.pulse_amplitude))
-            .expect("valid node");
+        c.add_source(
+            read,
+            Waveform::sfq_pulse(non_negative(t, 0.0), p.pulse_amplitude),
+        )
+        .built();
     }
 
     // Output JTL stage to observe the released pulse.
     let fwd = c.node();
-    c.add_inductor(read, fwd, 10.0e-12).expect("valid nodes");
+    c.add_inductor(read, fwd, 10.0e-12).built();
     let forward = c
         .add_jj(fwd, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
-        .expect("valid nodes");
-    c.add_bias(fwd, 0.7e-4).expect("valid node");
+        .built();
+    c.add_bias(fwd, 0.7e-4).built();
 
     (
         c,
@@ -296,38 +398,43 @@ pub fn shift_register(
     p: &DffParams,
 ) -> (Circuit, ShiftRegisterProbes) {
     assert!(n > 0, "a shift register needs at least one stage");
+    let p = p.sanitized();
+    let stage_clock_skew = finite(stage_clock_skew, 0.0);
     let mut c = Circuit::new();
 
     let mut prev = c.node();
-    c.add_source(prev, Waveform::sfq_pulse(data_time, p.pulse_amplitude))
-        .expect("valid node");
+    c.add_source(
+        prev,
+        Waveform::sfq_pulse(non_negative(data_time, 0.0), p.pulse_amplitude),
+    )
+    .built();
 
     let mut stage_outputs = Vec::with_capacity(n);
     for k in 0..n {
         // Storage node.
         let store = c.node();
-        c.add_inductor(prev, store, 6.0e-12).expect("valid nodes");
+        c.add_inductor(prev, store, 6.0e-12).built();
         let _input = c
             .add_jj(store, NodeId::GROUND, JjParams::critically_damped(p.ic_in))
-            .expect("valid nodes");
-        c.add_bias(store, p.bias_store).expect("valid node");
+            .built();
+        c.add_bias(store, p.bias_store).built();
 
         // Readout node.
         let read = c.node();
-        c.add_inductor(store, read, p.l_store).expect("valid nodes");
+        c.add_inductor(store, read, p.l_store).built();
         let out = c
             .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
-            .expect("valid nodes");
-        c.add_bias(read, p.bias_out).expect("valid node");
+            .built();
+        c.add_bias(read, p.bias_out).built();
         // Per-stage clock (counter-flow skew: later stages fire earlier
         // for negative skew, later for positive).
         let times: Vec<f64> = clock_times
             .iter()
-            .map(|t| t + stage_clock_skew * k as f64)
+            .map(|t| non_negative(t + stage_clock_skew * k as f64, 0.0))
             .collect();
         for t in times {
             c.add_source(read, Waveform::sfq_pulse(t, p.pulse_amplitude))
-                .expect("valid node");
+                .built();
         }
         stage_outputs.push(out);
         prev = read;
@@ -519,6 +626,63 @@ mod tests {
     }
 
     #[test]
+    fn insane_parameters_build_and_simulate_without_panicking() {
+        // Variation injection can drive any field non-physical; the
+        // builders must degrade to a non-working cell, never panic.
+        let bad_jtl = JtlParams {
+            ic: -1.0,
+            bias_frac: f64::NAN,
+            l: 0.0,
+            input_amplitude: f64::INFINITY,
+            input_time: -5.0,
+        };
+        let (c, _) = jtl_chain(3, &bad_jtl);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+
+        let bad_dff = DffParams {
+            ic_in: f64::NEG_INFINITY,
+            ic_out: f64::NAN,
+            l_store: -1e-12,
+            bias_store: f64::NAN,
+            bias_out: f64::INFINITY,
+            pulse_amplitude: f64::NAN,
+        };
+        let (c, _) = dff(&[f64::NAN], &[-3.0], &bad_dff);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+
+        let bad_and = AndParams {
+            ic_store: 0.0,
+            ic_out: -2.0,
+            l_store: f64::NAN,
+            bias_store: -1.0,
+            bias_out: f64::NAN,
+            pulse_amplitude: f64::INFINITY,
+            clock_amplitude: f64::NAN,
+        };
+        let (c, _) = clocked_and(&[60e-12], &[f64::INFINITY], &[100e-12], &bad_and);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+
+        let (c, _) = splitter(&bad_jtl);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+
+        let (c, _) = merger(Some(f64::NAN), Some(-1.0), &bad_jtl);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+
+        let (c, _) = shift_register(2, f64::NAN, &[100e-12], f64::NAN, &bad_dff);
+        let _ = Solver::new(c, SimOptions::adaptive()).and_then(|s| s.try_run(50e-12));
+    }
+
+    #[test]
+    fn sanitized_is_identity_on_valid_params() {
+        let p = JtlParams::default();
+        assert_eq!(p, p.sanitized());
+        let d = DffParams::default();
+        assert_eq!(d, d.sanitized());
+        let a = AndParams::default();
+        assert_eq!(a, a.sanitized());
+    }
+
+    #[test]
     fn shift_register_advances_one_stage_per_clock() {
         let p = DffParams::default();
         let clocks = [100e-12, 140e-12, 180e-12];
@@ -583,6 +747,22 @@ impl Default for AndParams {
     }
 }
 
+impl AndParams {
+    /// Project onto the nearest buildable parameter set (see the
+    /// module-level robustness contract).
+    pub fn sanitized(&self) -> Self {
+        AndParams {
+            ic_store: positive(self.ic_store, IC_FLOOR),
+            ic_out: positive(self.ic_out, IC_FLOOR),
+            l_store: positive(self.l_store, L_FLOOR),
+            bias_store: finite(self.bias_store, 0.0),
+            bias_out: finite(self.bias_out, 0.0),
+            pulse_amplitude: finite(self.pulse_amplitude, 0.0),
+            clock_amplitude: finite(self.clock_amplitude, 0.0),
+        }
+    }
+}
+
 /// Build a clocked AND gate: two DFF-style storage loops share a
 /// readout junction sized so that the clock releases an output pulse
 /// only when *both* loops hold a fluxon (their loop currents add at
@@ -593,26 +773,30 @@ pub fn clocked_and(
     clock_times: &[f64],
     p: &AndParams,
 ) -> (Circuit, AndProbes) {
+    let p = p.sanitized();
     let mut c = Circuit::new();
     let read = c.node();
 
     let input = |c: &mut Circuit, times: &[f64]| {
         let entry = c.node();
         for &t in times {
-            c.add_source(entry, Waveform::sfq_pulse(t, p.pulse_amplitude))
-                .expect("valid node");
+            c.add_source(
+                entry,
+                Waveform::sfq_pulse(non_negative(t, 0.0), p.pulse_amplitude),
+            )
+            .built();
         }
         let store = c.node();
-        c.add_inductor(entry, store, 6.0e-12).expect("valid nodes");
+        c.add_inductor(entry, store, 6.0e-12).built();
         let id = c
             .add_jj(
                 store,
                 NodeId::GROUND,
                 JjParams::critically_damped(p.ic_store),
             )
-            .expect("valid nodes");
-        c.add_bias(store, p.bias_store).expect("valid node");
-        c.add_inductor(store, read, p.l_store).expect("valid nodes");
+            .built();
+        c.add_bias(store, p.bias_store).built();
+        c.add_inductor(store, read, p.l_store).built();
         id
     };
     let store_a = input(&mut c, a_times);
@@ -620,11 +804,14 @@ pub fn clocked_and(
 
     let output = c
         .add_jj(read, NodeId::GROUND, JjParams::critically_damped(p.ic_out))
-        .expect("valid nodes");
-    c.add_bias(read, p.bias_out).expect("valid node");
+        .built();
+    c.add_bias(read, p.bias_out).built();
     for &t in clock_times {
-        c.add_source(read, Waveform::sfq_pulse(t, p.clock_amplitude))
-            .expect("valid node");
+        c.add_source(
+            read,
+            Waveform::sfq_pulse(non_negative(t, 0.0), p.clock_amplitude),
+        )
+        .built();
     }
 
     (

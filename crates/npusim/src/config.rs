@@ -4,6 +4,68 @@ use serde::{Deserialize, Serialize};
 use sfq_cells::{BiasScheme, CellLibrary};
 use sfq_estimator::{estimate, NpuConfig, NpuEstimate};
 
+/// A structurally invalid simulator configuration.
+///
+/// Raised at construction time ([`SimConfig::try_from_npu`],
+/// [`SimConfig::validate`]) so the cycle simulator itself never has to
+/// guard against zero-sized arrays or zero bandwidth mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// An architectural count that must be at least one was zero.
+    ZeroField {
+        /// Which field (e.g. `array_height`).
+        field: &'static str,
+    },
+    /// A physical rate that must be positive and finite was not.
+    NonPositive {
+        /// Which field (e.g. `mem_bandwidth_gbs`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroField { field } => {
+                write!(f, "configuration field {field} must be at least 1")
+            }
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "configuration field {field} = {value} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Check an architecture for structural validity: every dimension the
+/// simulator divides by or iterates over must be non-zero.
+///
+/// # Errors
+///
+/// Returns the first offending field.
+pub fn validate_npu(npu: &NpuConfig) -> Result<(), ConfigError> {
+    let counts = [
+        ("array_height", u64::from(npu.array_height)),
+        ("array_width", u64::from(npu.array_width)),
+        ("bits", u64::from(npu.bits)),
+        ("regs_per_pe", u64::from(npu.regs_per_pe)),
+        ("ifmap_buf_bytes", npu.ifmap_buf_bytes),
+        ("output_buf_bytes", npu.output_buf_bytes),
+        ("weight_buf_bytes", npu.weight_buf_bytes),
+        ("division", u64::from(npu.division)),
+    ];
+    for (field, v) in counts {
+        if v == 0 {
+            return Err(ConfigError::ZeroField { field });
+        }
+    }
+    // psum_buf_bytes may legitimately be 0 (integrated output buffer).
+    Ok(())
+}
+
 /// Per-event switching energies and static power, taken from the
 /// estimator (joules / watts).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,14 +117,56 @@ impl SimConfig {
     pub const PAPER_BANDWIDTH_GBS: f64 = 300.0;
 
     /// Build a config by running the estimator on `npu` under `lib`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `npu` is structurally invalid; sweep code exploring
+    /// machine-generated configurations should use
+    /// [`SimConfig::try_from_npu`] instead.
     pub fn from_npu(npu: NpuConfig, lib: &CellLibrary) -> Self {
+        match Self::try_from_npu(npu, lib) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid NPU configuration: {e}"),
+        }
+    }
+
+    /// Build a config by running the estimator on `npu` under `lib`,
+    /// rejecting structurally invalid architectures up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero-sized PE arrays, zero-width
+    /// buffers or a zero division degree — the inputs that would
+    /// otherwise surface as divide-by-zero panics deep inside the
+    /// estimator or the cycle simulator.
+    pub fn try_from_npu(npu: NpuConfig, lib: &CellLibrary) -> Result<Self, ConfigError> {
+        validate_npu(&npu)?;
         let est = estimate(&npu, lib);
-        SimConfig {
+        Ok(SimConfig {
             npu,
             frequency_ghz: est.frequency_ghz,
             mem_bandwidth_gbs: Self::PAPER_BANDWIDTH_GBS,
             energy: EnergyModel::from_estimate(&est),
+        })
+    }
+
+    /// Re-validate a (possibly hand-mutated) config: the architecture
+    /// plus the physical rates the simulator divides by.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate_npu(&self.npu)?;
+        for (field, v) in [
+            ("frequency_ghz", self.frequency_ghz),
+            ("mem_bandwidth_gbs", self.mem_bandwidth_gbs),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::NonPositive { field, value: v });
+            }
         }
+        Ok(())
     }
 
     /// The paper's Baseline design under the RSFQ AIST library.
@@ -129,6 +233,54 @@ mod tests {
         let c = SimConfig::paper_baseline();
         let bpc = c.dram_bytes_per_cycle();
         assert!(bpc > 4.0 && bpc < 8.0, "bytes/cycle {bpc}");
+    }
+
+    #[test]
+    fn degenerate_architectures_are_config_errors_not_panics() {
+        let lib = CellLibrary::aist_10um();
+        let base = NpuConfig::paper_supernpu();
+
+        let mut npu = base.clone();
+        npu.array_height = 0;
+        assert_eq!(
+            SimConfig::try_from_npu(npu, &lib).unwrap_err(),
+            ConfigError::ZeroField {
+                field: "array_height"
+            }
+        );
+
+        let mut npu = base.clone();
+        npu.ifmap_buf_bytes = 0;
+        assert_eq!(
+            SimConfig::try_from_npu(npu, &lib).unwrap_err(),
+            ConfigError::ZeroField {
+                field: "ifmap_buf_bytes"
+            }
+        );
+
+        let mut npu = base.clone();
+        npu.division = 0;
+        assert!(SimConfig::try_from_npu(npu, &lib).is_err());
+
+        // psum_buf_bytes = 0 is legal (integrated output buffer).
+        assert_eq!(base.psum_buf_bytes, 0);
+        assert!(SimConfig::try_from_npu(base, &lib).is_ok());
+    }
+
+    #[test]
+    fn zero_bandwidth_is_a_config_error() {
+        let mut cfg = SimConfig::paper_supernpu();
+        assert!(cfg.validate().is_ok());
+        cfg.mem_bandwidth_gbs = 0.0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::NonPositive {
+                field: "mem_bandwidth_gbs",
+                value: 0.0
+            }
+        );
+        cfg.mem_bandwidth_gbs = f64::NAN;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Pulse-level fault models for the cycle simulator.
+//!
+//! SFQ logic encodes bits as picosecond flux pulses, so its dominant
+//! failure modes differ from CMOS: a pulse can be *dropped* (a junction
+//! fails to retransmit), a pulse can arrive *outside the hold window*
+//! of a clocked gate (timing violation — concurrent-flow clocking gives
+//! every gate a per-stage hold constraint), and a fabrication defect
+//! can leave a PE *stuck* (its junctions never switch).
+//!
+//! The models here are deterministic expected-value accountings: for a
+//! given [`PulseFaults`] description and layer workload, the corrupted
+//! MAC counts are pure arithmetic over the layer's MAC total — the same
+//! inputs always produce the same [`crate::FaultCounts`], independent
+//! of thread count or sampling. Randomness lives one level up, in the
+//! `sfq-faults` crate, which *draws* `PulseFaults` descriptions from a
+//! seeded RNG and hands each draw to the simulator. This split keeps
+//! the simulator dependency-free and bit-reproducible.
+//!
+//! Faults degrade *accuracy accounting*, not timing: cycles and energy
+//! are charged as in the fault-free run (a dropped pulse still consumed
+//! its clock edges), while [`crate::FaultCounts`] reports how many MACs
+//! were corrupted, so callers can decide whether the run still meets
+//! their accuracy bar — graceful degradation instead of an abort.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::FaultCounts;
+
+/// A pulse-level fault description for one simulated layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulseFaults {
+    /// Probability that a data pulse feeding a MAC is dropped in
+    /// flight. Each dropped pulse corrupts one MAC.
+    pub drop_rate: f64,
+    /// Clock-to-data skew injected at the PE inputs, picoseconds
+    /// (signed; only the magnitude matters for violations).
+    pub skew_ps: f64,
+    /// Per-stage hold window, picoseconds: skew magnitudes beyond this
+    /// violate the hold constraint of concurrent-flow clocking.
+    pub hold_ps: f64,
+    /// Number of stuck (never-switching) PEs in the array.
+    pub stuck_pes: u32,
+}
+
+impl PulseFaults {
+    /// The fault-free description: every rate zero.
+    pub fn none() -> Self {
+        PulseFaults {
+            drop_rate: 0.0,
+            skew_ps: 0.0,
+            hold_ps: 1.0,
+            stuck_pes: 0,
+        }
+    }
+
+    /// Whether this description injects nothing (the simulator skips
+    /// the accounting entirely).
+    pub fn is_clean(&self) -> bool {
+        self.drop_rate <= 0.0 && self.stuck_pes == 0 && self.timing_violation_rate() <= 0.0
+    }
+
+    /// Fraction of clocked MAC events whose data pulse lands outside
+    /// the hold window. Zero while `|skew| ≤ hold`; beyond that the
+    /// excess fraction of the skew violates, saturating at 1.
+    pub fn timing_violation_rate(&self) -> f64 {
+        let skew = self.skew_ps.abs();
+        let hold = self.hold_ps.max(0.0);
+        if !skew.is_finite() {
+            return 1.0;
+        }
+        if skew <= hold || skew == 0.0 {
+            0.0
+        } else {
+            ((skew - hold) / skew).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of the `height × width` PE array that is stuck.
+    pub fn stuck_fraction(&self, height: u32, width: u32) -> f64 {
+        let total = u64::from(height) * u64::from(width);
+        if total == 0 {
+            return 0.0;
+        }
+        (f64::from(self.stuck_pes) / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Deterministic expected-value fault accounting for a layer that
+    /// performed `macs` MACs on a `height × width` array.
+    pub fn counts_for(&self, macs: u64, height: u32, width: u32) -> FaultCounts {
+        let expected = |rate: f64| -> u64 {
+            let r = if rate.is_finite() {
+                rate.clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            (r * macs as f64).round() as u64
+        };
+        FaultCounts {
+            dropped_pulses: expected(self.drop_rate),
+            timing_violations: expected(self.timing_violation_rate()),
+            stuck_macs: expected(self.stuck_fraction(height, width)),
+        }
+    }
+}
+
+impl Default for PulseFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_counts_nothing() {
+        let f = PulseFaults::none();
+        assert!(f.is_clean());
+        assert_eq!(f.counts_for(1_000_000, 256, 256), FaultCounts::default());
+    }
+
+    #[test]
+    fn drop_rate_scales_with_macs() {
+        let f = PulseFaults {
+            drop_rate: 1e-3,
+            ..PulseFaults::none()
+        };
+        let c = f.counts_for(2_000_000, 256, 256);
+        assert_eq!(c.dropped_pulses, 2000);
+        assert_eq!(c.timing_violations, 0);
+        assert_eq!(c.stuck_macs, 0);
+    }
+
+    #[test]
+    fn skew_within_hold_is_free_beyond_violates() {
+        let safe = PulseFaults {
+            skew_ps: 0.8,
+            hold_ps: 1.0,
+            ..PulseFaults::none()
+        };
+        assert_eq!(safe.timing_violation_rate(), 0.0);
+        assert!(safe.is_clean());
+
+        let viol = PulseFaults {
+            skew_ps: -2.0,
+            hold_ps: 1.0,
+            ..PulseFaults::none()
+        };
+        assert!((viol.timing_violation_rate() - 0.5).abs() < 1e-12);
+        let c = viol.counts_for(100, 16, 16);
+        assert_eq!(c.timing_violations, 50);
+    }
+
+    #[test]
+    fn stuck_pes_corrupt_their_share() {
+        let f = PulseFaults {
+            stuck_pes: 64,
+            ..PulseFaults::none()
+        };
+        // 64 of 256×256 PEs: 1/1024 of the MACs.
+        let c = f.counts_for(1_024_000, 256, 256);
+        assert_eq!(c.stuck_macs, 1000);
+        // More stuck PEs than the array holds saturates at 1.
+        let all = PulseFaults {
+            stuck_pes: u32::MAX,
+            ..PulseFaults::none()
+        };
+        assert_eq!(all.counts_for(10, 4, 4).stuck_macs, 10);
+    }
+
+    #[test]
+    fn pathological_rates_saturate_instead_of_exploding() {
+        let f = PulseFaults {
+            drop_rate: f64::INFINITY,
+            skew_ps: f64::NAN,
+            hold_ps: -1.0,
+            stuck_pes: 5,
+        };
+        let c = f.counts_for(100, 0, 0);
+        assert_eq!(c.dropped_pulses, 100);
+        assert_eq!(c.timing_violations, 100);
+        assert_eq!(c.stuck_macs, 0); // zero-sized array: nothing to corrupt
+    }
+}

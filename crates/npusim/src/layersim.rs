@@ -4,9 +4,10 @@ use dnn_models::Layer;
 use sfq_estimator::units::pe_pipeline_depth;
 
 use crate::config::SimConfig;
+use crate::faults::PulseFaults;
 use crate::mapping::enumerate_mappings;
 use crate::memory::DramModel;
-use crate::stats::{EnergyBreakdown, LayerStats};
+use crate::stats::{EnergyBreakdown, FaultCounts, LayerStats};
 
 /// Simulate one layer at the given batch.
 ///
@@ -18,6 +19,23 @@ pub fn simulate_layer(
     layer: &Layer,
     batch: u32,
     ifmap_resident: bool,
+) -> LayerStats {
+    simulate_layer_with_faults(cfg, layer, batch, ifmap_resident, &PulseFaults::none())
+}
+
+/// Simulate one layer under an injected pulse-fault description.
+///
+/// Timing and energy are charged exactly as in the fault-free run (a
+/// dropped pulse still consumed its clock edges); the returned
+/// [`LayerStats::faults`] reports the deterministic expected number of
+/// corrupted MACs so the caller can judge the degradation instead of
+/// the simulator aborting.
+pub fn simulate_layer_with_faults(
+    cfg: &SimConfig,
+    layer: &Layer,
+    batch: u32,
+    ifmap_resident: bool,
+    faults: &PulseFaults,
 ) -> LayerStats {
     let npu = &cfg.npu;
     let dram = DramModel::new(cfg.mem_bandwidth_gbs, cfg.frequency_ghz);
@@ -110,6 +128,14 @@ pub fn simulate_layer(
     energy.clock_j +=
         (prep_cycles + compute_cycles + stall_cycles) as f64 * cfg.energy.clock_per_cycle_j;
 
+    // Pulse-level fault accounting: deterministic expected values over
+    // the layer's MAC total, independent of schedule or sampling.
+    let fault_counts = if faults.is_clean() {
+        FaultCounts::default()
+    } else {
+        faults.counts_for(macs_total, npu.array_height, npu.array_width)
+    };
+
     // One gated flush per layer: where this layer's time and traffic
     // went, funneled into the shared registry.
     if sfq_obs::enabled() {
@@ -120,6 +146,14 @@ pub fn simulate_layer(
         sfq_obs::add("npusim.layer.dram_bytes", dram_bytes);
         sfq_obs::add("npusim.layer.macs", macs_total);
         sfq_obs::add("npusim.layer.mappings", mappings.len() as u64);
+        if fault_counts.total() > 0 {
+            sfq_obs::add("npusim.faults.dropped_pulses", fault_counts.dropped_pulses);
+            sfq_obs::add(
+                "npusim.faults.timing_violations",
+                fault_counts.timing_violations,
+            );
+            sfq_obs::add("npusim.faults.stuck_macs", fault_counts.stuck_macs);
+        }
     }
 
     LayerStats {
@@ -131,6 +165,7 @@ pub fn simulate_layer(
         dram_bytes,
         mappings: mappings.len() as u64,
         energy,
+        faults: fault_counts,
     }
 }
 

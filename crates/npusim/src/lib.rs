@@ -36,6 +36,7 @@
 
 mod batch;
 mod config;
+mod faults;
 pub mod functional;
 mod layersim;
 mod mapping;
@@ -46,11 +47,12 @@ mod stats;
 mod trace;
 
 pub use batch::{structural_max_batch, BatchPolicy};
-pub use config::{EnergyModel, SimConfig};
-pub use layersim::simulate_layer;
+pub use config::{validate_npu, ConfigError, EnergyModel, SimConfig};
+pub use faults::PulseFaults;
+pub use layersim::{simulate_layer, simulate_layer_with_faults};
 pub use mapping::{enumerate_mappings, WeightMapping};
 pub use memory::DramModel;
-pub use netsim::{simulate_network, simulate_network_with_batch};
+pub use netsim::{simulate_network, simulate_network_with_batch, simulate_network_with_fault_plan};
 pub use stall::{analyze_stalls, StallReport};
-pub use stats::{EnergyBreakdown, LayerStats, NetworkStats};
+pub use stats::{EnergyBreakdown, FaultCounts, LayerStats, NetworkStats};
 pub use trace::{trace_layer, AccessKind, LayerTrace, TraceEvent};

@@ -6,7 +6,8 @@ use sfq_estimator::estimate;
 
 use crate::batch::structural_max_batch;
 use crate::config::SimConfig;
-use crate::layersim::simulate_layer;
+use crate::faults::PulseFaults;
+use crate::layersim::simulate_layer_with_faults;
 use crate::stats::NetworkStats;
 
 /// Simulate `net` on `cfg` at its maximum on-chip batch (Table II
@@ -26,16 +27,42 @@ pub fn simulate_network(cfg: &SimConfig, net: &Network) -> NetworkStats {
 ///
 /// Panics if `batch == 0`.
 pub fn simulate_network_with_batch(cfg: &SimConfig, net: &Network, batch: u32) -> NetworkStats {
+    simulate_network_with_fault_plan(cfg, net, batch, &[])
+}
+
+/// Simulate `net` under a per-layer pulse-fault plan.
+///
+/// `plan[i]` applies to layer `i`; a plan shorter than the network
+/// leaves the remaining layers fault-free, so `&[]` is exactly the
+/// clean [`simulate_network_with_batch`] run. Injected faults never
+/// change cycles or energy — they surface as corrupted-MAC counts in
+/// each layer's [`crate::LayerStats::faults`] and the aggregate
+/// [`NetworkStats::fault_counts`], keeping degraded runs comparable to
+/// clean ones.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn simulate_network_with_fault_plan(
+    cfg: &SimConfig,
+    net: &Network,
+    batch: u32,
+    plan: &[PulseFaults],
+) -> NetworkStats {
     assert!(batch > 0, "batch must be positive");
     let _span = sfq_obs::span("npusim.network.sim_ms");
     sfq_obs::inc("npusim.network.count");
     let est = estimate(&cfg.npu, &CellLibrary::aist_10um());
     let out_cap = cfg.npu.output_buf_bytes + cfg.npu.psum_buf_bytes;
 
+    let clean = PulseFaults::none();
     let mut layers = Vec::with_capacity(net.layers().len());
     let mut resident = false; // network input starts off-chip
-    for layer in net.iter() {
-        layers.push(simulate_layer(cfg, layer, batch, resident));
+    for (i, layer) in net.iter().enumerate() {
+        let faults = plan.get(i).unwrap_or(&clean);
+        layers.push(simulate_layer_with_faults(
+            cfg, layer, batch, resident, faults,
+        ));
         resident = layer.ofmap_bytes(batch) <= out_cap;
     }
 
@@ -163,6 +190,36 @@ mod tests {
         let s = simulate_network(&cfg, &zoo::resnet50());
         let p = s.total_power_w();
         assert!(p > 0.05 && p < 10.0, "ERSFQ power {p:.2} W");
+    }
+
+    #[test]
+    fn fault_plan_degrades_accounting_not_timing() {
+        let cfg = SimConfig::paper_supernpu();
+        let net = zoo::alexnet();
+        let clean = simulate_network_with_batch(&cfg, &net, 4);
+        assert_eq!(clean.fault_counts(), crate::FaultCounts::default());
+
+        // Fault only layer 1; the rest of the (short) plan is clean.
+        let mut plan = vec![PulseFaults::none(); 2];
+        plan[1] = PulseFaults {
+            drop_rate: 1e-4,
+            skew_ps: 2.0,
+            hold_ps: 1.0,
+            stuck_pes: 128,
+        };
+        let faulty = simulate_network_with_fault_plan(&cfg, &net, 4, &plan);
+
+        // Graceful degradation: identical cycles and energy...
+        assert_eq!(faulty.total_cycles(), clean.total_cycles());
+        assert_eq!(faulty.dynamic_energy(), clean.dynamic_energy());
+        // ...but the corruption is visible, and only where injected.
+        assert_eq!(faulty.layers[0].faults, crate::FaultCounts::default());
+        let c = faulty.layers[1].faults;
+        assert!(c.dropped_pulses > 0 && c.timing_violations > 0 && c.stuck_macs > 0);
+        for l in &faulty.layers[2..] {
+            assert_eq!(l.faults, crate::FaultCounts::default());
+        }
+        assert!(faulty.fault_fraction() > 0.0 && faulty.fault_fraction() < 1.0);
     }
 
     #[test]

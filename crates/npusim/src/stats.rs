@@ -34,6 +34,38 @@ impl std::ops::AddAssign for EnergyBreakdown {
     }
 }
 
+/// Corrupted-MAC accounting from pulse-level fault injection.
+///
+/// All counts are deterministic expected values computed by
+/// [`crate::PulseFaults::counts_for`]; a fault-free run reports all
+/// zeros. Counts may overlap (a MAC can be both late and on a stuck
+/// PE), so [`FaultCounts::total`] is an upper bound on distinct
+/// corrupted MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// MACs that lost a data pulse in flight.
+    pub dropped_pulses: u64,
+    /// MACs clocked outside the hold window.
+    pub timing_violations: u64,
+    /// MACs mapped onto stuck (never-switching) PEs.
+    pub stuck_macs: u64,
+}
+
+impl FaultCounts {
+    /// Sum of all fault counts (corrupted-MAC upper bound).
+    pub fn total(&self) -> u64 {
+        self.dropped_pulses + self.timing_violations + self.stuck_macs
+    }
+}
+
+impl std::ops::AddAssign for FaultCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.dropped_pulses += rhs.dropped_pulses;
+        self.timing_violations += rhs.timing_violations;
+        self.stuck_macs += rhs.stuck_macs;
+    }
+}
+
 /// Per-layer simulation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerStats {
@@ -54,6 +86,8 @@ pub struct LayerStats {
     pub mappings: u64,
     /// Dynamic energy spent in this layer.
     pub energy: EnergyBreakdown,
+    /// Corrupted-MAC accounting (all zeros in a fault-free run).
+    pub faults: FaultCounts,
 }
 
 impl LayerStats {
@@ -142,6 +176,29 @@ impl NetworkStats {
         self.layers.iter().map(|l| l.dram_bytes).sum()
     }
 
+    /// Aggregated corrupted-MAC accounting across all layers.
+    pub fn fault_counts(&self) -> FaultCounts {
+        let mut c = FaultCounts::default();
+        for l in &self.layers {
+            c += l.faults;
+        }
+        c
+    }
+
+    /// Upper bound on the fraction of MACs corrupted by injected
+    /// faults — the graceful-degradation figure of merit: a run with
+    /// `fault_fraction() == 0` is bit-exact, small fractions may be
+    /// tolerable for inference, large ones mean the result is garbage
+    /// (but the simulator still finished and said so).
+    pub fn fault_fraction(&self) -> f64 {
+        let macs = self.total_macs();
+        if macs == 0 {
+            0.0
+        } else {
+            self.fault_counts().total() as f64 / macs as f64
+        }
+    }
+
     /// Aggregated dynamic energy.
     pub fn dynamic_energy(&self) -> EnergyBreakdown {
         let mut e = EnergyBreakdown::default();
@@ -182,6 +239,7 @@ mod tests {
                 nw_j: 0.0,
                 clock_j: 0.0,
             },
+            faults: FaultCounts::default(),
         }
     }
 
@@ -219,6 +277,27 @@ mod tests {
         let s = stats();
         assert!(s.total_power_w() > 10.0);
         assert!((s.dynamic_power_w() - 2e-6 / s.time_s()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fault_counts_aggregate_and_fraction() {
+        let mut s = stats();
+        assert_eq!(s.fault_counts(), FaultCounts::default());
+        assert_eq!(s.fault_fraction(), 0.0);
+        s.layers[0].faults = FaultCounts {
+            dropped_pulses: 100,
+            timing_violations: 20,
+            stuck_macs: 30,
+        };
+        s.layers[1].faults = FaultCounts {
+            dropped_pulses: 50,
+            timing_violations: 0,
+            stuck_macs: 0,
+        };
+        let c = s.fault_counts();
+        assert_eq!(c.dropped_pulses, 150);
+        assert_eq!(c.total(), 200);
+        assert!((s.fault_fraction() - 200.0 / 1_500_000.0).abs() < 1e-15);
     }
 
     #[test]

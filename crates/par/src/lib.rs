@@ -191,8 +191,70 @@ where
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("index dispenser covered every item"))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("index dispenser covered every item")))
         .collect()
+}
+
+/// A task that panicked inside [`par_map_catch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the input item whose task panicked.
+    pub index: usize,
+    /// The panic message when the payload was a string, or a
+    /// placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Like [`par_map`], but a panic in one task poisons only that item.
+///
+/// Each item runs under `catch_unwind`; a panicking task yields
+/// `Err(TaskPanic)` in its slot while every other item completes
+/// normally. This is the fan-out primitive for fault-injection sweeps
+/// and design-space exploration, where one broken probe must not take
+/// down the whole region. Determinism is inherited from [`par_map`]:
+/// results (including which items panic) depend only on the inputs,
+/// never on the schedule.
+///
+/// `f` is wrapped in `AssertUnwindSafe`: it must not leave shared
+/// state logically inconsistent when it panics (the workspace's probe
+/// caches guard their locks against poisoning, so they are safe).
+/// Panics are still reported through the process panic hook before
+/// being caught, so expect their messages on stderr unless a quiet
+/// hook is installed.
+pub fn par_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..items.len()).collect();
+    par_map(&idx, |&i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+            sfq_obs::inc("par.task_panics");
+            TaskPanic {
+                index: i,
+                message: panic_message(payload),
+            }
+        })
+    })
 }
 
 #[cfg(test)]
@@ -259,6 +321,26 @@ mod tests {
         let empty: Vec<f64> = par_map(&[] as &[u64], f);
         assert!(empty.is_empty());
         assert_eq!(par_map(&[7u64], |x| x + 1), vec![8]);
+
+        // A panicking task poisons only its own slot.
+        set_threads(4);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let caught = par_map_catch(&items[..32], |x| {
+            assert!(x % 5 != 3, "injected failure at {x}");
+            x * 10
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(caught.len(), 32);
+        for (i, r) in caught.iter().enumerate() {
+            if i % 5 == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, i);
+                assert!(e.message.contains("injected failure"), "{e}");
+            } else {
+                assert_eq!(*r, Ok(items[i] * 10));
+            }
+        }
 
         // Leave the process in the default state for any later code.
         clear_threads();

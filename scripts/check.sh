@@ -23,4 +23,11 @@ cargo test -q --test observability
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (library unwrap/expect gate) =="
+# Library code must not unwrap/expect on fallible paths: failures are
+# typed (SimError, ConfigError, FaultError) or explicit panics with a
+# documented invariant. Tests, benches and the experiment binaries are
+# exempt (--lib only checks library targets).
+cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "All checks passed."
