@@ -101,6 +101,7 @@ fn bench(
 }
 
 fn main() {
+    let _obs = sfq_obs::dump_on_exit();
     sfq_obs::set_enabled(true);
     supernpu_bench::header(
         "BENCH solver",

@@ -84,6 +84,7 @@ fn cache_value(stats: (u64, u64)) -> Value {
 }
 
 fn main() {
+    let _obs = sfq_obs::dump_on_exit();
     // Report the worker-pool size actually used for the parallel runs
     // (honors SUPERNPU_THREADS), not the raw hardware parallelism.
     let pool = sfq_par::threads();

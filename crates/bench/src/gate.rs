@@ -1,0 +1,334 @@
+//! Bench-regression gate — diff a fresh `BENCH_solver.json` /
+//! `BENCH_sweeps.json` report against a committed baseline and fail
+//! on regression.
+//!
+//! Two kinds of check:
+//!
+//! * **correctness** — hard invariants of the fresh run alone:
+//!   every sweep's `identical_output`, every cell's
+//!   `pulse_counts_match`, and `worst_pulse_delta_ps` within the
+//!   report's own `pulse_tol_ps`. These use no tolerance: a fresh
+//!   report that violates them fails regardless of the baseline.
+//! * **regression** — fresh vs baseline: wall-clock per entry must
+//!   stay within `baseline × factor + abs_ms` (the additive slack
+//!   keeps sub-millisecond entries from tripping on scheduler
+//!   noise), the solver's `step_ratio_total` must hold ≥ 95% of the
+//!   baseline ratio and ≥ its own `min_step_ratio`, and every
+//!   baseline entry must still exist in the fresh report.
+//!
+//! The schema is auto-detected from the top-level key: `"sweeps"`
+//! (the sweep report) or `"cells"` (the solver report).
+
+use serde::Value;
+
+/// Wall-clock tolerance: fresh time may grow to
+/// `baseline * factor + abs_ms` before the gate fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Multiplicative slack on each baseline timing.
+    pub factor: f64,
+    /// Additive slack in milliseconds (absorbs noise on tiny entries).
+    pub abs_ms: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            factor: 1.5,
+            abs_ms: 100.0,
+        }
+    }
+}
+
+/// Outcome of one gate run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GateReport {
+    /// Number of individual checks evaluated.
+    pub checks: usize,
+    /// Human-readable description of every failed check.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(msg());
+        }
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    get(v, key)?.as_f64()
+}
+
+fn entries<'a>(report: &'a Value, list_key: &str) -> Vec<(&'a str, &'a Value)> {
+    get(report, list_key)
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|e| Some((get(e, "name")?.as_str()?, e)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Check one timing field of a named entry against the baseline.
+fn check_timing(
+    report: &mut GateReport,
+    kind: &str,
+    name: &str,
+    field: &str,
+    base: &Value,
+    fresh: &Value,
+    tol: &Tolerances,
+) {
+    let (Some(b), Some(f)) = (num(base, field), num(fresh, field)) else {
+        report.check(false, || {
+            format!("{kind} '{name}': missing timing field '{field}'")
+        });
+        return;
+    };
+    let limit = b * tol.factor + tol.abs_ms;
+    report.check(f <= limit, || {
+        format!(
+            "{kind} '{name}': {field} regressed {f:.3} ms > limit {limit:.3} ms \
+             (baseline {b:.3} ms × {} + {} ms)",
+            tol.factor, tol.abs_ms
+        )
+    });
+}
+
+fn compare_sweeps(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
+    let base_entries = entries(base, "sweeps");
+    let fresh_entries = entries(fresh, "sweeps");
+    report.check(!fresh_entries.is_empty(), || {
+        "sweep report: no sweeps in fresh report".into()
+    });
+    for (name, f) in &fresh_entries {
+        report.check(
+            get(f, "identical_output").and_then(Value::as_bool) == Some(true),
+            || format!("sweep '{name}': parallel output differs from serial"),
+        );
+    }
+    for (name, b) in &base_entries {
+        let Some((_, f)) = fresh_entries.iter().find(|(n, _)| n == name) else {
+            report.check(false, || {
+                format!("sweep '{name}': present in baseline, missing in fresh report")
+            });
+            continue;
+        };
+        check_timing(report, "sweep", name, "parallel_ms", b, f, tol);
+    }
+}
+
+fn compare_solver(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
+    let base_entries = entries(base, "cells");
+    let fresh_entries = entries(fresh, "cells");
+    report.check(!fresh_entries.is_empty(), || {
+        "solver report: no cells in fresh report".into()
+    });
+    for (name, f) in &fresh_entries {
+        report.check(
+            get(f, "pulse_counts_match").and_then(Value::as_bool) == Some(true),
+            || format!("cell '{name}': adaptive pulse counts diverge from fixed-step reference"),
+        );
+    }
+    let tol_ps = num(fresh, "pulse_tol_ps").unwrap_or(f64::INFINITY);
+    if let Some(worst) = num(fresh, "worst_pulse_delta_ps") {
+        report.check(worst <= tol_ps, || {
+            format!("solver: worst_pulse_delta_ps {worst:.4} exceeds pulse_tol_ps {tol_ps:.4}")
+        });
+    }
+    if let Some(ratio) = num(fresh, "step_ratio_total") {
+        let min_ratio = num(fresh, "min_step_ratio").unwrap_or(0.0);
+        report.check(ratio >= min_ratio, || {
+            format!("solver: step_ratio_total {ratio:.3} below required minimum {min_ratio:.3}")
+        });
+        if let Some(base_ratio) = num(base, "step_ratio_total") {
+            report.check(ratio >= base_ratio * 0.95, || {
+                format!("solver: step_ratio_total {ratio:.3} lost >5% vs baseline {base_ratio:.3}")
+            });
+        }
+    } else {
+        report.check(false, || {
+            "solver: fresh report lacks step_ratio_total".into()
+        });
+    }
+    for (name, b) in &base_entries {
+        let Some((_, f)) = fresh_entries.iter().find(|(n, _)| n == name) else {
+            report.check(false, || {
+                format!("cell '{name}': present in baseline, missing in fresh report")
+            });
+            continue;
+        };
+        check_timing(report, "cell", name, "adaptive_ms", b, f, tol);
+    }
+}
+
+/// Compare a fresh bench report against its baseline. The schema
+/// (sweep vs solver) is detected from the baseline's top-level keys;
+/// mismatched schemas fail the gate.
+pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
+    let mut report = GateReport::default();
+    let schema = |v: &Value| {
+        if get(v, "sweeps").is_some() {
+            "sweeps"
+        } else if get(v, "cells").is_some() {
+            "cells"
+        } else {
+            "unknown"
+        }
+    };
+    let (bs, fs) = (schema(base), schema(fresh));
+    report.check(bs != "unknown", || {
+        "baseline report has neither 'sweeps' nor 'cells'".into()
+    });
+    report.check(bs == fs, || {
+        format!("schema mismatch: baseline is '{bs}', fresh is '{fs}'")
+    });
+    if !report.passed() {
+        return report;
+    }
+    match bs {
+        "sweeps" => compare_sweeps(base, fresh, tol, &mut report),
+        _ => compare_solver(base, fresh, tol, &mut report),
+    }
+    report
+}
+
+/// Parse both JSON strings and run the gate.
+///
+/// # Errors
+///
+/// Returns the parse error message when either report is not valid
+/// JSON.
+pub fn compare_json(baseline: &str, fresh: &str, tol: &Tolerances) -> Result<GateReport, String> {
+    let base: Value = serde_json::from_str(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let fresh: Value = serde_json::from_str(fresh).map_err(|e| format!("fresh: {e}"))?;
+    Ok(compare(&base, &fresh, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweeps(ms: f64, identical: bool) -> String {
+        format!(
+            r#"{{"threads":4,"sweeps":[{{"name":"fig20","serial_ms":{ms},"parallel_ms":{ms},"speedup":1.0,"identical_output":{identical}}}]}}"#
+        )
+    }
+
+    fn solver(ms: f64, ratio: f64, delta: f64, counts_match: bool) -> String {
+        format!(
+            r#"{{"pulse_tol_ps":0.5,"min_step_ratio":3.0,"step_ratio_total":{ratio},"worst_pulse_delta_ps":{delta},"cells":[{{"name":"jtl","adaptive_ms":{ms},"pulse_counts_match":{counts_match}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let tol = Tolerances::default();
+        let r = compare_json(&sweeps(5.0, true), &sweeps(5.0, true), &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+        let r = compare_json(
+            &solver(2.0, 4.0, 0.1, true),
+            &solver(2.0, 4.0, 0.1, true),
+            &tol,
+        )
+        .unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn abs_slack_tolerates_small_growth() {
+        let tol = Tolerances {
+            factor: 1.5,
+            abs_ms: 100.0,
+        };
+        // 5 ms → 80 ms is a 16× slowdown but within the 107.5 ms limit.
+        let r = compare_json(&sweeps(5.0, true), &sweeps(80.0, true), &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn slowed_fresh_report_fails() {
+        let tol = Tolerances {
+            factor: 1.5,
+            abs_ms: 10.0,
+        };
+        let r = compare_json(&sweeps(50.0, true), &sweeps(200.0, true), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("parallel_ms regressed"),
+            "{:?}",
+            r.failures
+        );
+        let r = compare_json(
+            &solver(50.0, 4.0, 0.1, true),
+            &solver(200.0, 4.0, 0.1, true),
+            &tol,
+        )
+        .unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("adaptive_ms regressed"),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn correctness_flags_fail_hard() {
+        let tol = Tolerances::default();
+        let r = compare_json(&sweeps(5.0, true), &sweeps(5.0, false), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(
+            &solver(2.0, 4.0, 0.1, true),
+            &solver(2.0, 4.0, 0.1, false),
+            &tol,
+        )
+        .unwrap();
+        assert!(!r.passed());
+        // Pulse delta beyond the report's own tolerance.
+        let r = compare_json(
+            &solver(2.0, 4.0, 0.1, true),
+            &solver(2.0, 4.0, 0.9, true),
+            &tol,
+        )
+        .unwrap();
+        assert!(!r.passed());
+        // Step ratio collapsed below min and below 95% of baseline.
+        let r = compare_json(
+            &solver(2.0, 4.0, 0.1, true),
+            &solver(2.0, 1.5, 0.1, true),
+            &tol,
+        )
+        .unwrap();
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn missing_entry_and_schema_mismatch_fail() {
+        let tol = Tolerances::default();
+        let fresh = r#"{"threads":4,"sweeps":[]}"#;
+        let r = compare_json(&sweeps(5.0, true), fresh, &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&sweeps(5.0, true), &solver(2.0, 4.0, 0.1, true), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("schema mismatch"));
+        assert!(compare_json("not json", "{}", &tol).is_err());
+    }
+}

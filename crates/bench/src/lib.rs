@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 /// Print the standard experiment header.
 pub fn header(id: &str, paper_ref: &str) {
     println!("== {id} — reproduces {paper_ref} ==");

@@ -62,6 +62,7 @@ pub struct BufferSweepPoint {
 /// and area, all normalized to Baseline.
 pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig20.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig20 buffer sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig20: buffer-division sweep starting".into()
     });
@@ -131,6 +132,7 @@ pub struct ResourceSweepPoint {
 /// schedule), and measure max-batch performance and intensity.
 pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig21.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig21 resource sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig21: resource-balancing sweep starting".into()
     });
@@ -206,6 +208,7 @@ pub struct RegisterSweepPoint {
 /// Fig. 21 "added buffer" capacities.
 pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig22.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig22 register sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig22: per-PE register sweep starting".into()
     });

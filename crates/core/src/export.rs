@@ -65,6 +65,35 @@ pub fn write_metrics_json(dir: &std::path::Path) -> std::io::Result<Option<std::
     }
 }
 
+/// Build the cycle-domain Chrome trace of `net` on `cfg` at `batch`:
+/// access traces of every layer laid end to end as Perfetto tracks
+/// (see [`sfq_npu_sim::chrome_cycle_trace`]). Deterministic — cycle
+/// timestamps come from the cost model, not the wall clock, so the
+/// output is bit-identical at any `SUPERNPU_THREADS`.
+pub fn cycle_trace(
+    cfg: &sfq_npu_sim::SimConfig,
+    net: &dnn_models::Network,
+    batch: u32,
+) -> sfq_obs::trace::ChromeTrace {
+    let traces = sfq_npu_sim::trace_network(cfg, net, batch);
+    sfq_npu_sim::chrome_cycle_trace(cfg, &traces)
+}
+
+/// Write the cycle-domain Chrome trace of `net` to `path` as Chrome
+/// trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+///
+/// # Errors
+///
+/// Propagates the filesystem error when the write fails.
+pub fn write_trace_json(
+    path: &std::path::Path,
+    cfg: &sfq_npu_sim::SimConfig,
+    net: &dnn_models::Network,
+    batch: u32,
+) -> std::io::Result<()> {
+    cycle_trace(cfg, net, batch).write(path)
+}
+
 /// One exported dataset: file stem and CSV contents.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {

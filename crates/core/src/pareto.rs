@@ -47,6 +47,7 @@ impl Candidate {
 /// previous fixed chunking: cheap narrow-array candidates no longer
 /// serialize behind expensive wide ones).
 pub fn evaluate_grid() -> Vec<Candidate> {
+    let _trace = sfq_obs::trace::span("sweep", "pareto grid");
     let mut points = Vec::new();
     for &width in &[32u32, 64, 128, 256] {
         for &buffer_mb in &[24u64, 36, 48] {

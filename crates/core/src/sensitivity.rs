@@ -45,6 +45,7 @@ impl BandwidthPoint {
 
 /// Sweep the off-chip bandwidth for both machines.
 pub fn bandwidth_sweep() -> Vec<BandwidthPoint> {
+    let _trace = sfq_obs::trace::span("sweep", "bandwidth sweep");
     let nets = paper_workloads();
     let links = [75.0f64, 150.0, 300.0, 600.0, 1200.0, 2400.0];
     par_map(&links, |&bw| {
@@ -81,6 +82,7 @@ pub struct ProcessPoint {
 /// 200 nm) and re-simulate: the memory wall, not the junctions, caps
 /// the gains.
 pub fn process_sweep() -> Vec<ProcessPoint> {
+    let _trace = sfq_obs::trace::span("sweep", "process sweep");
     let base = DesignPoint::SuperNpu.sim_config();
     let nets = paper_workloads();
     let features = [1.0f64, 0.8, 0.5, 0.35, 0.2, 0.1];
@@ -111,6 +113,7 @@ pub struct CoolingPoint {
 /// that reproduces the paper's 400× at 4 K). SFQ circuits need ≲5 K,
 /// so warmer rows are hypothetical-technology what-ifs.
 pub fn cooling_sweep(ersfq_chip_w: f64, speedup: f64) -> Vec<CoolingPoint> {
+    let _trace = sfq_obs::trace::span("sweep", "cooling sweep");
     let tpu = cryo::PowerEfficiency::new(1.0, 40.0);
     let stages = [4.2f64, 10.0, 20.0, 40.0, 77.0];
     par_map(&stages, |&t| {

@@ -415,6 +415,12 @@ impl Solver {
     pub fn try_run(&self, t_end: f64) -> Result<SimResult, SimError> {
         transient_counter().inc();
         let mut metrics = RunMetrics::start();
+        // One wall-clock slice per transient run (records on every
+        // exit path, including errors); the per-step accept/reject/
+        // restamp markers below are only recorded under the
+        // SUPERNPU_TRACE_DETAIL verbosity knob, resolved once per run.
+        let _trace_run = sfq_obs::trace::span("jjsim", "solver.run");
+        let trace_detail = sfq_obs::trace::detail_enabled();
         let ckt = &self.ckt;
         let n_unknown = ckt.node_count - 1; // ground excluded
         let h = self.opts.dt;
@@ -639,6 +645,9 @@ impl Solver {
                 h_stamped = h_step;
                 lu_valid = false;
                 metrics.restamps += 1;
+                if trace_detail {
+                    sfq_obs::trace::instant("jjsim", "restamp");
+                }
             }
 
             v_prev.copy_from_slice(&v);
@@ -771,6 +780,9 @@ impl Solver {
                 // and retrying is a clean rollback.
                 if adaptive && h_step > dt_min {
                     metrics.reject_newton += 1;
+                    if trace_detail {
+                        sfq_obs::trace::instant("jjsim", "reject (newton)");
+                    }
                     h_cur = (h_step * 0.5).max(dt_min);
                     good_streak = 0;
                     continue;
@@ -817,8 +829,14 @@ impl Solver {
                 if h_step > dt_min && (lte > lte_tol || dphi_max > PHASE_MAX_STEP) {
                     if lte > lte_tol {
                         metrics.reject_lte += 1;
+                        if trace_detail {
+                            sfq_obs::trace::instant("jjsim", "reject (lte)");
+                        }
                     } else {
                         metrics.reject_phase += 1;
+                        if trace_detail {
+                            sfq_obs::trace::instant("jjsim", "reject (phase)");
+                        }
                     }
                     h_cur = (h_step * 0.5).max(dt_min);
                     good_streak = 0;
@@ -840,6 +858,9 @@ impl Solver {
 
             // Commit state updates.
             metrics.steps += 1;
+            if trace_detail {
+                sfq_obs::trace::instant("jjsim", "accept");
+            }
             for (k, jj) in ckt.jjs.iter().enumerate() {
                 let vb_prev = vbr(&v_prev, jj.a, jj.b);
                 let vb_new = vbr(&v_iter, jj.a, jj.b);

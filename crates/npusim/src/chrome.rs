@@ -1,0 +1,155 @@
+//! Chrome-trace export of access traces — the cycle-domain process.
+//!
+//! Converts the simulator's [`LayerTrace`] access traces into
+//! Perfetto/`chrome://tracing` tracks under [`CYCLE_PID`], with one
+//! trace microsecond standing in for one NPU cycle. Because the
+//! timestamps come straight from the deterministic cost model (and
+//! layer fan-out uses the index-ordered [`sfq_par::par_map`]), the
+//! exported event stream is bit-identical regardless of
+//! `SUPERNPU_THREADS`.
+//!
+//! Track layout (fixed `tid`s so repeated exports line up):
+//!
+//! * `layers` — one complete slice per layer, end to end,
+//! * `dram`, `weight buffer`, `ifmap buffer`, `pe array`,
+//!   `psum buffer`, `ofmap buffer` — one slice per [`TraceEvent`],
+//! * `dram_bytes` counter — cumulative off-chip traffic,
+//! * `pe_active_rows_pct` counter — PE-array row utilization during
+//!   each streaming phase (active rows recovered from the event's
+//!   `bytes / (cycles − fill)`, where `fill` is the pipeline-fill
+//!   latency the stream slice includes).
+
+use dnn_models::Network;
+use sfq_obs::trace::{ChromeTrace, CYCLE_PID};
+
+use crate::config::SimConfig;
+use crate::trace::{trace_layer, AccessKind, LayerTrace};
+
+/// Track id of the per-layer span track.
+pub const TID_LAYERS: u64 = 1;
+/// Track id of DRAM transfer slices.
+pub const TID_DRAM: u64 = 2;
+/// Track id of weight-buffer load slices.
+pub const TID_WEIGHT: u64 = 3;
+/// Track id of ifmap-buffer shift/stream slices.
+pub const TID_IFMAP: u64 = 4;
+/// Track id of PE-array streaming slices.
+pub const TID_PE: u64 = 5;
+/// Track id of psum-migration slices.
+pub const TID_PSUM: u64 = 6;
+/// Track id of ofmap-drain slices.
+pub const TID_OFMAP: u64 = 7;
+
+fn kind_track(kind: AccessKind) -> (u64, &'static str) {
+    match kind {
+        AccessKind::Dram => (TID_DRAM, "dram transfer"),
+        AccessKind::WeightLoad => (TID_WEIGHT, "weight load"),
+        AccessKind::IfmapShift => (TID_IFMAP, "ifmap shift"),
+        AccessKind::IfmapStream => (TID_PE, "stream"),
+        AccessKind::PsumMove => (TID_PSUM, "psum move"),
+        AccessKind::OfmapWrite => (TID_OFMAP, "ofmap drain"),
+    }
+}
+
+/// Trace every layer of a network at one batch. Fans out across the
+/// worker pool; [`sfq_par::par_map`] reassembles in index order, so
+/// the result is identical to a serial loop at any thread count.
+pub fn trace_network(cfg: &SimConfig, net: &Network, batch: u32) -> Vec<LayerTrace> {
+    sfq_par::par_map(net.layers(), |layer| trace_layer(cfg, layer, batch))
+}
+
+/// Lay a network's layer traces end to end on the cycle timeline and
+/// render them as Chrome trace tracks under [`CYCLE_PID`].
+///
+/// `cfg` must be the configuration the traces were generated with:
+/// the utilization counter reconstructs active rows from the same
+/// pipeline-fill constant [`trace_layer`] charged.
+#[allow(clippy::cast_precision_loss)]
+pub fn chrome_cycle_trace(cfg: &SimConfig, traces: &[LayerTrace]) -> ChromeTrace {
+    let npu = &cfg.npu;
+    let height = u64::from(npu.array_height);
+    let width = u64::from(npu.array_width);
+    let fill = height + width + u64::from(sfq_estimator::units::pe_pipeline_depth(npu.bits));
+
+    let mut ct = ChromeTrace::new();
+    ct.name_process(CYCLE_PID, "npusim (cycles)");
+    ct.name_track(CYCLE_PID, TID_LAYERS, "layers");
+    ct.name_track(CYCLE_PID, TID_DRAM, "dram");
+    ct.name_track(CYCLE_PID, TID_WEIGHT, "weight buffer");
+    ct.name_track(CYCLE_PID, TID_IFMAP, "ifmap buffer");
+    ct.name_track(CYCLE_PID, TID_PE, "pe array");
+    ct.name_track(CYCLE_PID, TID_PSUM, "psum buffer");
+    ct.name_track(CYCLE_PID, TID_OFMAP, "ofmap buffer");
+
+    let mut offset = 0u64;
+    let mut dram_total = 0u64;
+    for t in traces {
+        let layer_name = format!("{} (batch {})", t.layer, t.batch);
+        ct.add_complete(
+            CYCLE_PID,
+            TID_LAYERS,
+            "npusim",
+            &layer_name,
+            offset as f64,
+            t.total_cycles() as f64,
+        );
+        for e in &t.events {
+            let (tid, name) = kind_track(e.kind);
+            let ts = (offset + e.start_cycle) as f64;
+            ct.add_complete(CYCLE_PID, tid, "npusim", name, ts, e.cycles as f64);
+            match e.kind {
+                AccessKind::Dram => {
+                    dram_total += e.bytes;
+                    ct.add_counter(
+                        CYCLE_PID,
+                        TID_DRAM,
+                        "dram_bytes",
+                        (offset + e.end_cycle()) as f64,
+                        dram_total as f64,
+                    );
+                }
+                AccessKind::IfmapStream => {
+                    let compute = e.cycles.saturating_sub(fill);
+                    let active_rows = if compute > 0 {
+                        e.bytes as f64 / compute as f64
+                    } else {
+                        0.0
+                    };
+                    let pct = 100.0 * active_rows / height as f64;
+                    ct.add_counter(CYCLE_PID, TID_PE, "pe_active_rows_pct", ts, pct);
+                    ct.add_counter(
+                        CYCLE_PID,
+                        TID_PE,
+                        "pe_active_rows_pct",
+                        (offset + e.end_cycle()) as f64,
+                        0.0,
+                    );
+                }
+                _ => {}
+            }
+        }
+        offset += t.total_cycles();
+    }
+    ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo;
+
+    #[test]
+    fn cycle_trace_covers_all_events() {
+        let cfg = SimConfig::paper_supernpu();
+        let net = zoo::alexnet();
+        let traces = trace_network(&cfg, &net, 2);
+        assert_eq!(traces.len(), net.layers().len());
+        let ct = chrome_cycle_trace(&cfg, &traces);
+        let n_events: usize = traces.iter().map(|t| t.events.len()).sum();
+        // Every access event plus one layer span each, plus counters.
+        assert!(ct.len() > n_events + traces.len());
+        let json = ct.to_json();
+        assert!(json.contains("pe array"));
+        assert!(json.contains("dram_bytes"));
+    }
+}

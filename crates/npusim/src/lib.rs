@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod chrome;
 mod config;
 mod faults;
 pub mod functional;
@@ -47,6 +48,7 @@ mod stats;
 mod trace;
 
 pub use batch::{structural_max_batch, BatchPolicy};
+pub use chrome::{chrome_cycle_trace, trace_network};
 pub use config::{validate_npu, ConfigError, EnergyModel, SimConfig};
 pub use faults::PulseFaults;
 pub use layersim::{simulate_layer, simulate_layer_with_faults};

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{OnceLock, RwLock};
@@ -343,6 +345,43 @@ impl Histogram {
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
     }
 
+    /// Quantile estimate by linear interpolation inside the bucket the
+    /// q-th sample falls in (`q` in `[0, 1]`), clamped to the observed
+    /// `[min, max]`. Because buckets are powers of two, the estimate's
+    /// relative error is bounded by one octave — the true value lies
+    /// within a factor of 2 of the estimate — which is plenty to tell
+    /// "p99 moved from 2 ms to 40 ms" apart from noise. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    Self::bucket_upper_bound(i - 1)
+                };
+                let hi = Self::bucket_upper_bound(i);
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min(), self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
     /// Clear all samples.
     pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
@@ -573,6 +612,12 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest sample (0 when empty).
     pub max: f64,
+    /// Median estimate ([`Histogram::quantile`]; 0 when empty).
+    pub p50: f64,
+    /// 90th-percentile estimate (0 when empty).
+    pub p90: f64,
+    /// 99th-percentile estimate (0 when empty).
+    pub p99: f64,
     /// Non-empty buckets, ascending by bound.
     pub buckets: Vec<BucketCount>,
 }
@@ -650,6 +695,9 @@ pub fn snapshot() -> MetricsReport {
                     sum: h.sum(),
                     min: if count == 0 { 0.0 } else { h.min() },
                     max: if count == 0 { 0.0 } else { h.max() },
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
                     buckets,
                 });
             }
@@ -674,7 +722,7 @@ pub fn render_table() -> String {
             h.name.clone(),
             "histogram".into(),
             format!(
-                "n={} sum={:.3} mean={:.3} min={:.3} max={:.3}",
+                "n={} sum={:.3} mean={:.3} min={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
                 h.count,
                 h.sum,
                 if h.count == 0 {
@@ -683,6 +731,9 @@ pub fn render_table() -> String {
                     h.sum / h.count as f64
                 },
                 h.min,
+                h.p50,
+                h.p90,
+                h.p99,
                 h.max
             ),
         ]);
@@ -714,6 +765,14 @@ pub struct DumpOnExit(());
 
 impl Drop for DumpOnExit {
     fn drop(&mut self) {
+        // Flush the trace sink first: the guard drops during unwinding
+        // too, so a panicking bench still lands its buffered tail on
+        // disk instead of losing it with the process.
+        match trace::flush() {
+            Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("could not write trace file: {e}"),
+        }
         if enabled() {
             eprintln!("\n== metrics (SUPERNPU_METRICS) ==\n{}", render_table());
         }
@@ -752,6 +811,13 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 4.0);
 
+        // Quantiles: estimates stay inside the sample's bucket (one
+        // octave of error) and clamp to the observed extremes.
+        assert_eq!(h.quantile(1.0), 4.0, "q=1 is the max");
+        let p50 = h.quantile(0.5);
+        assert!((0.5..=1.0).contains(&p50), "p50 {p50} within one octave");
+        assert_eq!(histogram("t.empty_q").quantile(0.9), 0.0, "empty is 0");
+
         // Bucket mapping: 0.5 → [2^-1, 2^0); 4.0 → [2^2, 2^3).
         assert_eq!(Histogram::bucket_of(0.5), BUCKET_EXP_OFFSET as usize - 1);
         assert_eq!(Histogram::bucket_of(4.0), BUCKET_EXP_OFFSET as usize + 2);
@@ -764,6 +830,7 @@ mod tests {
         assert_eq!(snap.counter("t.counter"), Some(4));
         let hs = snap.histogram("t.hist_ms").unwrap();
         assert_eq!(hs.count, 3);
+        assert_eq!((hs.p50, hs.p99), (p50, 4.0), "snapshot carries quantiles");
         assert_eq!(hs.buckets.iter().map(|b| b.count).sum::<u64>(), 3);
         let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
         let mut sorted = names.clone();

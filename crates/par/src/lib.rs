@@ -27,6 +27,15 @@ use std::time::Instant;
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Trace-track id of pool worker 0 (the calling thread); worker `w`
+/// records on track `WORKER_TRACK_BASE + w` of
+/// [`sfq_obs::trace::HOST_PID`]. Workers are scoped threads that die
+/// with their region, so routing their events to these stable tracks
+/// (via [`sfq_obs::trace::with_track`]) keeps one timeline per worker
+/// slot across regions instead of one orphan track per spawned
+/// thread.
+const WORKER_TRACK_BASE: u64 = 1000;
+
 /// Worker permits still available for new parallel regions.
 /// `usize::MAX` marks "not yet initialized from [`threads`]".
 static PERMITS: Mutex<usize> = Mutex::new(usize::MAX);
@@ -120,33 +129,83 @@ where
     if guard.0 == 0 {
         // Nested call or single-thread pool: degrade to inline serial.
         sfq_obs::inc("par.serial_fallback");
+        if sfq_obs::trace::enabled() {
+            // Still mark the region on the timeline so a 1-core trace
+            // shows where the fan-outs (serially) ran.
+            let t0 = sfq_obs::trace::now_us();
+            let out = items.iter().map(&f).collect();
+            sfq_obs::trace::complete(
+                "par",
+                &format!("par_map region ({n} items, serial)"),
+                t0,
+                sfq_obs::trace::now_us() - t0,
+            );
+            return out;
+        }
         return items.iter().map(&f).collect();
     }
-    // Metrics gate, sampled once per region so every worker of this
-    // region agrees (a mid-region toggle cannot skew the counts).
+    // Metrics and trace gates, sampled once per region so every worker
+    // of this region agrees (a mid-region toggle cannot skew the
+    // counts or tear the track layout).
     let metrics_on = sfq_obs::enabled();
     if metrics_on {
         sfq_obs::inc("par.regions");
         sfq_obs::gauge_set("par.threads", threads() as f64);
     }
+    let trace_on = sfq_obs::trace::enabled();
+    let region_t0 = if trace_on {
+        for w in 0..=guard.0 {
+            sfq_obs::trace::name_track(
+                sfq_obs::trace::HOST_PID,
+                WORKER_TRACK_BASE + w as u64,
+                &format!("pool worker {w}"),
+            );
+        }
+        sfq_obs::trace::now_us()
+    } else {
+        0.0
+    };
 
     let next = AtomicUsize::new(0);
     // `worker` 0 is the calling thread; 1..=permits are the spawned
     // workers. Items a worker pulls from the shared dispenser beyond
     // the caller count as steals.
     let run = |worker: usize, out: &mut Vec<(usize, R)>| {
+        // Route this worker's default-track trace events (its own task
+        // slices plus anything `f` records, e.g. solver run spans) to
+        // its stable pool-worker track for the life of the region.
+        let _track = trace_on.then(|| {
+            sfq_obs::trace::with_track(sfq_obs::trace::HOST_PID, WORKER_TRACK_BASE + worker as u64)
+        });
         let mut tasks = 0u64;
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
+            let trace_t0 = if trace_on {
+                sfq_obs::trace::now_us()
+            } else {
+                0.0
+            };
             if metrics_on {
                 let t0 = Instant::now();
                 out.push((i, f(&items[i])));
                 sfq_obs::observe("par.task_ms", t0.elapsed().as_secs_f64() * 1e3);
             } else {
                 out.push((i, f(&items[i])));
+            }
+            if trace_on {
+                // A task on a worker other than the caller was stolen
+                // from the shared dispenser; encode that in the name
+                // so steals are visible without extra events.
+                let name = if worker == 0 { "task" } else { "task (stolen)" };
+                sfq_obs::trace::complete(
+                    "par",
+                    name,
+                    trace_t0,
+                    sfq_obs::trace::now_us() - trace_t0,
+                );
             }
             tasks += 1;
         }
@@ -182,6 +241,14 @@ where
         }
     });
     drop(guard);
+    if trace_on {
+        sfq_obs::trace::complete(
+            "par",
+            &format!("par_map region ({n} items)"),
+            region_t0,
+            sfq_obs::trace::now_us() - region_t0,
+        );
+    }
 
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for part in parts {
@@ -249,6 +316,7 @@ where
     par_map(&idx, |&i| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
             sfq_obs::inc("par.task_panics");
+            sfq_obs::trace::instant("par", "task panic");
             TaskPanic {
                 index: i,
                 message: panic_message(payload),

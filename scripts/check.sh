@@ -5,6 +5,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Opt-in extras: --bench reruns the solver/sweep benches in a scratch
+# directory and diffs them against the committed BENCH_*.json
+# baselines with bench_compare (fails on wall-clock or correctness
+# regression).
+RUN_BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) RUN_BENCH=1 ;;
+        *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+    esac
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
 echo "== cargo fmt --all -- --check =="
 cargo fmt --all -- --check
 
@@ -20,6 +35,16 @@ cargo test -q -p sfq-obs
 echo "== cargo test -q --test observability =="
 cargo test -q --test observability
 
+echo "== cargo test -q --test tracing =="
+# Includes the disabled-path check: with SUPERNPU_TRACE unset the
+# trace helpers must register no sinks and record no events.
+cargo test -q --test tracing
+
+echo "== trace example end-to-end =="
+# The example writes a Chrome trace and exits nonzero unless the file
+# re-parses with every required field and track family present.
+SUPERNPU_TRACE="$tmp/trace.json" cargo run --release --example trace
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -29,5 +54,18 @@ echo "== cargo clippy (library unwrap/expect gate) =="
 # documented invariant. Tests, benches and the experiment binaries are
 # exempt (--lib only checks library targets).
 cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+if [[ $RUN_BENCH -eq 1 ]]; then
+    echo "== bench-regression gate (--bench) =="
+    cargo build --release -p supernpu-bench \
+        --bin bench_solver --bin bench_sweeps --bin bench_compare
+    repo="$(pwd)"
+    (cd "$tmp" && "$repo/target/release/bench_solver" >/dev/null)
+    (cd "$tmp" && "$repo/target/release/bench_sweeps" >/dev/null)
+    target/release/bench_compare \
+        --baseline BENCH_solver.json --fresh "$tmp/BENCH_solver.json"
+    target/release/bench_compare \
+        --baseline BENCH_sweeps.json --fresh "$tmp/BENCH_sweeps.json"
+fi
 
 echo "All checks passed."
