@@ -133,6 +133,49 @@ fn compare_sweeps(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Ga
         };
         check_timing(report, "sweep", name, "parallel_ms", b, f, tol);
     }
+
+    // Parallelism-sensitive checks only bind when the pool actually
+    // has more than one logical core behind it; a serial (or
+    // oversubscribed one-core) run's "speedup" is pure timing noise.
+    // Reports older than the `speedup_meaningful` field are treated as
+    // not-meaningful rather than rejected.
+    let meaningful = get(fresh, "speedup_meaningful").and_then(Value::as_bool) == Some(true);
+    if meaningful {
+        for (name, f) in &fresh_entries {
+            if let Some(speedup) = num(f, "speedup") {
+                report.check(speedup >= 1.0, || {
+                    format!("sweep '{name}': parallel run slower than serial ({speedup:.2}x)")
+                });
+            }
+        }
+    }
+
+    // Stress rungs (present when the report was produced with
+    // `--points N`): bit-identity is unconditional; the scaling floor
+    // was computed by the producer from min(threads, logical_cores),
+    // so `meets_scaling` is already vacuous on serial machines.
+    let stress = get(fresh, "stress").and_then(Value::as_array);
+    if get(base, "stress").is_some() {
+        report.check(stress.is_some(), || {
+            "sweep report: baseline has a stress section, fresh report lacks one".into()
+        });
+    }
+    for rung in stress.into_iter().flatten() {
+        let threads = num(rung, "threads").unwrap_or(0.0);
+        report.check(
+            get(rung, "identical_output").and_then(Value::as_bool) == Some(true),
+            || format!("stress rung ({threads} threads): output differs from serial"),
+        );
+        report.check(
+            get(rung, "meets_scaling").and_then(Value::as_bool) == Some(true),
+            || {
+                format!(
+                    "stress rung ({threads} threads): speedup {:.2}x below the scaling floor",
+                    num(rung, "speedup").unwrap_or(f64::NAN)
+                )
+            },
+        );
+    }
 }
 
 fn compare_solver(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
@@ -176,6 +219,44 @@ fn compare_solver(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Ga
             continue;
         };
         check_timing(report, "cell", name, "adaptive_ms", b, f, tol);
+    }
+
+    // The banded cell (reported separately so its in-flight pulse
+    // train doesn't dilute the quiescent cells' step-ratio aggregate)
+    // gets the same correctness treatment plus proof that the packed
+    // band factorization actually ran. Baselines predating the field
+    // are tolerated; once the baseline has it, it may not vanish.
+    let banded = get(fresh, "banded_cell");
+    if let Some(f) = banded {
+        report.check(
+            get(f, "pulse_counts_match").and_then(Value::as_bool) == Some(true),
+            || "banded cell: adaptive pulse counts diverge from fixed-step reference".into(),
+        );
+        if let Some(delta) = num(f, "max_pulse_delta_ps") {
+            report.check(delta <= tol_ps, || {
+                format!(
+                    "banded cell: max_pulse_delta_ps {delta:.4} exceeds pulse_tol_ps {tol_ps:.4}"
+                )
+            });
+        }
+        report.check(num(f, "lu_factor").unwrap_or(0.0) > 0.0, || {
+            "banded cell: lu_factor is zero — the banded path never engaged".into()
+        });
+        if let Some(b) = get(base, "banded_cell") {
+            check_timing(
+                report,
+                "banded cell",
+                "jtl_chain_40",
+                "adaptive_ms",
+                b,
+                f,
+                tol,
+            );
+        }
+    } else if get(base, "banded_cell").is_some() {
+        report.check(false, || {
+            "solver report: baseline has a banded_cell entry, fresh report lacks one".into()
+        });
     }
 }
 
@@ -318,6 +399,83 @@ mod tests {
         )
         .unwrap();
         assert!(!r.passed());
+    }
+
+    fn sweeps_stress(speedup: f64, identical: bool, meets: bool) -> String {
+        format!(
+            r#"{{"threads":4,"logical_cores":8,"speedup_meaningful":true,
+               "sweeps":[{{"name":"fig20","serial_ms":5.0,"parallel_ms":5.0,"speedup":{speedup},"identical_output":true}}],
+               "stress":[{{"points":100000,"threads":4,"ms":10.0,"speedup":{speedup},"expected_parallelism":4.0,"identical_output":{identical},"meets_scaling":{meets}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn stress_rungs_are_gated() {
+        let tol = Tolerances::default();
+        let good = sweeps_stress(3.5, true, true);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+
+        // Divergent output or missed scaling floor fails hard.
+        let r = compare_json(&good, &sweeps_stress(3.5, false, true), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&good, &sweeps_stress(2.0, true, false), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("scaling floor")),
+            "{:?}",
+            r.failures
+        );
+
+        // A baseline with stress rungs pins the fresh report to having
+        // them too.
+        let r = compare_json(&good, &sweeps(5.0, true), &tol).unwrap();
+        assert!(!r.passed());
+
+        // Parallel-slower-than-serial fails only when the speedup is
+        // meaningful; the plain `sweeps` fixture has no
+        // speedup_meaningful field, so its 1.0x passes.
+        let r = compare_json(&good, &sweeps_stress(0.7, true, true), &tol).unwrap();
+        assert!(
+            r.failures.iter().any(|f| f.contains("slower than serial")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    fn solver_banded(lu_factor: u64, counts_match: bool, delta: f64) -> String {
+        format!(
+            r#"{{"pulse_tol_ps":0.5,"min_step_ratio":3.0,"step_ratio_total":4.0,"worst_pulse_delta_ps":0.1,
+               "cells":[{{"name":"jtl","adaptive_ms":2.0,"pulse_counts_match":true}}],
+               "banded_cell":{{"name":"jtl_chain_40","adaptive_ms":10.0,"pulse_counts_match":{counts_match},"max_pulse_delta_ps":{delta},"lu_factor":{lu_factor},"lu_reuse":5000}}}}"#
+        )
+    }
+
+    #[test]
+    fn banded_cell_is_gated() {
+        let tol = Tolerances::default();
+        let good = solver_banded(29000, true, 0.1);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+
+        let r = compare_json(&good, &solver_banded(0, true, 0.1), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("never engaged")),
+            "{:?}",
+            r.failures
+        );
+        let r = compare_json(&good, &solver_banded(29000, false, 0.1), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&good, &solver_banded(29000, true, 0.9), &tol).unwrap();
+        assert!(!r.passed());
+
+        // Once the baseline has the entry, the fresh report must too;
+        // an old baseline without it doesn't require one.
+        let r = compare_json(&good, &solver(2.0, 4.0, 0.1, true), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&solver(2.0, 4.0, 0.1, true), &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
     }
 
     #[test]

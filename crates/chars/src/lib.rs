@@ -108,6 +108,152 @@ fn measure_key(jtl: &JtlParams, dff: &DffParams, and: &AndParams) -> MeasureKey 
 /// process at most.
 static MEASURE_CACHE: RwLock<Vec<(MeasureKey, Measurements)>> = RwLock::new(Vec::new());
 
+// ------------------------------------------------ per-testbench memoization
+//
+// A sweep that perturbs one cell family's parameters (a margins probe,
+// a Fig. 21/22 design point) used to re-run *every* testbench because
+// the monolithic `MeasureKey` fingerprints all three parameter sets at
+// once. The measurement is therefore split along testbench boundaries
+// — the JTL benches depend only on `JtlParams`, the DFF benches only
+// on `DffParams`, the AND benches only on `AndParams` — each with its
+// own bit-exact key and memo, generalizing the margins probe memo of
+// `jjsim::margins` to the whole characterization layer. Only the
+// testbenches whose parameters actually changed between sweep points
+// re-run their transients (observable via [`jjsim::transient_runs`]).
+
+/// JTL-family raw measurements (JTL chain + splitter testbenches).
+#[derive(Debug, Clone, Copy)]
+struct JtlMeas {
+    jtl_delay_ps: f64,
+    jtl_energy_aj: f64,
+    splitter_delay_ps: f64,
+}
+
+/// DFF-family raw measurements (clock-to-Q, cycle energy, and the
+/// shift-register frequency bisection, which is built from DFFs).
+#[derive(Debug, Clone, Copy)]
+struct DffMeas {
+    dff_delay_ps: f64,
+    dff_energy_aj: f64,
+    sr_max_ghz: f64,
+}
+
+/// Clocked-AND raw measurements.
+#[derive(Debug, Clone, Copy)]
+struct AndMeas {
+    and_delay_ps: f64,
+    and_energy_aj: f64,
+}
+
+type JtlKey = [u64; 6];
+type DffKey = [u64; 8];
+type AndKey = [u64; 7];
+
+fn jtl_bench_key(p: &JtlParams) -> JtlKey {
+    [
+        p.ic.to_bits(),
+        p.bias_frac.to_bits(),
+        p.l.to_bits(),
+        p.input_amplitude.to_bits(),
+        p.input_time.to_bits(),
+        JTL_STAGES as u64,
+    ]
+}
+
+fn dff_bench_key(p: &DffParams) -> DffKey {
+    [
+        p.ic_in.to_bits(),
+        p.ic_out.to_bits(),
+        p.l_store.to_bits(),
+        p.bias_store.to_bits(),
+        p.bias_out.to_bits(),
+        p.pulse_amplitude.to_bits(),
+        SR_BISECT_LO_GHZ.to_bits(),
+        SR_BISECT_HI_GHZ.to_bits(),
+    ]
+}
+
+fn and_bench_key(p: &AndParams) -> AndKey {
+    [
+        p.ic_store.to_bits(),
+        p.ic_out.to_bits(),
+        p.l_store.to_bits(),
+        p.bias_store.to_bits(),
+        p.bias_out.to_bits(),
+        p.pulse_amplitude.to_bits(),
+        p.clock_amplitude.to_bits(),
+    ]
+}
+
+static JTL_BENCH_CACHE: RwLock<Vec<(JtlKey, JtlMeas)>> = RwLock::new(Vec::new());
+static DFF_BENCH_CACHE: RwLock<Vec<(DffKey, DffMeas)>> = RwLock::new(Vec::new());
+static AND_BENCH_CACHE: RwLock<Vec<(AndKey, AndMeas)>> = RwLock::new(Vec::new());
+
+fn bench_cache_hit() {
+    sfq_obs::inc("chars.bench.cache_hit");
+}
+
+fn bench_cache_miss() {
+    sfq_obs::inc("chars.bench.cache_miss");
+}
+
+fn jtl_measurements(p: &JtlParams) -> Result<JtlMeas, SimError> {
+    let key = jtl_bench_key(p);
+    if let Some((_, m)) = JTL_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
+        bench_cache_hit();
+        return Ok(*m);
+    }
+    bench_cache_miss();
+    let jtl = jtl_characteristics(JTL_STAGES, p)?;
+    let m = JtlMeas {
+        jtl_delay_ps: jtl.delay_s * 1e12,
+        jtl_energy_aj: jtl.energy_j * 1e18,
+        splitter_delay_ps: splitter_delay(p)? * 1e12,
+    };
+    let mut cache = JTL_BENCH_CACHE.write();
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, m));
+    }
+    Ok(m)
+}
+
+fn dff_measurements(p: &DffParams) -> Result<DffMeas, SimError> {
+    let key = dff_bench_key(p);
+    if let Some((_, m)) = DFF_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
+        bench_cache_hit();
+        return Ok(*m);
+    }
+    bench_cache_miss();
+    let m = DffMeas {
+        dff_delay_ps: dff_clock_to_q(p)? * 1e12,
+        dff_energy_aj: dff_cycle_energy(p)? * 1e18,
+        sr_max_ghz: max_shift_frequency(p, SR_BISECT_LO_GHZ, SR_BISECT_HI_GHZ)? / 1e9,
+    };
+    let mut cache = DFF_BENCH_CACHE.write();
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, m));
+    }
+    Ok(m)
+}
+
+fn and_measurements(p: &AndParams) -> Result<AndMeas, SimError> {
+    let key = and_bench_key(p);
+    if let Some((_, m)) = AND_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
+        bench_cache_hit();
+        return Ok(*m);
+    }
+    bench_cache_miss();
+    let m = AndMeas {
+        and_delay_ps: and_clock_to_q(p)? * 1e12,
+        and_energy_aj: and_cycle_energy(p)? * 1e18,
+    };
+    let mut cache = AND_BENCH_CACHE.write();
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, m));
+    }
+    Ok(m)
+}
+
 /// Always-on `chars.measure.cache_hit` / `chars.measure.cache_miss`
 /// counters in the [`sfq_obs`] registry (the former ad-hoc statics):
 /// they record whether or not `SUPERNPU_METRICS` is set, so the
@@ -133,10 +279,13 @@ pub fn measure_cache_stats() -> (u64, u64) {
     (hits.get(), misses.get())
 }
 
-/// Drop all cached measurements and reset the hit/miss counters.
+/// Drop all cached measurements (the assembled-measurement memo and
+/// every per-testbench memo) and reset the hit/miss counters.
 pub fn clear_measure_cache() {
-    let mut cache = MEASURE_CACHE.write();
-    cache.clear();
+    MEASURE_CACHE.write().clear();
+    JTL_BENCH_CACHE.write().clear();
+    DFF_BENCH_CACHE.write().clear();
+    AND_BENCH_CACHE.write().clear();
     let (hits, misses) = cache_counters();
     hits.reset();
     misses.reset();
@@ -154,10 +303,33 @@ pub fn clear_measure_cache() {
 ///
 /// Propagates any transient-solver failure. Errors are not cached.
 pub fn measure() -> Result<Measurements, SimError> {
-    let jtl_p = JtlParams::default();
-    let dff_p = DffParams::default();
-    let and_p = AndParams::default();
-    let key = measure_key(&jtl_p, &dff_p, &and_p);
+    measure_with(
+        &JtlParams::default(),
+        &DffParams::default(),
+        &AndParams::default(),
+    )
+}
+
+/// [`measure`] for explicit (possibly perturbed) cell parameters — the
+/// entry point for sweeps that move a subset of the parameter space.
+///
+/// Memoization is two-level: an outer memo on the full parameter
+/// fingerprint returns an assembled [`Measurements`] without touching
+/// any testbench, and on an outer miss each testbench family (JTL,
+/// DFF, clocked AND) consults its own memo keyed only on the
+/// parameters that feed it. A sweep point that perturbs, say, the AND
+/// parameters re-runs *only* the AND transients; the JTL and DFF
+/// numbers are reused bit-identically from the previous point.
+///
+/// # Errors
+///
+/// Propagates any transient-solver failure. Errors are not cached.
+pub fn measure_with(
+    jtl_p: &JtlParams,
+    dff_p: &DffParams,
+    and_p: &AndParams,
+) -> Result<Measurements, SimError> {
+    let key = measure_key(jtl_p, dff_p, and_p);
 
     let (cache_hits, cache_misses) = cache_counters();
     if let Some((_, m)) = MEASURE_CACHE.read().iter().find(|(k, _)| *k == key) {
@@ -167,16 +339,18 @@ pub fn measure() -> Result<Measurements, SimError> {
     cache_misses.inc();
     let fill_started = sfq_obs::enabled().then(Instant::now);
 
-    let jtl = jtl_characteristics(JTL_STAGES, &jtl_p)?;
+    let jtl = jtl_measurements(jtl_p)?;
+    let dff = dff_measurements(dff_p)?;
+    let and = and_measurements(and_p)?;
     let m = Measurements {
-        jtl_delay_ps: jtl.delay_s * 1e12,
-        jtl_energy_aj: jtl.energy_j * 1e18,
-        splitter_delay_ps: splitter_delay(&jtl_p)? * 1e12,
-        dff_delay_ps: dff_clock_to_q(&dff_p)? * 1e12,
-        dff_energy_aj: dff_cycle_energy(&dff_p)? * 1e18,
-        and_delay_ps: and_clock_to_q(&and_p)? * 1e12,
-        and_energy_aj: and_cycle_energy(&and_p)? * 1e18,
-        sr_max_ghz: max_shift_frequency(&dff_p, SR_BISECT_LO_GHZ, SR_BISECT_HI_GHZ)? / 1e9,
+        jtl_delay_ps: jtl.jtl_delay_ps,
+        jtl_energy_aj: jtl.jtl_energy_aj,
+        splitter_delay_ps: jtl.splitter_delay_ps,
+        dff_delay_ps: dff.dff_delay_ps,
+        dff_energy_aj: dff.dff_energy_aj,
+        and_delay_ps: and.and_delay_ps,
+        and_energy_aj: and.and_energy_aj,
+        sr_max_ghz: dff.sr_max_ghz,
     };
     if let Some(t0) = fill_started {
         sfq_obs::observe("chars.measure.fill_ms", t0.elapsed().as_secs_f64() * 1e3);
@@ -265,6 +439,20 @@ pub fn library_from(m: &Measurements) -> CellLibrary {
 /// Propagates any transient-solver failure.
 pub fn characterize() -> Result<CellLibrary, SimError> {
     Ok(library_from(&measure()?))
+}
+
+/// [`characterize`] for explicit cell parameters, with
+/// [`measure_with`]'s incremental per-testbench memoization.
+///
+/// # Errors
+///
+/// Propagates any transient-solver failure.
+pub fn characterize_with(
+    jtl_p: &JtlParams,
+    dff_p: &DffParams,
+    and_p: &AndParams,
+) -> Result<CellLibrary, SimError> {
+    Ok(library_from(&measure_with(jtl_p, dff_p, and_p)?))
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
 use sfq_estimator::{estimate, NpuConfig};
 use sfq_npu_sim::SimConfig;
-use sfq_par::par_map_catch;
+use sfq_par::{par_map_catch, par_map_catch_keyed};
 
 use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
 
@@ -221,27 +221,35 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
             grid.push((width, buffer_mb, regs));
         }
     }
-    let swept = par_map_catch(&grid, |&(width, buffer_mb, regs)| {
-        let _point = sfq_obs::span("explore.fig22.point_ms");
-        let npu = NpuConfig {
-            name: format!("w{width} r{regs}"),
-            array_width: width,
-            regs_per_pe: regs,
-            ifmap_buf_bytes: buffer_mb * MB / 2,
-            output_buf_bytes: buffer_mb * MB / 2,
-            psum_buf_bytes: 0,
-            integrated_output: true,
-            division: 64 * (256 / width).max(1),
-            weight_buf_bytes: 16 * 1024 * u64::from(regs),
-            ..NpuConfig::paper_baseline()
-        };
-        let cfg = SimConfig::from_npu(npu, &lib);
-        RegisterSweepPoint {
-            width,
-            regs,
-            performance: geomean_tmacs(&cfg, &nets, false) / base_max,
-        }
-    });
+    // Keyed by array width: every point of one width shares the same
+    // characterization and estimate-cache working set, so steering a
+    // width's points to one worker keeps those cache lines (and the
+    // memo scans) warm instead of bouncing them between threads.
+    let swept = par_map_catch_keyed(
+        &grid,
+        |&(width, _, _)| u64::from(width),
+        |&(width, buffer_mb, regs)| {
+            let _point = sfq_obs::span("explore.fig22.point_ms");
+            let npu = NpuConfig {
+                name: format!("w{width} r{regs}"),
+                array_width: width,
+                regs_per_pe: regs,
+                ifmap_buf_bytes: buffer_mb * MB / 2,
+                output_buf_bytes: buffer_mb * MB / 2,
+                psum_buf_bytes: 0,
+                integrated_output: true,
+                division: 64 * (256 / width).max(1),
+                weight_buf_bytes: 16 * 1024 * u64::from(regs),
+                ..NpuConfig::paper_baseline()
+            };
+            let cfg = SimConfig::from_npu(npu, &lib);
+            RegisterSweepPoint {
+                width,
+                regs,
+                performance: geomean_tmacs(&cfg, &nets, false) / base_max,
+            }
+        },
+    );
     collect_sweep("fig22", swept)
 }
 

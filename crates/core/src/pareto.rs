@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use sfq_cells::CellLibrary;
 use sfq_estimator::{estimate, NpuConfig};
 use sfq_npu_sim::SimConfig;
-use sfq_par::par_map;
+use sfq_par::par_map_keyed;
 
 use crate::evaluator::{geomean_tmacs_over, paper_workloads};
 
@@ -43,9 +43,10 @@ impl Candidate {
 
 /// Evaluate a grid of candidates around the paper's design region.
 /// Candidates are independent, so the grid fans out across threads
-/// via [`sfq_par::par_map`] (item-granular work stealing beats the
-/// previous fixed chunking: cheap narrow-array candidates no longer
-/// serialize behind expensive wide ones).
+/// via [`sfq_par::par_map_keyed`], keyed by array width: candidates
+/// sharing a width reuse the same estimate/characterization working
+/// set, so affining them to one worker keeps those memos cache-warm
+/// while stealing still rebalances if one width runs long.
 pub fn evaluate_grid() -> Vec<Candidate> {
     let _trace = sfq_obs::trace::span("sweep", "pareto grid");
     let mut points = Vec::new();
@@ -62,32 +63,36 @@ pub fn evaluate_grid() -> Vec<Candidate> {
     let lib = CellLibrary::aist_10um();
     let nets = paper_workloads();
 
-    par_map(&points, |&(width, buffer_mb, regs)| {
-        let division = 64 * (256 / width).max(1);
-        let npu = NpuConfig {
-            name: format!("w{width}/b{buffer_mb}/r{regs}"),
-            array_width: width,
-            regs_per_pe: regs,
-            division,
-            ifmap_buf_bytes: buffer_mb * MB / 2,
-            output_buf_bytes: buffer_mb * MB / 2,
-            psum_buf_bytes: 0,
-            integrated_output: true,
-            ..NpuConfig::paper_baseline()
-        };
-        let est = estimate(&npu, &lib);
-        let cfg = SimConfig::from_npu(npu.clone(), &lib);
-        let tmacs = geomean_tmacs_over(&cfg, &nets, false);
-        Candidate {
-            name: npu.name,
-            width,
-            division,
-            regs,
-            buffer_mb,
-            tmacs,
-            area_mm2: est.area_mm2_28nm,
-        }
-    })
+    par_map_keyed(
+        &points,
+        |&(width, _, _)| u64::from(width),
+        |&(width, buffer_mb, regs)| {
+            let division = 64 * (256 / width).max(1);
+            let npu = NpuConfig {
+                name: format!("w{width}/b{buffer_mb}/r{regs}"),
+                array_width: width,
+                regs_per_pe: regs,
+                division,
+                ifmap_buf_bytes: buffer_mb * MB / 2,
+                output_buf_bytes: buffer_mb * MB / 2,
+                psum_buf_bytes: 0,
+                integrated_output: true,
+                ..NpuConfig::paper_baseline()
+            };
+            let est = estimate(&npu, &lib);
+            let cfg = SimConfig::from_npu(npu.clone(), &lib);
+            let tmacs = geomean_tmacs_over(&cfg, &nets, false);
+            Candidate {
+                name: npu.name,
+                width,
+                division,
+                regs,
+                buffer_mb,
+                tmacs,
+                area_mm2: est.area_mm2_28nm,
+            }
+        },
+    )
 }
 
 /// Extract the Pareto-optimal subset (max throughput, min area),

@@ -45,6 +45,7 @@ mod structure;
 pub mod units;
 
 pub use npu::{
-    clear_estimate_cache, estimate, estimate_cache_stats, NpuConfig, NpuEstimate, UnitBreakdown,
+    clear_estimate_cache, estimate, estimate_cache_stats, estimate_uncached, NpuConfig,
+    NpuEstimate, UnitBreakdown,
 };
 pub use structure::{GateCounts, GatePair, UnitModel};

@@ -350,7 +350,11 @@ pub fn estimate(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     est
 }
 
-fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
+/// [`estimate`] without the process-wide memo: every call pays the
+/// full three-layer model. Stress harnesses that hammer millions of
+/// synthetic design points use this to keep the cache's linear scans
+/// (and its shared `RwLock`) out of the measured work.
+pub fn estimate_uncached(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let pe = pe_model(cfg.bits, cfg.regs_per_pe);
     let nw = nw_unit_model(cfg.bits);
     let dau = dau_model(cfg.array_height, cfg.bits);

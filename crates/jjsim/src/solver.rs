@@ -42,8 +42,39 @@ use std::time::Instant;
 
 use crate::circuit::Circuit;
 use crate::error::SimError;
-use crate::linalg::{factor_banded, solve_dense, solve_factored};
+use crate::linalg::{band_width, factor_banded_packed, solve_dense, solve_factored_packed};
 use crate::{ElementId, PHI0};
+
+/// Pre-resolved matrix positions of one two-terminal element's
+/// conductance stamp: the two diagonal entries and the symmetric
+/// off-diagonal pair. `usize::MAX` marks a terminal on ground (no
+/// matrix row). Resolving these once per run — in packed-band or
+/// dense layout — turns every re-stamp into a branch-light replay
+/// over flat index quadruples.
+#[derive(Clone, Copy)]
+struct StampIdx {
+    da: usize,
+    db: usize,
+    ab: usize,
+    ba: usize,
+}
+
+/// Add conductance `g` at the positions of `s`, in the same entry
+/// order as the historical node-number stamp (diagonal a, diagonal b,
+/// then the off-diagonal pair) so accumulated values are bit-identical.
+#[inline]
+fn apply_stamp(m: &mut [f64], s: StampIdx, g: f64) {
+    if s.da != usize::MAX {
+        m[s.da] += g;
+    }
+    if s.db != usize::MAX {
+        m[s.db] += g;
+    }
+    if s.ab != usize::MAX {
+        m[s.ab] -= g;
+        m[s.ba] -= g;
+    }
+}
 
 /// The always-on `jjsim.solver.transient_runs` counter: every
 /// [`Solver::try_run`] call increments it, metrics enabled or not,
@@ -491,8 +522,11 @@ impl Solver {
         };
         let use_banded = n_unknown > 24 && bandwidth * 3 < n_unknown;
 
-        // Conductance stamp into a row-major matrix (current a -> b:
-        // i = g*(va-vb) + i_hist; the i_hist part goes to the rhs).
+        // Conductance stamp into a row-major dense matrix (current
+        // a -> b: i = g*(va-vb) + i_hist; the i_hist part goes to the
+        // rhs). Only the banded path's pivoting fallback still stamps
+        // through node numbers; the hot paths replay pre-resolved
+        // [`StampIdx`] quadruples instead.
         let stamp_g = |m: &mut [f64], a: usize, b: usize, g: f64| {
             if a > 0 {
                 m[(a - 1) * n_unknown + (a - 1)] += g;
@@ -514,24 +548,78 @@ impl Solver {
             }
         };
 
-        // The linear elements' conductances (R, C, L companions) do not
-        // depend on time or on the Newton iterate — only on the step
-        // size. Stamp them once per dt *plateau* and start every Newton
-        // assembly from this matrix; the stamp (and the banded LU built
-        // on top of it) is invalidated only when dt actually changes.
-        let mut a_lin = vec![0.0f64; n_unknown * n_unknown];
-        let stamp_lin = |m: &mut [f64], h_s: f64| {
-            m.iter_mut().for_each(|x| *x = 0.0);
-            for r in &ckt.resistors {
-                stamp_g(m, r.a, r.b, 1.0 / r.value);
-            }
-            for c in &ckt.capacitors {
-                stamp_g(m, c.a, c.b, 2.0 * c.value / h_s);
-            }
-            for l in &ckt.inductors {
-                stamp_g(m, l.a, l.b, h_s / (2.0 * l.value));
+        // Flattened stamp kernel: every element's matrix positions are
+        // fixed for the whole run, so resolve them once into flat
+        // index quadruples — in packed-band layout on the banded path,
+        // dense row-major otherwise. Linear elements keep their stamp
+        // order (resistors, capacitors, inductors).
+        let band_w = band_width(bandwidth);
+        let stamp_idx = |a: usize, b: usize, banded: bool| -> StampIdx {
+            let pos = |i: usize, j: usize| {
+                if banded {
+                    i * band_w + (bandwidth + j) - i
+                } else {
+                    i * n_unknown + j
+                }
+            };
+            StampIdx {
+                da: if a > 0 { pos(a - 1, a - 1) } else { usize::MAX },
+                db: if b > 0 { pos(b - 1, b - 1) } else { usize::MAX },
+                ab: if a > 0 && b > 0 {
+                    pos(a - 1, b - 1)
+                } else {
+                    usize::MAX
+                },
+                ba: if a > 0 && b > 0 {
+                    pos(b - 1, a - 1)
+                } else {
+                    usize::MAX
+                },
             }
         };
+        let lin_idx: Vec<StampIdx> = ckt
+            .resistors
+            .iter()
+            .map(|e| (e.a, e.b))
+            .chain(ckt.capacitors.iter().map(|e| (e.a, e.b)))
+            .chain(ckt.inductors.iter().map(|e| (e.a, e.b)))
+            .map(|(a, b)| stamp_idx(a, b, use_banded))
+            .collect();
+        let jj_idx: Vec<StampIdx> = ckt
+            .jjs
+            .iter()
+            .map(|e| stamp_idx(e.a, e.b, use_banded))
+            .collect();
+
+        // Per-plateau companion conductances, recomputed only when the
+        // step size changes — exactly the expressions the inner loops
+        // used to evaluate per element per iteration, so every value
+        // is bit-identical: resistor 1/R and junction shunt 1/Rj are
+        // step-independent; capacitor 2C/h, inductor h/2L and the
+        // junction's capacitive companion 2Cj/h are the trapezoid
+        // companions; `phi_coef` is the phase integration coefficient
+        // π·h/Φ₀.
+        let g_res: Vec<f64> = ckt.resistors.iter().map(|r| 1.0 / r.value).collect();
+        let g_shunt: Vec<f64> = ckt.jjs.iter().map(|jj| 1.0 / jj.p.r).collect();
+        let mut g_cap_lin = vec![0.0f64; ckt.capacitors.len()];
+        let mut g_ind = vec![0.0f64; ckt.inductors.len()];
+        let mut g_jjcap = vec![0.0f64; ckt.jjs.len()];
+        let mut phi_coef = 0.0f64;
+
+        // The linear elements' conductances (R, C, L companions) do not
+        // depend on time or on the Newton iterate — only on the step
+        // size. Stamp them once per dt *plateau* (into packed band
+        // storage on the banded path) and start every Newton assembly
+        // from this matrix; the stamp (and the LU built on top of it)
+        // is invalidated only when dt actually changes.
+        let mut a_lin = vec![
+            0.0f64;
+            if use_banded {
+                n_unknown * band_w
+            } else {
+                n_unknown * n_unknown
+            }
+        ];
         let mut h_stamped = f64::NAN;
 
         // Work buffers, allocated once and reused across every step and
@@ -556,7 +644,7 @@ impl Solver {
         // exactly — reuse changes the iteration path, never the fixed
         // point.
         const G_REUSE_RTOL: f64 = 1e-8;
-        let mut lu = vec![0.0f64; if use_banded { n_unknown * n_unknown } else { 0 }];
+        let mut lu = vec![0.0f64; if use_banded { n_unknown * band_w } else { 0 }];
         let mut lu_g = vec![0.0f64; ckt.jjs.len()];
         let mut lu_valid = false;
 
@@ -637,11 +725,33 @@ impl Solver {
                 (step_idx + 1) as f64 * h
             };
 
-            // Re-stamp the linear-element matrix only when dt actually
-            // changed; this also invalidates the banded LU (its values
-            // embed the companion conductances of the old step).
+            // Refresh the per-plateau conductances and re-stamp the
+            // linear-element matrix only when dt actually changed; this
+            // also invalidates the banded LU (its values embed the
+            // companion conductances of the old step).
             if h_step != h_stamped {
-                stamp_lin(&mut a_lin, h_step);
+                phi_coef = PI * h_step / PHI0;
+                for (k, c) in ckt.capacitors.iter().enumerate() {
+                    g_cap_lin[k] = 2.0 * c.value / h_step;
+                }
+                for (k, l) in ckt.inductors.iter().enumerate() {
+                    g_ind[k] = h_step / (2.0 * l.value);
+                }
+                for (k, jj) in ckt.jjs.iter().enumerate() {
+                    g_jjcap[k] = 2.0 * jj.p.c / h_step;
+                }
+                a_lin.iter_mut().for_each(|x| *x = 0.0);
+                let nr = ckt.resistors.len();
+                let nc = ckt.capacitors.len();
+                for (s, g) in lin_idx[..nr].iter().zip(&g_res) {
+                    apply_stamp(&mut a_lin, *s, *g);
+                }
+                for (s, g) in lin_idx[nr..nr + nc].iter().zip(&g_cap_lin) {
+                    apply_stamp(&mut a_lin, *s, *g);
+                }
+                for (s, g) in lin_idx[nr + nc..].iter().zip(&g_ind) {
+                    apply_stamp(&mut a_lin, *s, *g);
+                }
                 h_stamped = h_step;
                 lu_valid = false;
                 metrics.restamps += 1;
@@ -657,13 +767,11 @@ impl Solver {
             // step's Newton loop) and the source currents at t_next.
             rhs_base.iter_mut().for_each(|x| *x = 0.0);
             for (k, c) in ckt.capacitors.iter().enumerate() {
-                let g = 2.0 * c.value / h_step;
-                let i_hist = -g * vbr(&v_prev, c.a, c.b) - i_cap[k];
+                let i_hist = -g_cap_lin[k] * vbr(&v_prev, c.a, c.b) - i_cap[k];
                 stamp_i(&mut rhs_base, c.a, c.b, i_hist);
             }
             for (k, l) in ckt.inductors.iter().enumerate() {
-                let g = h_step / (2.0 * l.value);
-                let i_hist = i_ind[k] + g * vbr(&v_prev, l.a, l.b);
+                let i_hist = i_ind[k] + g_ind[k] * vbr(&v_prev, l.a, l.b);
                 stamp_i(&mut rhs_base, l.a, l.b, i_hist);
             }
             for s in &ckt.sources {
@@ -686,11 +794,11 @@ impl Solver {
                 for (k, jj) in ckt.jjs.iter().enumerate() {
                     let vb_prev = vbr(&v_prev, jj.a, jj.b);
                     let vb_k = vbr(&v_iter, jj.a, jj.b);
-                    let phi_k = phase[k] + (PI * h_step / PHI0) * (vb_k + vb_prev);
-                    let g_cap = 2.0 * jj.p.c / h_step;
+                    let phi_k = phase[k] + phi_coef * (vb_k + vb_prev);
+                    let g_cap = g_jjcap[k];
                     let i_at_vk = jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
                         - i_jj_cap[k];
-                    let g = jj.p.ic * phi_k.cos() * (PI * h_step / PHI0) + 1.0 / jj.p.r + g_cap;
+                    let g = jj.p.ic * phi_k.cos() * phi_coef + g_shunt[k] + g_cap;
                     g_now[k] = g;
                     if reuse && (g - lu_g[k]).abs() > G_REUSE_RTOL * lu_g[k].abs() {
                         reuse = false;
@@ -708,8 +816,8 @@ impl Solver {
                     for (k, jj) in ckt.jjs.iter().enumerate() {
                         let vb_k = vbr(&v_iter, jj.a, jj.b);
                         let vb_prev = vbr(&v_prev, jj.a, jj.b);
-                        let phi_k = phase[k] + (PI * h_step / PHI0) * (vb_k + vb_prev);
-                        let g_cap = 2.0 * jj.p.c / h_step;
+                        let phi_k = phase[k] + phi_coef * (vb_k + vb_prev);
+                        let g_cap = g_jjcap[k];
                         let i_at_vk =
                             jj.p.ic * phi_k.sin() + vb_k / jj.p.r + g_cap * (vb_k - vb_prev)
                                 - i_jj_cap[k];
@@ -718,19 +826,22 @@ impl Solver {
                 }
 
                 rhs.copy_from_slice(&rhs_base);
-                for (k, jj) in ckt.jjs.iter().enumerate() {
-                    stamp_i(&mut rhs, jj.a, jj.b, ihist_now[k]);
-                }
-
                 let mut solved_in_rhs = false;
                 if use_banded {
                     if !reuse {
                         metrics.lu_factor += 1;
                         lu.copy_from_slice(&a_lin);
+                        // Fused stamp+RHS pass: one sweep over the
+                        // junctions lands each conductance in the
+                        // packed band and its history current in the
+                        // rhs. Matrix and rhs entries still accumulate
+                        // in the historical per-array order, so the
+                        // fusion cannot move a bit.
                         for (k, jj) in ckt.jjs.iter().enumerate() {
-                            stamp_g(&mut lu, jj.a, jj.b, g_now[k]);
+                            apply_stamp(&mut lu, jj_idx[k], g_now[k]);
+                            stamp_i(&mut rhs, jj.a, jj.b, ihist_now[k]);
                         }
-                        if factor_banded(&mut lu, n_unknown, bandwidth) {
+                        if factor_banded_packed(&mut lu, n_unknown, bandwidth) {
                             lu_g.copy_from_slice(&g_now);
                             lu_valid = true;
                         } else {
@@ -738,10 +849,17 @@ impl Solver {
                         }
                     } else {
                         metrics.lu_reuse += 1;
+                        for (k, jj) in ckt.jjs.iter().enumerate() {
+                            stamp_i(&mut rhs, jj.a, jj.b, ihist_now[k]);
+                        }
                     }
                     if lu_valid {
-                        solve_factored(&lu, &mut rhs, n_unknown, bandwidth);
+                        solve_factored_packed(&lu, &mut rhs, n_unknown, bandwidth);
                         solved_in_rhs = true;
+                    }
+                } else {
+                    for (k, jj) in ckt.jjs.iter().enumerate() {
+                        stamp_i(&mut rhs, jj.a, jj.b, ihist_now[k]);
                     }
                 }
                 if !solved_in_rhs {
@@ -749,9 +867,31 @@ impl Solver {
                     // Dense elimination with pivoting: small circuits,
                     // and the fallback when the no-pivot banded
                     // factorization hits a tiny pivot.
-                    a_mat.copy_from_slice(&a_lin);
-                    for (k, jj) in ckt.jjs.iter().enumerate() {
-                        stamp_g(&mut a_mat, jj.a, jj.b, g_now[k]);
+                    if use_banded {
+                        // `a_lin` is packed band storage here; rebuild
+                        // the dense matrix by re-stamping in the
+                        // original element order (resistors,
+                        // capacitors, inductors, junctions), which
+                        // reproduces the historical dense assembly
+                        // bit-for-bit.
+                        a_mat.iter_mut().for_each(|x| *x = 0.0);
+                        for (r, g) in ckt.resistors.iter().zip(&g_res) {
+                            stamp_g(&mut a_mat, r.a, r.b, *g);
+                        }
+                        for (c, g) in ckt.capacitors.iter().zip(&g_cap_lin) {
+                            stamp_g(&mut a_mat, c.a, c.b, *g);
+                        }
+                        for (l, g) in ckt.inductors.iter().zip(&g_ind) {
+                            stamp_g(&mut a_mat, l.a, l.b, *g);
+                        }
+                        for (k, jj) in ckt.jjs.iter().enumerate() {
+                            stamp_g(&mut a_mat, jj.a, jj.b, g_now[k]);
+                        }
+                    } else {
+                        a_mat.copy_from_slice(&a_lin);
+                        for (s, g) in jj_idx.iter().zip(&g_now) {
+                            apply_stamp(&mut a_mat, *s, *g);
+                        }
                     }
                     let Some(sol) = solve_dense(&mut a_mat, &mut rhs, n_unknown) else {
                         let e = SimError::SingularMatrix { time: t_next };
@@ -799,7 +939,7 @@ impl Solver {
                 for jj in &ckt.jjs {
                     let vb_prev = vbr(&v_prev, jj.a, jj.b);
                     let vb_new = vbr(&v_iter, jj.a, jj.b);
-                    let dphi = ((PI * h_step / PHI0) * (vb_new + vb_prev)).abs();
+                    let dphi = (phi_coef * (vb_new + vb_prev)).abs();
                     if dphi > dphi_max {
                         dphi_max = dphi;
                     }
@@ -865,7 +1005,7 @@ impl Solver {
                 let vb_prev = vbr(&v_prev, jj.a, jj.b);
                 let vb_new = vbr(&v_iter, jj.a, jj.b);
                 let old_phase = phase[k];
-                let new_phase = old_phase + (PI * h_step / PHI0) * (vb_new + vb_prev);
+                let new_phase = old_phase + phi_coef * (vb_new + vb_prev);
                 phase[k] = new_phase;
                 // Forward 2π slips: pulse recorded when phase passes
                 // (2k+1)π going up. Fixed mode stamps the end of the
@@ -882,18 +1022,17 @@ impl Solver {
                     pulse_times[k].push(t_pulse);
                     pulse_count[k] += 1;
                 }
-                i_jj_cap[k] = (2.0 * jj.p.c / h_step) * (vb_new - vb_prev) - i_jj_cap[k];
+                i_jj_cap[k] = g_jjcap[k] * (vb_new - vb_prev) - i_jj_cap[k];
                 let p_shunt = vb_new * vb_new / jj.p.r;
                 jj_dissipated[k] += p_shunt * h_step;
                 dissipated += p_shunt * h_step;
             }
             for (k, c) in ckt.capacitors.iter().enumerate() {
-                let g = 2.0 * c.value / h_step;
-                i_cap[k] = g * (vbr(&v_iter, c.a, c.b) - vbr(&v_prev, c.a, c.b)) - i_cap[k];
+                i_cap[k] =
+                    g_cap_lin[k] * (vbr(&v_iter, c.a, c.b) - vbr(&v_prev, c.a, c.b)) - i_cap[k];
             }
             for (k, l) in ckt.inductors.iter().enumerate() {
-                let g = h_step / (2.0 * l.value);
-                i_ind[k] += g * (vbr(&v_iter, l.a, l.b) + vbr(&v_prev, l.a, l.b));
+                i_ind[k] += g_ind[k] * (vbr(&v_iter, l.a, l.b) + vbr(&v_prev, l.a, l.b));
             }
             for r in &ckt.resistors {
                 let vb = vbr(&v_iter, r.a, r.b);

@@ -1,11 +1,34 @@
 //! Deterministic scoped parallel map for the SuperNPU workspace.
 //!
 //! [`par_map`] fans a pure function over a slice using scoped worker
-//! threads with a shared atomic index dispenser (work stealing at
-//! item granularity), then reassembles results **by index**, so the
-//! output is bit-identical to the serial `items.iter().map(f)` — the
-//! schedule affects only which thread computes each item, never the
-//! arithmetic or the order of the returned `Vec`.
+//! threads, then reassembles results **by index**, so the output is
+//! bit-identical to the serial `items.iter().map(f)` — the schedule
+//! affects only which thread computes each item, never the arithmetic
+//! or the order of the returned `Vec`.
+//!
+//! # Granularity-aware chunking
+//!
+//! Dispatch is *chunked*: the first item runs inline on the caller as
+//! a cost probe, and the measured per-task cost sizes the scheduling
+//! quantum. Cheap tasks are auto-merged into chunks large enough to
+//! amortize dispatch (target [`TARGET_CHUNK_US`] per chunk), expensive
+//! tasks keep item granularity for load balance, and a sweep whose
+//! projected total work is below the fan-out break-even threshold
+//! never spawns a thread at all — it completes inline, so tiny
+//! paper-figure sweeps cannot run slower than serial. The chunk size
+//! can be pinned with [`set_chunk`] or the `SUPERNPU_CHUNK`
+//! environment variable (which also disables the break-even fallback,
+//! for tests that need the parallel path unconditionally).
+//!
+//! # Cache-affine keyed scheduling
+//!
+//! [`par_map_keyed`] accepts an affinity key per item: items sharing a
+//! key (e.g. sweep points that hit the same characterization or
+//! estimate-cache entries) are queued on the same worker, so a warm
+//! cache line or memo entry is reused by the thread that filled it
+//! instead of bouncing between cores. Each worker drains its own queue
+//! first and steals whole chunks from other workers only when idle, so
+//! affinity never causes starvation.
 //!
 //! A global permit pool caps the total number of live workers across
 //! nested calls: an outer sweep grabs the available permits and inner
@@ -26,6 +49,36 @@ use std::time::Instant;
 
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatic chunk-size override; 0 means "unset" (fall back to
+/// `SUPERNPU_CHUNK`, then automatic sizing).
+static CHUNK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Target wall-clock per scheduling quantum, microseconds. Tasks
+/// cheaper than this are merged until a chunk costs roughly this much;
+/// dispatch overhead (an atomic increment plus a pair of `Vec` pushes)
+/// is then noise against the work itself.
+const TARGET_CHUNK_US: f64 = 200.0;
+
+/// Minimum projected *remaining* work, microseconds, below which a
+/// region runs inline instead of fanning out. Scales with the worker
+/// count via [`spawn_break_even_us`]: each scoped thread costs tens of
+/// microseconds to spawn and join, so a sweep has to bring at least
+/// that much work to win.
+const BREAK_EVEN_US: f64 = 200.0;
+
+/// Estimated cost of spawning + joining one scoped worker thread,
+/// microseconds.
+const SPAWN_COST_US: f64 = 60.0;
+
+/// Upper bound on chunks a worker is pre-assigned relative to its fair
+/// share: chunk sizing aims for at least this many chunks per worker
+/// so stealing can rebalance a skewed cost distribution.
+const CHUNKS_PER_WORKER: usize = 4;
+
+fn spawn_break_even_us(workers: usize) -> f64 {
+    BREAK_EVEN_US.max(SPAWN_COST_US * workers as f64)
+}
 
 /// Trace-track id of pool worker 0 (the calling thread); worker `w`
 /// records on track `WORKER_TRACK_BASE + w` of
@@ -79,6 +132,36 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Pin the scheduling chunk size for subsequent [`par_map`] calls.
+///
+/// `n >= 1` forces every scheduling quantum to `n` items and disables
+/// both the cost probe's automatic sizing and the break-even serial
+/// fallback (the region always takes the parallel path when workers
+/// are available). `n == 0` clears the override, returning to
+/// `SUPERNPU_CHUNK` and then automatic sizing. Results are bit-exact
+/// for every chunk size by construction; this knob only moves the
+/// overhead/balance trade-off.
+pub fn set_chunk(n: usize) {
+    CHUNK_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The pinned chunk size, if any: [`set_chunk`] first, then
+/// `SUPERNPU_CHUNK`. `None` means automatic cost-probe sizing.
+pub fn chunk_hint() -> Option<usize> {
+    let ov = CHUNK_OVERRIDE.load(Ordering::SeqCst);
+    if ov != 0 {
+        return Some(ov);
+    }
+    if let Ok(s) = std::env::var("SUPERNPU_CHUNK") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return Some(n);
+            }
+        }
+    }
+    None
+}
+
 /// Take up to `want` worker permits from the global pool.
 fn acquire_permits(want: usize) -> usize {
     let mut pool = PERMITS.lock().unwrap_or_else(|e| e.into_inner());
@@ -107,15 +190,134 @@ impl Drop for PermitGuard {
 /// `f` must be pure with respect to the output (it may read shared
 /// state); given that, the result is exactly `items.iter().map(f)` —
 /// every float operation happens with the same operands in the same
-/// per-item order regardless of thread count. Falls back to inline
-/// serial execution when the slice is short, only one thread is
-/// configured, or all worker permits are held by an enclosing
-/// `par_map` (nested calls).
+/// per-item order regardless of thread count, chunk size, or affinity
+/// keys. Falls back to inline serial execution when the slice is
+/// short, only one thread is configured, all worker permits are held
+/// by an enclosing `par_map` (nested calls), or the cost probe decides
+/// the whole region is below the fan-out break-even point.
 ///
 /// # Panics
 ///
 /// Propagates the first panic raised by `f` on any thread.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_region(items, None, f)
+}
+
+/// Like [`par_map`], but with an affinity key per item: items that
+/// share a key are scheduled on the same worker (in input order), so
+/// sweep points that hit the same characterization or estimate-cache
+/// entries reuse the worker that warmed them instead of contending
+/// across threads. Keys only steer the schedule — the results are
+/// bit-identical to [`par_map`] and to serial for any key function.
+///
+/// `key` is called once per item on the calling thread before fan-out;
+/// keep it trivially cheap (a field read or a small hash).
+pub fn par_map_keyed<T, R, F, K>(items: &[T], key: K, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    K: Fn(&T) -> u64,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let keys: Vec<u64> = items.iter().map(&key).collect();
+    map_region(items, Some(keys), f)
+}
+
+/// Execution plan of one parallel region: item indices in execution
+/// order, cut into chunks, with each chunk pre-assigned to a worker
+/// queue. Workers drain their own queue first (cache affinity), then
+/// steal whole chunks from other queues (load balance).
+struct Plan {
+    /// Item indices (into the caller's slice) in execution order.
+    /// Index 0 never appears: it is the caller's cost probe.
+    order: Vec<u32>,
+    /// `(offset, len)` windows into `order`.
+    chunks: Vec<(u32, u32)>,
+    /// Per-worker lists of chunk ids.
+    queues: Vec<Vec<u32>>,
+}
+
+/// Size one scheduling quantum from the probed per-task cost.
+fn auto_chunk(probe_us: f64, remaining: usize, workers: usize) -> usize {
+    let by_cost = if probe_us > 0.0 {
+        (TARGET_CHUNK_US / probe_us).ceil() as usize
+    } else {
+        remaining
+    };
+    // Keep enough chunks in flight for stealing to rebalance.
+    let balance_cap = (remaining / (workers * CHUNKS_PER_WORKER)).max(1);
+    by_cost.clamp(1, balance_cap)
+}
+
+/// Build the execution plan for items `1..n`.
+///
+/// Unkeyed: contiguous chunks dealt round-robin. Keyed: items are
+/// grouped by key in order of first appearance, each group is cut into
+/// chunks, and **all** chunks of a group land on the same queue.
+fn plan(n: usize, keys: Option<&[u64]>, chunk: usize, workers: usize) -> Plan {
+    let mut order: Vec<u32> = Vec::with_capacity(n - 1);
+    let mut chunks: Vec<(u32, u32)> = Vec::new();
+    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); workers];
+    match keys {
+        None => {
+            order.extend(1..n as u32);
+            // Deal contiguous chunks round-robin across the queues.
+            let mut off = 0usize;
+            let mut q = 0usize;
+            while off < order.len() {
+                let take = chunk.min(order.len() - off);
+                queues[q % workers].push(chunks.len() as u32);
+                chunks.push((off as u32, take as u32));
+                off += take;
+                q += 1;
+            }
+        }
+        Some(keys) => {
+            // Group item indices by key, preserving input order inside
+            // each group and ordering groups by first appearance; all
+            // chunks of one group land on one queue.
+            let mut group_of: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            let mut groups: Vec<Vec<u32>> = Vec::new();
+            for (i, &key) in keys.iter().enumerate().take(n).skip(1) {
+                let g = *group_of.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[g].push(i as u32);
+            }
+            for (g, members) in groups.iter().enumerate() {
+                let start = order.len();
+                order.extend_from_slice(members);
+                let end = start + members.len();
+                let mut off = start;
+                while off < end {
+                    let take = chunk.min(end - off);
+                    queues[g % workers].push(chunks.len() as u32);
+                    chunks.push((off as u32, take as u32));
+                    off += take;
+                }
+            }
+        }
+    }
+    Plan {
+        order,
+        chunks,
+        queues,
+    }
+}
+
+/// The shared region runner behind [`par_map`] / [`par_map_keyed`].
+#[allow(clippy::too_many_lines)]
+fn map_region<T, R, F>(items: &[T], keys: Option<Vec<u64>>, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -148,28 +350,78 @@ where
     // of this region agrees (a mid-region toggle cannot skew the
     // counts or tear the track layout).
     let metrics_on = sfq_obs::enabled();
-    if metrics_on {
-        sfq_obs::inc("par.regions");
-        sfq_obs::gauge_set("par.threads", threads() as f64);
-    }
     let trace_on = sfq_obs::trace::enabled();
     let region_t0 = if trace_on {
-        for w in 0..=guard.0 {
+        sfq_obs::trace::now_us()
+    } else {
+        0.0
+    };
+
+    // Cost probe: item 0 runs inline on the caller, timed. The probe
+    // both warms lazy statics and prices the remaining work.
+    let probe_t0 = Instant::now();
+    let r0 = f(&items[0]);
+    let probe_us = probe_t0.elapsed().as_secs_f64() * 1e6;
+    if metrics_on {
+        sfq_obs::observe("par.task_ms", probe_us * 1e-3);
+    }
+
+    let pinned = chunk_hint();
+    let remaining = n - 1;
+    if pinned.is_none() && probe_us * remaining as f64 <= spawn_break_even_us(guard.0 + 1) {
+        // Break-even fallback: the whole region is projected cheaper
+        // than spawning workers — finish inline. This is what keeps
+        // fig20-scale sweeps from losing to serial.
+        let out = finish_inline(items, r0, &f, metrics_on);
+        drop(guard);
+        if metrics_on {
+            sfq_obs::inc("par.breakeven_serial");
+        }
+        if trace_on {
+            sfq_obs::trace::complete(
+                "par",
+                &format!("par_map region ({n} items, break-even serial)"),
+                region_t0,
+                sfq_obs::trace::now_us() - region_t0,
+            );
+        }
+        return out;
+    }
+    let chunk = pinned.unwrap_or_else(|| auto_chunk(probe_us, remaining, guard.0 + 1));
+
+    // Spawn no more workers than there are chunks to run (the caller
+    // drains queues too); surplus permits are returned by the guard.
+    let plan = plan(n, keys.as_deref(), chunk, guard.0 + 1);
+    let spawned = guard.0.min(plan.chunks.len().saturating_sub(1));
+    let workers = spawned + 1;
+
+    if metrics_on {
+        sfq_obs::inc("par.regions");
+        if keys.is_some() {
+            sfq_obs::inc("par.keyed_regions");
+        }
+        sfq_obs::gauge_set("par.threads", threads() as f64);
+        sfq_obs::gauge_set("par.chunk_size", chunk as f64);
+        sfq_obs::add("par.chunks", plan.chunks.len() as u64);
+    }
+    if trace_on {
+        for w in 0..workers {
             sfq_obs::trace::name_track(
                 sfq_obs::trace::HOST_PID,
                 WORKER_TRACK_BASE + w as u64,
                 &format!("pool worker {w}"),
             );
         }
-        sfq_obs::trace::now_us()
-    } else {
-        0.0
-    };
+    }
 
-    let next = AtomicUsize::new(0);
-    // `worker` 0 is the calling thread; 1..=permits are the spawned
-    // workers. Items a worker pulls from the shared dispenser beyond
-    // the caller count as steals.
+    // One cursor per queue; a worker drains its own queue, then steals
+    // chunks from the other queues. `fetch_add` hands every chunk to
+    // exactly one thread.
+    let cursors: Vec<AtomicUsize> = (0..plan.queues.len())
+        .map(|_| AtomicUsize::new(0))
+        .collect();
+    let plan = &plan;
+    let cursors = &cursors;
     let run = |worker: usize, out: &mut Vec<(usize, R)>| {
         // Route this worker's default-track trace events (its own task
         // slices plus anything `f` records, e.g. solver run spans) to
@@ -177,51 +429,70 @@ where
         let _track = trace_on.then(|| {
             sfq_obs::trace::with_track(sfq_obs::trace::HOST_PID, WORKER_TRACK_BASE + worker as u64)
         });
-        let mut tasks = 0u64;
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        let mut own = 0u64;
+        let mut stolen = 0u64;
+        for delta in 0..plan.queues.len() {
+            let victim = (worker + delta) % plan.queues.len();
+            let stealing = victim != worker;
+            loop {
+                let c = cursors[victim].fetch_add(1, Ordering::Relaxed);
+                let Some(&chunk_id) = plan.queues[victim].get(c) else {
+                    break;
+                };
+                let (off, len) = plan.chunks[chunk_id as usize];
+                let trace_t0 = if trace_on {
+                    sfq_obs::trace::now_us()
+                } else {
+                    0.0
+                };
+                for &i in &plan.order[off as usize..(off + len) as usize] {
+                    if metrics_on {
+                        let t0 = Instant::now();
+                        out.push((i as usize, f(&items[i as usize])));
+                        sfq_obs::observe("par.task_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    } else {
+                        out.push((i as usize, f(&items[i as usize])));
+                    }
+                }
+                if trace_on {
+                    let name = if stealing {
+                        format!("chunk ({len} items, stolen)")
+                    } else {
+                        format!("chunk ({len} items)")
+                    };
+                    sfq_obs::trace::complete(
+                        "par",
+                        &name,
+                        trace_t0,
+                        sfq_obs::trace::now_us() - trace_t0,
+                    );
+                }
+                if stealing {
+                    stolen += u64::from(len);
+                } else {
+                    own += u64::from(len);
+                }
             }
-            let trace_t0 = if trace_on {
-                sfq_obs::trace::now_us()
-            } else {
-                0.0
-            };
-            if metrics_on {
-                let t0 = Instant::now();
-                out.push((i, f(&items[i])));
-                sfq_obs::observe("par.task_ms", t0.elapsed().as_secs_f64() * 1e3);
-            } else {
-                out.push((i, f(&items[i])));
-            }
-            if trace_on {
-                // A task on a worker other than the caller was stolen
-                // from the shared dispenser; encode that in the name
-                // so steals are visible without extra events.
-                let name = if worker == 0 { "task" } else { "task (stolen)" };
-                sfq_obs::trace::complete(
-                    "par",
-                    name,
-                    trace_t0,
-                    sfq_obs::trace::now_us() - trace_t0,
-                );
-            }
-            tasks += 1;
         }
-        if metrics_on && tasks > 0 {
-            sfq_obs::add("par.tasks", tasks);
-            sfq_obs::counter(&format!("par.worker.{worker}.tasks")).add(tasks);
-            if worker != 0 {
-                sfq_obs::add("par.steals", tasks);
+        if metrics_on && own + stolen > 0 {
+            sfq_obs::add("par.tasks", own + stolen);
+            sfq_obs::counter(&format!("par.worker.{worker}.tasks")).add(own + stolen);
+            if worker == 0 {
+                // Caller-run tasks are not steals: the calling thread
+                // participates in its own region by design.
+                sfq_obs::add("par.tasks_inline", own + stolen);
+            }
+            if stolen > 0 {
+                // Only cross-queue pulls count as steals.
+                sfq_obs::add("par.steals", stolen);
             }
         }
     };
 
-    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(guard.0 + 1);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     let run = &run;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (1..=guard.0)
+        let handles: Vec<_> = (1..=spawned)
             .map(|worker| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
@@ -230,7 +501,8 @@ where
                 })
             })
             .collect();
-        let mut mine = Vec::new();
+        let mut mine = Vec::with_capacity(plan.order.len() / workers + 2);
+        mine.push((0, r0));
         run(0, &mut mine);
         parts.push(mine);
         for h in handles {
@@ -241,6 +513,11 @@ where
         }
     });
     drop(guard);
+    if metrics_on {
+        // The probe task ran on the caller before fan-out.
+        sfq_obs::add("par.tasks", 1);
+        sfq_obs::add("par.tasks_inline", 1);
+    }
     if trace_on {
         sfq_obs::trace::complete(
             "par",
@@ -258,8 +535,31 @@ where
     }
     slots
         .into_iter()
-        .map(|slot| slot.unwrap_or_else(|| unreachable!("index dispenser covered every item")))
+        .map(|slot| slot.unwrap_or_else(|| unreachable!("every item was scheduled exactly once")))
         .collect()
+}
+
+/// Serial completion of a region whose probe decided against fan-out.
+fn finish_inline<T, R, F>(items: &[T], r0: R, f: &F, metrics_on: bool) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    let mut out = Vec::with_capacity(items.len());
+    out.push(r0);
+    for item in &items[1..] {
+        if metrics_on {
+            let t0 = Instant::now();
+            out.push(f(item));
+            sfq_obs::observe("par.task_ms", t0.elapsed().as_secs_f64() * 1e3);
+        } else {
+            out.push(f(item));
+        }
+    }
+    if metrics_on {
+        sfq_obs::add("par.tasks", items.len() as u64);
+        sfq_obs::add("par.tasks_inline", items.len() as u64);
+    }
+    out
 }
 
 /// A task that panicked inside [`par_map_catch`].
@@ -290,15 +590,31 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+fn catch_one<T, R, F>(items: &[T], i: usize, f: &F) -> Result<R, TaskPanic>
+where
+    F: Fn(&T) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+        sfq_obs::inc("par.task_panics");
+        sfq_obs::trace::instant("par", "task panic");
+        TaskPanic {
+            index: i,
+            message: panic_message(payload),
+        }
+    })
+}
+
 /// Like [`par_map`], but a panic in one task poisons only that item.
 ///
-/// Each item runs under `catch_unwind`; a panicking task yields
-/// `Err(TaskPanic)` in its slot while every other item completes
-/// normally. This is the fan-out primitive for fault-injection sweeps
-/// and design-space exploration, where one broken probe must not take
-/// down the whole region. Determinism is inherited from [`par_map`]:
-/// results (including which items panic) depend only on the inputs,
-/// never on the schedule.
+/// Each item runs under `catch_unwind` **individually** — chunking
+/// merges tasks for scheduling, never for failure isolation, so a
+/// panicking task yields `Err(TaskPanic)` in its own slot while every
+/// other item of the same chunk completes normally. This is the
+/// fan-out primitive for fault-injection sweeps and design-space
+/// exploration, where one broken probe must not take down the whole
+/// region. Determinism is inherited from [`par_map`]: results
+/// (including which items panic) depend only on the inputs, never on
+/// the schedule.
 ///
 /// `f` is wrapped in `AssertUnwindSafe`: it must not leave shared
 /// state logically inconsistent when it panics (the workspace's probe
@@ -313,16 +629,19 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let idx: Vec<usize> = (0..items.len()).collect();
-    par_map(&idx, |&i| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
-            sfq_obs::inc("par.task_panics");
-            sfq_obs::trace::instant("par", "task panic");
-            TaskPanic {
-                index: i,
-                message: panic_message(payload),
-            }
-        })
-    })
+    par_map(&idx, |&i| catch_one(items, i, &f))
+}
+
+/// [`par_map_catch`] with [`par_map_keyed`]'s cache-affine scheduling.
+pub fn par_map_catch_keyed<T, R, F, K>(items: &[T], key: K, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    K: Fn(&T) -> u64,
+{
+    let idx: Vec<usize> = (0..items.len()).collect();
+    par_map_keyed(&idx, |&i| key(&items[i]), |&i| catch_one(items, i, &f))
 }
 
 #[cfg(test)]
@@ -338,6 +657,7 @@ mod tests {
         // to the machine's available parallelism — sweeps fan out by
         // default instead of silently running single-threaded.
         std::env::remove_var("SUPERNPU_THREADS");
+        std::env::remove_var("SUPERNPU_CHUNK");
         clear_threads();
         let hw = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -367,6 +687,31 @@ mod tests {
             assert_eq!(s.to_bits(), p.to_bits(), "bit-identical to serial");
         }
 
+        // Pinned chunk sizes (including degenerate ones) never change
+        // the result, only the schedule.
+        for chunk in [1usize, 2, 3, 64, 1000] {
+            set_chunk(chunk);
+            let chunked = par_map(&items, f);
+            for (s, p) in serial.iter().zip(&chunked) {
+                assert_eq!(s.to_bits(), p.to_bits(), "chunk={chunk}");
+            }
+        }
+        set_chunk(0);
+        assert_eq!(chunk_hint(), None);
+        std::env::set_var("SUPERNPU_CHUNK", "17");
+        assert_eq!(chunk_hint(), Some(17));
+        std::env::remove_var("SUPERNPU_CHUNK");
+
+        // Keyed scheduling: same results for any key function.
+        let keyed = par_map_keyed(&items, |x| x % 3, f);
+        for (s, p) in serial.iter().zip(&keyed) {
+            assert_eq!(s.to_bits(), p.to_bits(), "keyed bit-identical");
+        }
+        let one_key = par_map_keyed(&items, |_| 7, f);
+        for (s, p) in serial.iter().zip(&one_key) {
+            assert_eq!(s.to_bits(), p.to_bits(), "degenerate key");
+        }
+
         // Nested calls degrade gracefully and stay correct.
         let outer: Vec<Vec<u64>> = par_map(&items[..16], |x| {
             let inner: Vec<u64> = (0..8).map(|k| x + k).collect();
@@ -390,25 +735,30 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(par_map(&[7u64], |x| x + 1), vec![8]);
 
-        // A panicking task poisons only its own slot.
+        // A panicking task poisons only its own slot — even when the
+        // chunk size forces multiple tasks into each quantum.
         set_threads(4);
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
-        let caught = par_map_catch(&items[..32], |x| {
-            assert!(x % 5 != 3, "injected failure at {x}");
-            x * 10
-        });
-        std::panic::set_hook(hook);
-        assert_eq!(caught.len(), 32);
-        for (i, r) in caught.iter().enumerate() {
-            if i % 5 == 3 {
-                let e = r.as_ref().unwrap_err();
-                assert_eq!(e.index, i);
-                assert!(e.message.contains("injected failure"), "{e}");
-            } else {
-                assert_eq!(*r, Ok(items[i] * 10));
+        for chunk in [0usize, 1, 4, 32] {
+            set_chunk(chunk);
+            let caught = par_map_catch(&items[..32], |x| {
+                assert!(x % 5 != 3, "injected failure at {x}");
+                x * 10
+            });
+            assert_eq!(caught.len(), 32);
+            for (i, r) in caught.iter().enumerate() {
+                if i % 5 == 3 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i, "chunk={chunk}");
+                    assert!(e.message.contains("injected failure"), "{e}");
+                } else {
+                    assert_eq!(*r, Ok(items[i] * 10), "chunk={chunk}");
+                }
             }
         }
+        set_chunk(0);
+        std::panic::set_hook(hook);
 
         // Leave the process in the default state for any later code.
         clear_threads();

@@ -61,7 +61,12 @@ if [[ $RUN_BENCH -eq 1 ]]; then
         --bin bench_solver --bin bench_sweeps --bin bench_compare
     repo="$(pwd)"
     (cd "$tmp" && "$repo/target/release/bench_solver" >/dev/null)
-    (cd "$tmp" && "$repo/target/release/bench_sweeps" >/dev/null)
+    # --points adds the granularity stress sweep: 1e5 synthetic design
+    # points over a thread ladder. bench_sweeps itself hard-fails if
+    # any rung's output diverges from serial or its speedup misses
+    # 0.8x the effective core count; bench_compare re-checks the
+    # recorded rungs against the committed baseline.
+    (cd "$tmp" && "$repo/target/release/bench_sweeps" --points 100000 >/dev/null)
     target/release/bench_compare \
         --baseline BENCH_solver.json --fresh "$tmp/BENCH_solver.json"
     target/release/bench_compare \
