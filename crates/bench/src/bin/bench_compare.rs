@@ -76,6 +76,9 @@ fn main() -> ExitCode {
                 tol.factor,
                 tol.abs_ms
             );
+            for s in &report.skipped {
+                println!("SKIP: {s}");
+            }
             if report.passed() {
                 println!("PASS");
                 ExitCode::SUCCESS

@@ -47,6 +47,10 @@ pub struct GateReport {
     pub checks: usize,
     /// Human-readable description of every failed check.
     pub failures: Vec<String>,
+    /// Checks that were deliberately not evaluated (e.g. speedup rungs
+    /// on a one-core machine), with the reason — surfaced so a "PASS"
+    /// on a laptop is readable as weaker than a "PASS" on CI.
+    pub skipped: Vec<String>,
 }
 
 impl GateReport {
@@ -60,6 +64,10 @@ impl GateReport {
         if !ok {
             self.failures.push(msg());
         }
+    }
+
+    fn skip(&mut self, msg: String) {
+        self.skipped.push(msg);
     }
 }
 
@@ -147,6 +155,14 @@ fn compare_sweeps(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Ga
                     format!("sweep '{name}': parallel run slower than serial ({speedup:.2}x)")
                 });
             }
+        }
+    } else {
+        let vacuous = fresh_entries
+            .iter()
+            .filter(|(_, f)| num(f, "speedup").is_some())
+            .count();
+        if vacuous > 0 {
+            report.skip(format!("{vacuous} speedup checks skipped (1 logical core)"));
         }
     }
 
@@ -260,9 +276,51 @@ fn compare_solver(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Ga
     }
 }
 
+fn compare_profile(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
+    let base_entries = entries(base, "kernels");
+    let fresh_entries = entries(fresh, "kernels");
+    report.check(!fresh_entries.is_empty(), || {
+        "profile report: no kernels in fresh report".into()
+    });
+
+    // Coverage floor: the profiled kernel self-times must explain at
+    // least `min_self_coverage` of the solver's inclusive run time,
+    // else laps have drifted away from the hot loops and the profile
+    // is lying by omission. The floor is the fresh report's own (like
+    // `min_step_ratio` in the solver gate), so the producer and the
+    // gate cannot disagree about it.
+    match (num(fresh, "self_coverage"), num(fresh, "min_self_coverage")) {
+        (Some(cov), Some(floor)) => {
+            report.check(cov >= floor, || {
+                format!(
+                    "profile: solver self-time coverage {cov:.3} below required floor {floor:.3}"
+                )
+            });
+            if let Some(base_cov) = num(base, "self_coverage") {
+                report.check(cov >= base_cov - 0.05, || {
+                    format!("profile: self_coverage {cov:.3} lost >0.05 vs baseline {base_cov:.3}")
+                });
+            }
+        }
+        _ => report.check(false, || {
+            "profile: fresh report lacks self_coverage / min_self_coverage".into()
+        }),
+    }
+
+    for (name, b) in &base_entries {
+        let Some((_, f)) = fresh_entries.iter().find(|(n, _)| n == name) else {
+            report.check(false, || {
+                format!("kernel '{name}': present in baseline, missing in fresh report")
+            });
+            continue;
+        };
+        check_timing(report, "kernel", name, "self_ms", b, f, tol);
+    }
+}
+
 /// Compare a fresh bench report against its baseline. The schema
-/// (sweep vs solver) is detected from the baseline's top-level keys;
-/// mismatched schemas fail the gate.
+/// (sweep vs solver vs profile) is detected from the baseline's
+/// top-level keys; mismatched schemas fail the gate.
 pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     let mut report = GateReport::default();
     let schema = |v: &Value| {
@@ -270,13 +328,15 @@ pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
             "sweeps"
         } else if get(v, "cells").is_some() {
             "cells"
+        } else if get(v, "kernels").is_some() {
+            "kernels"
         } else {
             "unknown"
         }
     };
     let (bs, fs) = (schema(base), schema(fresh));
     report.check(bs != "unknown", || {
-        "baseline report has neither 'sweeps' nor 'cells'".into()
+        "baseline report has none of 'sweeps', 'cells', 'kernels'".into()
     });
     report.check(bs == fs, || {
         format!("schema mismatch: baseline is '{bs}', fresh is '{fs}'")
@@ -286,6 +346,7 @@ pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     }
     match bs {
         "sweeps" => compare_sweeps(base, fresh, tol, &mut report),
+        "kernels" => compare_profile(base, fresh, tol, &mut report),
         _ => compare_solver(base, fresh, tol, &mut report),
     }
     report
@@ -476,6 +537,80 @@ mod tests {
         assert!(!r.passed());
         let r = compare_json(&solver(2.0, 4.0, 0.1, true), &good, &tol).unwrap();
         assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    fn profile(cov: f64, newton_ms: f64) -> String {
+        format!(
+            r#"{{"workload":"jtl_chain_40","self_coverage":{cov},"min_self_coverage":0.9,
+               "kernels":[{{"name":"newton","self_ms":{newton_ms},"calls":1000}},
+                          {{"name":"lu_solve","self_ms":3.0,"calls":900}}]}}"#
+        )
+    }
+
+    #[test]
+    fn profile_reports_are_gated() {
+        let tol = Tolerances {
+            factor: 1.5,
+            abs_ms: 1.0,
+        };
+        let good = profile(0.97, 10.0);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+
+        // Coverage below the report's own floor fails hard.
+        let r = compare_json(&good, &profile(0.8, 10.0), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("coverage")),
+            "{:?}",
+            r.failures
+        );
+
+        // Kernel self-time regression beyond tolerance fails.
+        let r = compare_json(&good, &profile(0.97, 40.0), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("self_ms regressed")),
+            "{:?}",
+            r.failures
+        );
+
+        // A kernel vanishing from the fresh report fails.
+        let fresh = r#"{"self_coverage":0.97,"min_self_coverage":0.9,
+                        "kernels":[{"name":"newton","self_ms":10.0}]}"#;
+        let r = compare_json(&good, fresh, &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("lu_solve")),
+            "{:?}",
+            r.failures
+        );
+
+        // Missing coverage fields fail rather than silently pass.
+        let fresh =
+            r#"{"kernels":[{"name":"newton","self_ms":10.0},{"name":"lu_solve","self_ms":3.0}]}"#;
+        let r = compare_json(&good, fresh, &tol).unwrap();
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn vacuous_speedup_checks_are_surfaced() {
+        let tol = Tolerances::default();
+        // No speedup_meaningful field: the 0.7x "slowdown" is noise on
+        // a one-core machine, so it is skipped — but visibly.
+        let fresh = r#"{"threads":1,"speedup_meaningful":false,
+            "sweeps":[{"name":"fig20","serial_ms":5.0,"parallel_ms":7.0,"speedup":0.7,"identical_output":true}]}"#;
+        let r = compare_json(&sweeps(5.0, true), fresh, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(
+            r.skipped,
+            vec!["1 speedup checks skipped (1 logical core)".to_owned()]
+        );
+
+        // Meaningful runs skip nothing.
+        let good = sweeps_stress(3.5, true, true);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.skipped.is_empty(), "{:?}", r.skipped);
     }
 
     #[test]

@@ -201,9 +201,11 @@ fn jtl_measurements(p: &JtlParams) -> Result<JtlMeas, SimError> {
     let key = jtl_bench_key(p);
     if let Some((_, m)) = JTL_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
         bench_cache_hit();
+        sfq_obs::prof::count("bench_cache_hit", 1);
         return Ok(*m);
     }
     bench_cache_miss();
+    let _pf = sfq_obs::prof::frame("jtl_bench");
     let jtl = jtl_characteristics(JTL_STAGES, p)?;
     let m = JtlMeas {
         jtl_delay_ps: jtl.delay_s * 1e12,
@@ -221,9 +223,11 @@ fn dff_measurements(p: &DffParams) -> Result<DffMeas, SimError> {
     let key = dff_bench_key(p);
     if let Some((_, m)) = DFF_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
         bench_cache_hit();
+        sfq_obs::prof::count("bench_cache_hit", 1);
         return Ok(*m);
     }
     bench_cache_miss();
+    let _pf = sfq_obs::prof::frame("dff_bench");
     let m = DffMeas {
         dff_delay_ps: dff_clock_to_q(p)? * 1e12,
         dff_energy_aj: dff_cycle_energy(p)? * 1e18,
@@ -240,9 +244,11 @@ fn and_measurements(p: &AndParams) -> Result<AndMeas, SimError> {
     let key = and_bench_key(p);
     if let Some((_, m)) = AND_BENCH_CACHE.read().iter().find(|(k, _)| *k == key) {
         bench_cache_hit();
+        sfq_obs::prof::count("bench_cache_hit", 1);
         return Ok(*m);
     }
     bench_cache_miss();
+    let _pf = sfq_obs::prof::frame("and_bench");
     let m = AndMeas {
         and_delay_ps: and_clock_to_q(p)? * 1e12,
         and_energy_aj: and_cycle_energy(p)? * 1e18,
@@ -331,13 +337,17 @@ pub fn measure_with(
 ) -> Result<Measurements, SimError> {
     let key = measure_key(jtl_p, dff_p, and_p);
 
+    let _pf = sfq_obs::prof::frame("chars.measure");
     let (cache_hits, cache_misses) = cache_counters();
     if let Some((_, m)) = MEASURE_CACHE.read().iter().find(|(k, _)| *k == key) {
         cache_hits.inc();
+        sfq_obs::prof::count("cache_hit", 1);
         return Ok(*m);
     }
     cache_misses.inc();
+    sfq_obs::prof::count("cache_miss", 1);
     let fill_started = sfq_obs::enabled().then(Instant::now);
+    let fill_frame = sfq_obs::prof::frame("fill");
 
     let jtl = jtl_measurements(jtl_p)?;
     let dff = dff_measurements(dff_p)?;
@@ -352,6 +362,7 @@ pub fn measure_with(
         and_energy_aj: and.and_energy_aj,
         sr_max_ghz: dff.sr_max_ghz,
     };
+    drop(fill_frame);
     if let Some(t0) = fill_started {
         sfq_obs::observe("chars.measure.fill_ms", t0.elapsed().as_secs_f64() * 1e3);
     }

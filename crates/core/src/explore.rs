@@ -62,6 +62,7 @@ pub struct BufferSweepPoint {
 /// and area, all normalized to Baseline.
 pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig20.ms");
+    let _prof = sfq_obs::prof::frame("explore.fig20");
     let _trace = sfq_obs::trace::span("sweep", "fig20 buffer sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig20: buffer-division sweep starting".into()
@@ -76,6 +77,11 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
     let divisions = [2u32, 4, 16, 64, 256, 1024, 4096];
     let swept = par_map_catch(&divisions, |&division| {
         let _point = sfq_obs::span("explore.fig20.point_ms");
+        let _ppoint = if sfq_obs::prof::detail_enabled() {
+            sfq_obs::prof::frame(&format!("fig20 d={division}"))
+        } else {
+            sfq_obs::prof::frame("fig20.point")
+        };
         let npu = NpuConfig {
             name: format!("+Division {division}"),
             division,
@@ -132,6 +138,7 @@ pub struct ResourceSweepPoint {
 /// schedule), and measure max-batch performance and intensity.
 pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig21.ms");
+    let _prof = sfq_obs::prof::frame("explore.fig21");
     let _trace = sfq_obs::trace::span("sweep", "fig21 resource sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig21: resource-balancing sweep starting".into()
@@ -152,6 +159,11 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
 
     let swept = par_map_catch(&schedule, |&(width, buffer_mb)| {
         let _point = sfq_obs::span("explore.fig21.point_ms");
+        let _ppoint = if sfq_obs::prof::detail_enabled() {
+            sfq_obs::prof::frame(&format!("fig21 w={width} b={buffer_mb}MB"))
+        } else {
+            sfq_obs::prof::frame("fig21.point")
+        };
         let make = |total_mb: u64| {
             let npu = NpuConfig {
                 name: format!("width {width}"),
@@ -208,6 +220,7 @@ pub struct RegisterSweepPoint {
 /// Fig. 21 "added buffer" capacities.
 pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
     let _sweep = sfq_obs::span("explore.fig22.ms");
+    let _prof = sfq_obs::prof::frame("explore.fig22");
     let _trace = sfq_obs::trace::span("sweep", "fig22 register sweep");
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig22: per-PE register sweep starting".into()
@@ -230,6 +243,11 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
         |&(width, _, _)| u64::from(width),
         |&(width, buffer_mb, regs)| {
             let _point = sfq_obs::span("explore.fig22.point_ms");
+            let _ppoint = if sfq_obs::prof::detail_enabled() {
+                sfq_obs::prof::frame(&format!("fig22 w={width} r={regs}"))
+            } else {
+                sfq_obs::prof::frame("fig22.point")
+            };
             let npu = NpuConfig {
                 name: format!("w{width} r{regs}"),
                 array_width: width,

@@ -326,14 +326,19 @@ pub fn clear_estimate_cache() {
 /// assert their inputs).
 pub fn estimate(cfg: &NpuConfig, lib: &CellLibrary) -> NpuEstimate {
     let key: EstimateKey = (cfg.clone(), library_fingerprint(lib));
+    let _pf = sfq_obs::prof::frame("estimator.estimate");
     let (cache_hits, cache_misses) = cache_counters();
     if let Some((_, est)) = ESTIMATE_CACHE.read().iter().find(|(k, _)| *k == key) {
         cache_hits.inc();
+        sfq_obs::prof::count("cache_hit", 1);
         return est.clone();
     }
     cache_misses.inc();
+    sfq_obs::prof::count("cache_miss", 1);
     let fill_started = sfq_obs::enabled().then(Instant::now);
+    let fill_frame = sfq_obs::prof::frame("fill");
     let est = estimate_uncached(cfg, lib);
+    drop(fill_frame);
     if let Some(t0) = fill_started {
         sfq_obs::observe(
             "estimator.estimate.fill_ms",

@@ -1,6 +1,6 @@
 //! Per-layer cycle simulation.
 
-use dnn_models::Layer;
+use dnn_models::{Layer, LayerKind};
 use sfq_estimator::units::pe_pipeline_depth;
 
 use crate::config::SimConfig;
@@ -37,6 +37,11 @@ pub fn simulate_layer_with_faults(
     ifmap_resident: bool,
     faults: &PulseFaults,
 ) -> LayerStats {
+    let _pf = sfq_obs::prof::frame(match layer.kind() {
+        LayerKind::Conv => "npusim.layer.conv",
+        LayerKind::Depthwise => "npusim.layer.depthwise",
+        LayerKind::FullyConnected => "npusim.layer.fc",
+    });
     let npu = &cfg.npu;
     let dram = DramModel::new(cfg.mem_bandwidth_gbs, cfg.frequency_ghz);
     let mappings = enumerate_mappings(layer, npu);
@@ -138,6 +143,13 @@ pub fn simulate_layer_with_faults(
 
     // One gated flush per layer: where this layer's time and traffic
     // went, funneled into the shared registry.
+    if sfq_obs::prof::enabled() {
+        sfq_obs::prof::count("prep_cycles", prep_cycles);
+        sfq_obs::prof::count("compute_cycles", compute_cycles);
+        sfq_obs::prof::count("stall_cycles", stall_cycles);
+        sfq_obs::prof::count("macs", macs_total);
+        sfq_obs::prof::count("dram_bytes", dram_bytes);
+    }
     if sfq_obs::enabled() {
         sfq_obs::inc("npusim.layer.count");
         sfq_obs::add("npusim.layer.prep_cycles", prep_cycles);

@@ -61,9 +61,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prof;
 pub mod trace;
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{OnceLock, RwLock};
 use std::time::Instant;
@@ -753,8 +755,77 @@ pub fn render_table() -> String {
     out
 }
 
-/// Guard that prints [`render_table`] to stderr when dropped, if
-/// metrics are enabled at that moment. Bind it at the top of `main`:
+/// Write the current [`snapshot`] as pretty JSON to the file named by
+/// `SUPERNPU_METRICS_JSON`, if that env var is set — so any bin can
+/// dump its metrics without code changes. Returns the path written,
+/// `None` when the knob is unset, and reports write failures on
+/// stderr rather than propagating them (this runs on exit and panic
+/// paths).
+pub fn write_metrics_json_env() -> Option<PathBuf> {
+    let path = std::env::var("SUPERNPU_METRICS_JSON")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
+        .map(PathBuf::from)?;
+    let json = serde_json::to_string_pretty(&snapshot())
+        .unwrap_or_else(|e| unreachable!("metrics reports serialize infallibly: {e}"));
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("could not write metrics json to {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Flush every sink that persists to disk: the trace ring buffers, the
+/// profiler trees and the `SUPERNPU_METRICS_JSON` snapshot. Each is a
+/// no-op when its gate is off; failures go to stderr. Shared by the
+/// clean-exit guard and the panic hook.
+fn flush_sinks() {
+    match trace::flush() {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("could not write trace file: {e}"),
+    }
+    match prof::flush() {
+        Ok(Some(path)) => eprintln!("profile written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("could not write profile file: {e}"),
+    }
+    if let Some(path) = write_metrics_json_env() {
+        eprintln!("metrics json written to {}", path.display());
+    }
+}
+
+/// Install (once) a panic hook that flushes the trace, profile and
+/// metrics-json sinks *before* unwinding begins, chained in front of
+/// the default hook. [`DumpOnExit`] already flushes when its guard
+/// drops during unwinding, but that never happens when the panic
+/// escalates to an abort (`panic = "abort"`, double panic, panic in a
+/// detached worker) — the hook covers those paths, and flushing twice
+/// is safe because every sink rewrites its whole file.
+pub fn install_panic_flush() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            // Re-entrancy guard: a panic inside a flush must not
+            // recurse into another flush (that would abort).
+            static FLUSHING: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !FLUSHING.swap(true, Ordering::SeqCst) {
+                flush_sinks();
+                FLUSHING.store(false, Ordering::SeqCst);
+            }
+        }));
+    });
+}
+
+/// Guard that flushes the trace/profile/metrics-json sinks and prints
+/// [`render_table`] to stderr when dropped, if metrics are enabled at
+/// that moment. Bind it at the top of `main`:
 ///
 /// ```no_run
 /// let _metrics = sfq_obs::dump_on_exit();
@@ -765,22 +836,21 @@ pub struct DumpOnExit(());
 
 impl Drop for DumpOnExit {
     fn drop(&mut self) {
-        // Flush the trace sink first: the guard drops during unwinding
-        // too, so a panicking bench still lands its buffered tail on
-        // disk instead of losing it with the process.
-        match trace::flush() {
-            Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
-            Ok(None) => {}
-            Err(e) => eprintln!("could not write trace file: {e}"),
-        }
+        // Flush persistent sinks first: the guard drops during
+        // unwinding too, so a panicking bench still lands its buffered
+        // tail on disk instead of losing it with the process.
+        flush_sinks();
         if enabled() {
             eprintln!("\n== metrics (SUPERNPU_METRICS) ==\n{}", render_table());
         }
     }
 }
 
-/// Create a [`DumpOnExit`] guard.
+/// Create a [`DumpOnExit`] guard. Also installs the
+/// [`install_panic_flush`] hook so abort-bound panics flush the same
+/// sinks the guard would.
 pub fn dump_on_exit() -> DumpOnExit {
+    install_panic_flush();
     DumpOnExit(())
 }
 
@@ -885,6 +955,56 @@ mod tests {
         assert!(!evaluated, "disabled log level must not build the message");
         set_log_level(None);
         set_enabled(false);
+    }
+
+    /// Quantile interpolation boundary cases, on private histograms so
+    /// the parallel test harness can't race the shared registry.
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty histogram at q={q}");
+        }
+
+        // Single sample: every quantile clamps to the one value.
+        let h = Histogram::new();
+        h.observe(3.7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.7, "single sample at q={q}");
+        }
+
+        // All samples in one bucket: the octave interpolation may land
+        // anywhere in [2, 4), but the [min, max] clamp collapses it to
+        // the only value present.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(3.0);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(h.quantile(q), 3.0, "one-bucket histogram at q={q}");
+        }
+
+        // Sample exactly on an octave boundary: 2.0 belongs to the
+        // [2, 4) bucket, not [1, 2).
+        assert_eq!(Histogram::bucket_of(2.0), BUCKET_EXP_OFFSET as usize + 1);
+
+        // p99 target exactly at a bucket's cumulative boundary: with
+        // 99 samples of 1.5 and 1 of 3.0, target = ceil(0.99·100) = 99
+        // = the full count of the first bucket, so frac = 1 and the
+        // estimate is that bucket's upper bound (2.0) — inside one
+        // octave of the true p99 (1.5) and within [min, max].
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1.5);
+        }
+        h.observe(3.0);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p99, 2.0, "boundary target interpolates to the bucket edge");
+        assert!((1.5..=3.0).contains(&p99));
+        // One sample past the boundary falls into the next bucket and
+        // clamps to the max.
+        assert_eq!(h.quantile(1.0), 3.0);
     }
 
     #[test]

@@ -330,6 +330,7 @@ where
     let guard = PermitGuard(acquire_permits(n - 1));
     if guard.0 == 0 {
         // Nested call or single-thread pool: degrade to inline serial.
+        let _pf = sfq_obs::prof::frame("par.serial_fallback");
         sfq_obs::inc("par.serial_fallback");
         if sfq_obs::trace::enabled() {
             // Still mark the region on the timeline so a 1-core trace
@@ -351,6 +352,7 @@ where
     // counts or tear the track layout).
     let metrics_on = sfq_obs::enabled();
     let trace_on = sfq_obs::trace::enabled();
+    let prof_on = sfq_obs::prof::enabled();
     let region_t0 = if trace_on {
         sfq_obs::trace::now_us()
     } else {
@@ -359,9 +361,11 @@ where
 
     // Cost probe: item 0 runs inline on the caller, timed. The probe
     // both warms lazy statics and prices the remaining work.
+    let probe_frame = prof_on.then(|| sfq_obs::prof::frame("par.probe"));
     let probe_t0 = Instant::now();
     let r0 = f(&items[0]);
     let probe_us = probe_t0.elapsed().as_secs_f64() * 1e6;
+    drop(probe_frame);
     if metrics_on {
         sfq_obs::observe("par.task_ms", probe_us * 1e-3);
     }
@@ -372,7 +376,9 @@ where
         // Break-even fallback: the whole region is projected cheaper
         // than spawning workers — finish inline. This is what keeps
         // fig20-scale sweeps from losing to serial.
+        let inline_frame = prof_on.then(|| sfq_obs::prof::frame("par.inline"));
         let out = finish_inline(items, r0, &f, metrics_on);
+        drop(inline_frame);
         drop(guard);
         if metrics_on {
             sfq_obs::inc("par.breakeven_serial");
@@ -429,6 +435,10 @@ where
         let _track = trace_on.then(|| {
             sfq_obs::trace::with_track(sfq_obs::trace::HOST_PID, WORKER_TRACK_BASE + worker as u64)
         });
+        // One profile frame per worker slot: everything `f` records
+        // (solver runs, cache fills) nests under it, giving the merged
+        // report exact per-worker sub-trees.
+        let _pf = prof_on.then(|| sfq_obs::prof::frame(&format!("par.worker.{worker}")));
         let mut own = 0u64;
         let mut stolen = 0u64;
         for delta in 0..plan.queues.len() {
@@ -445,6 +455,10 @@ where
                 } else {
                     0.0
                 };
+                // Chunk execution as a frame (not a pre-aggregated
+                // leaf) so the frames `f` itself opens nest inside it.
+                let chunk_frame = prof_on
+                    .then(|| sfq_obs::prof::frame(if stealing { "steal" } else { "chunk_exec" }));
                 for &i in &plan.order[off as usize..(off + len) as usize] {
                     if metrics_on {
                         let t0 = Instant::now();
@@ -454,6 +468,7 @@ where
                         out.push((i as usize, f(&items[i as usize])));
                     }
                 }
+                drop(chunk_frame);
                 if trace_on {
                     let name = if stealing {
                         format!("chunk ({len} items, stolen)")
@@ -473,6 +488,10 @@ where
                     own += u64::from(len);
                 }
             }
+        }
+        if prof_on && own + stolen > 0 {
+            sfq_obs::prof::count("tasks", own + stolen);
+            sfq_obs::prof::count("tasks_stolen", stolen);
         }
         if metrics_on && own + stolen > 0 {
             sfq_obs::add("par.tasks", own + stolen);

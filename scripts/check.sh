@@ -40,6 +40,24 @@ echo "== cargo test -q --test tracing =="
 # trace helpers must register no sinks and record no events.
 cargo test -q --test tracing
 
+echo "== cargo test -q --test profiling =="
+# Includes the disabled-path check: with SUPERNPU_PROFILE unset the
+# profiler helpers must register no thread trees and record nothing,
+# and the fig20 sweep must be bit-identical with profiling on.
+cargo test -q --test profiling
+
+echo "== profiling smoke gate =="
+# Tiny profiled workload: the collapsed-stack export must be non-empty
+# and the kernel report must re-parse through the bench gate (a
+# self-compare). profile_report itself exits nonzero unless the
+# disabled path recorded zero frames before the profiler was enabled.
+cargo build --release -p supernpu-bench --bin profile_report --bin bench_compare
+target/release/profile_report --smoke \
+    --out "$tmp/profile.json" --bench-out "$tmp/BENCH_profile.json" >/dev/null
+test -s "$tmp/profile.folded" || { echo "profiling smoke: empty profile.folded" >&2; exit 1; }
+target/release/bench_compare \
+    --baseline "$tmp/BENCH_profile.json" --fresh "$tmp/BENCH_profile.json" >/dev/null
+
 echo "== trace example end-to-end =="
 # The example writes a Chrome trace and exits nonzero unless the file
 # re-parses with every required field and track family present.
@@ -58,7 +76,7 @@ cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used -D clippy::
 if [[ $RUN_BENCH -eq 1 ]]; then
     echo "== bench-regression gate (--bench) =="
     cargo build --release -p supernpu-bench \
-        --bin bench_solver --bin bench_sweeps --bin bench_compare
+        --bin bench_solver --bin bench_sweeps --bin bench_compare --bin profile_report
     repo="$(pwd)"
     (cd "$tmp" && "$repo/target/release/bench_solver" >/dev/null)
     # --points adds the granularity stress sweep: 1e5 synthetic design
@@ -71,6 +89,13 @@ if [[ $RUN_BENCH -eq 1 ]]; then
         --baseline BENCH_solver.json --fresh "$tmp/BENCH_solver.json"
     target/release/bench_compare \
         --baseline BENCH_sweeps.json --fresh "$tmp/BENCH_sweeps.json"
+    # Full profiled workload: enforces the >=90% solver-kernel
+    # self-time coverage floor and diffs kernel self-times against the
+    # committed baseline.
+    target/release/profile_report \
+        --out "$tmp/profile_full.json" --bench-out "$tmp/BENCH_profile.json" >/dev/null
+    target/release/bench_compare \
+        --baseline BENCH_profile.json --fresh "$tmp/BENCH_profile.json"
 fi
 
 echo "All checks passed."

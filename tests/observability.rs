@@ -97,4 +97,27 @@ fn observability_end_to_end() {
         .histogram("explore.fig20.point_ms")
         .is_some_and(|h| h.count > 0));
     sfq_obs::set_enabled(false);
+
+    // --- 5. Panic hook flushes sinks before unwinding ----------------
+    // A panicking run must still land its SUPERNPU_METRICS_JSON
+    // snapshot on disk (the hook fires before unwinding, so this holds
+    // even under panic=abort, which a dropped DumpOnExit guard does
+    // not).
+    let dir = std::env::temp_dir().join(format!("obs_panic_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let json_path = dir.join("metrics.json");
+    std::env::set_var("SUPERNPU_METRICS_JSON", &json_path);
+    sfq_obs::set_enabled(true);
+    sfq_obs::install_panic_flush();
+    let unwound = std::panic::catch_unwind(|| {
+        sfq_obs::inc("obs_test.panic.events");
+        panic!("deliberate test panic");
+    });
+    assert!(unwound.is_err());
+    let written = std::fs::read_to_string(&json_path).expect("panic hook wrote metrics json");
+    let report: sfq_obs::MetricsReport = serde_json::from_str(&written).expect("parses");
+    assert_eq!(report.counter("obs_test.panic.events"), Some(1));
+    std::env::remove_var("SUPERNPU_METRICS_JSON");
+    std::fs::remove_dir_all(&dir).ok();
+    sfq_obs::set_enabled(false);
 }
