@@ -318,26 +318,101 @@ fn compare_profile(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut G
     }
 }
 
+fn compare_batch(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
+    let base_entries = entries(base, "batch");
+    let fresh_entries = entries(fresh, "batch");
+    report.check(!fresh_entries.is_empty(), || {
+        "batch report: no workloads in fresh report".into()
+    });
+
+    // Hard correctness: the batched run must reproduce the scalar
+    // outcomes exactly, and any workload that carries its own speedup
+    // floor (yield-200 at LANES=4 requires >= 2x) must clear it. The
+    // floor is the fresh report's own, like `min_step_ratio` in the
+    // solver gate, so producer and gate cannot disagree — and unlike
+    // thread-pool speedups it binds on every machine, because lanes
+    // are SIMD within one core, not parallelism across cores.
+    for (name, f) in &fresh_entries {
+        report.check(
+            get(f, "outcomes_identical").and_then(Value::as_bool) == Some(true),
+            || format!("batch '{name}': batched outcomes differ from the scalar path"),
+        );
+        if let Some(floor) = num(f, "min_speedup") {
+            let speedup = num(f, "speedup").unwrap_or(f64::NAN);
+            report.check(speedup >= floor, || {
+                format!("batch '{name}': speedup {speedup:.2}x below required {floor:.2}x")
+            });
+        }
+    }
+
+    // Equivalence section: K perturbed instances batched vs scalar —
+    // identical pulse counts, pulse times within the report's own
+    // tolerance.
+    let tol_ps = num(fresh, "pulse_tol_ps").unwrap_or(f64::INFINITY);
+    match get(fresh, "equivalence") {
+        Some(eq) => {
+            report.check(
+                get(eq, "pulse_counts_match").and_then(Value::as_bool) == Some(true),
+                || "batch equivalence: pulse counts diverge from scalar".into(),
+            );
+            let delta = num(eq, "max_pulse_delta_ps").unwrap_or(f64::INFINITY);
+            report.check(delta <= tol_ps, || {
+                format!(
+                    "batch equivalence: max_pulse_delta_ps {delta:.4} exceeds \
+                     pulse_tol_ps {tol_ps:.4}"
+                )
+            });
+        }
+        None => report.check(false, || {
+            "batch report: fresh report lacks an equivalence section".into()
+        }),
+    }
+
+    for (name, b) in &base_entries {
+        let Some((_, f)) = fresh_entries.iter().find(|(n, _)| n == name) else {
+            report.check(false, || {
+                format!("batch '{name}': present in baseline, missing in fresh report")
+            });
+            continue;
+        };
+        check_timing(report, "batch", name, "batched_ms", b, f, tol);
+    }
+}
+
+/// The top-level key identifying each known report schema.
+const KNOWN_SCHEMAS: [&str; 4] = ["sweeps", "cells", "kernels", "batch"];
+
 /// Compare a fresh bench report against its baseline. The schema
-/// (sweep vs solver vs profile) is detected from the baseline's
-/// top-level keys; mismatched schemas fail the gate.
+/// (sweep vs solver vs profile vs batch) is detected from each
+/// report's top-level keys; an unrecognized baseline fails loudly —
+/// naming the keys it does have — rather than being silently skipped,
+/// so pointing the gate at a report it was never taught about is an
+/// error, not a vacuous PASS.
 pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     let mut report = GateReport::default();
     let schema = |v: &Value| {
-        if get(v, "sweeps").is_some() {
-            "sweeps"
-        } else if get(v, "cells").is_some() {
-            "cells"
-        } else if get(v, "kernels").is_some() {
-            "kernels"
-        } else {
-            "unknown"
-        }
+        KNOWN_SCHEMAS
+            .iter()
+            .copied()
+            .find(|&k| get(v, k).is_some())
+            .unwrap_or("unknown")
     };
+    fn keys(v: &Value) -> Vec<&str> {
+        v.as_object()
+            .map(|o| o.iter().map(|(k, _)| k.as_str()).collect())
+            .unwrap_or_default()
+    }
     let (bs, fs) = (schema(base), schema(fresh));
-    report.check(bs != "unknown", || {
-        "baseline report has none of 'sweeps', 'cells', 'kernels'".into()
-    });
+    for (which, s, v) in [("baseline", bs, base), ("fresh", fs, fresh)] {
+        report.check(s != "unknown", || {
+            format!(
+                "{which} report matches no known schema: top-level keys {:?} \
+                 contain none of {KNOWN_SCHEMAS:?} — register the report in \
+                 gate::compare before gating it",
+                keys(v)
+            )
+        });
+    }
     report.check(bs == fs, || {
         format!("schema mismatch: baseline is '{bs}', fresh is '{fs}'")
     });
@@ -347,6 +422,7 @@ pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     match bs {
         "sweeps" => compare_sweeps(base, fresh, tol, &mut report),
         "kernels" => compare_profile(base, fresh, tol, &mut report),
+        "batch" => compare_batch(base, fresh, tol, &mut report),
         _ => compare_solver(base, fresh, tol, &mut report),
     }
     report
@@ -623,5 +699,94 @@ mod tests {
         assert!(!r.passed());
         assert!(r.failures[0].contains("schema mismatch"));
         assert!(compare_json("not json", "{}", &tol).is_err());
+    }
+
+    #[test]
+    fn unknown_schema_fails_loudly_naming_its_keys() {
+        let tol = Tolerances::default();
+        // A report the gate was never taught about (e.g. the faults
+        // yield curves) must fail with a registration hint, not pass
+        // vacuously with zero entry checks.
+        let curves = r#"{"seed":42,"curves":[[{"cell":"jtl","yield":0.99}]]}"#;
+        let r = compare_json(curves, curves, &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("no known schema") && f.contains("curves")),
+            "{:?}",
+            r.failures
+        );
+        // Both sides are diagnosed independently.
+        assert!(
+            r.failures.iter().any(|f| f.starts_with("fresh report")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    fn batch(
+        batched_ms: f64,
+        speedup: f64,
+        identical: bool,
+        counts_match: bool,
+        delta: f64,
+    ) -> String {
+        format!(
+            r#"{{"lanes":4,"pulse_tol_ps":0.5,
+               "batch":[{{"name":"yield_200","scalar_ms":100.0,"batched_ms":{batched_ms},"speedup":{speedup},"min_speedup":2.0,"outcomes_identical":{identical}}},
+                        {{"name":"margins","scalar_ms":20.0,"batched_ms":9.0,"speedup":2.2,"outcomes_identical":{identical}}}],
+               "equivalence":{{"k":4,"pulse_counts_match":{counts_match},"max_pulse_delta_ps":{delta}}}}}"#
+        )
+    }
+
+    #[test]
+    fn batch_reports_are_gated() {
+        let tol = Tolerances::default();
+        let good = batch(40.0, 2.5, true, true, 0.1);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+
+        // Outcome divergence, a missed speedup floor, a pulse-count
+        // mismatch, and an out-of-tolerance pulse delta all fail hard.
+        let r = compare_json(&good, &batch(40.0, 2.5, false, true, 0.1), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&good, &batch(40.0, 1.4, true, true, 0.1), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("below required")),
+            "{:?}",
+            r.failures
+        );
+        let r = compare_json(&good, &batch(40.0, 2.5, true, false, 0.1), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&good, &batch(40.0, 2.5, true, true, 0.9), &tol).unwrap();
+        assert!(!r.passed());
+
+        // Wall-clock regression beyond tolerance fails; a missing
+        // equivalence section fails.
+        let tight = Tolerances {
+            factor: 1.5,
+            abs_ms: 1.0,
+        };
+        let r = compare_json(&good, &batch(90.0, 2.5, true, true, 0.1), &tight).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("batched_ms regressed")),
+            "{:?}",
+            r.failures
+        );
+        let no_eq = r#"{"lanes":4,"pulse_tol_ps":0.5,
+            "batch":[{"name":"yield_200","scalar_ms":100.0,"batched_ms":40.0,"speedup":2.5,"min_speedup":2.0,"outcomes_identical":true},
+                     {"name":"margins","scalar_ms":20.0,"batched_ms":9.0,"speedup":2.2,"outcomes_identical":true}]}"#;
+        let r = compare_json(&good, no_eq, &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("equivalence")),
+            "{:?}",
+            r.failures
+        );
     }
 }

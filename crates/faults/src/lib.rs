@@ -88,6 +88,20 @@ mod tests {
     }
 
     #[test]
+    fn batched_outcomes_match_the_scalar_path_for_every_cell() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let opts = McOptions::new(10);
+        for cell in Cell::all() {
+            jjsim::set_batch_width(Some(1));
+            let scalar = run_outcomes(cell, 0.08, 7, &opts).expect("harness ok");
+            jjsim::set_batch_width(Some(jjsim::LANES));
+            let batched = run_outcomes(cell, 0.08, 7, &opts).expect("harness ok");
+            jjsim::set_batch_width(None);
+            assert_eq!(scalar, batched, "cell {}", cell.name());
+        }
+    }
+
+    #[test]
     fn injected_failures_poison_only_their_samples() {
         let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
         let mut opts = McOptions::new(8);

@@ -27,7 +27,7 @@
 use std::path::{Path, PathBuf};
 
 use jjsim::stdlib::{clocked_and, dff, jtl_chain, AndParams, DffParams, JtlParams};
-use jjsim::{SimError, SimOptions, Solver};
+use jjsim::{BatchedTransient, Circuit, SimError, SimOptions, SimResult, Solver};
 use serde::{Deserialize, Serialize};
 
 use crate::rng::SplitMix64;
@@ -265,6 +265,231 @@ fn run_sample(cell: Cell, sigma: f64, seed: u64, idx: usize, opts: &McOptions) -
     Outcome::NonConvergent
 }
 
+/// Batched transient for one phase of a group's testbenches: `None`
+/// when the batch could not even be constructed (e.g. a perturbed
+/// instance fails validation — rare, handled by the scalar path),
+/// otherwise per-instance results where an `Err` lane already fell
+/// back to the scalar golden path inside
+/// [`BatchedTransient::try_run`].
+fn batch_phase(ckts: Vec<Circuit>, t_end: f64) -> Option<Vec<Result<SimResult, SimError>>> {
+    let batch = BatchedTransient::new(ckts, SimOptions::adaptive()).ok()?;
+    Some(batch.try_run(t_end))
+}
+
+/// Batched verdicts for a lane group of samples without injections.
+/// Returns `None` when the group has to take the per-sample scalar
+/// path instead (batch construction failed). Individual erroring
+/// samples are re-run through [`run_sample`] so the retry accounting
+/// and final [`Outcome`] match the scalar path exactly.
+#[allow(clippy::too_many_lines)]
+fn probe_group_batched(
+    cell: Cell,
+    sigma: f64,
+    seed: u64,
+    idxs: &[usize],
+    opts: &McOptions,
+) -> Option<Vec<Outcome>> {
+    let v = Variation::uniform(sigma);
+    let rng_for = |i: usize| SplitMix64::substream(seed, &[cell.tag(), sigma.to_bits(), i as u64]);
+    let scalar = |i: usize| run_sample(cell, sigma, seed, i, opts);
+    match cell {
+        Cell::Jtl => {
+            let ps: Vec<JtlParams> = idxs
+                .iter()
+                .map(|&i| perturb_jtl(&JtlParams::default(), &v, &mut rng_for(i)))
+                .collect();
+            let mut stages = Vec::new();
+            let ckts: Vec<Circuit> = ps
+                .iter()
+                .map(|p| {
+                    let (c, s) = jtl_chain(4, p);
+                    stages = s;
+                    c
+                })
+                .collect();
+            let runs = batch_phase(ckts, 200e-12)?;
+            Some(
+                idxs.iter()
+                    .zip(runs)
+                    .map(|(&i, r)| match r {
+                        Ok(out) => {
+                            if stages.iter().all(|j| out.pulse_count(*j) == 1) {
+                                Outcome::Pass
+                            } else {
+                                Outcome::Fail
+                            }
+                        }
+                        Err(_) => scalar(i),
+                    })
+                    .collect(),
+            )
+        }
+        Cell::Dff => {
+            let ps: Vec<DffParams> = idxs
+                .iter()
+                .map(|&i| perturb_dff(&DffParams::default(), &v, &mut rng_for(i)))
+                .collect();
+            let mut probes = None;
+            let ckts: Vec<Circuit> = ps
+                .iter()
+                .map(|p| {
+                    let (c, pr) = dff(&[60e-12], &[100e-12], p);
+                    probes = Some(pr);
+                    c
+                })
+                .collect();
+            let probes = probes?;
+            let runs = batch_phase(ckts, 160e-12)?;
+            // Samples that store correctly advance to the silent-clock
+            // bench; the rest already have their verdict.
+            let mut verdict: Vec<Option<Outcome>> = Vec::with_capacity(idxs.len());
+            let mut second: Vec<usize> = Vec::new();
+            for (slot, (&i, r)) in idxs.iter().zip(runs).enumerate() {
+                match r {
+                    Ok(out) => {
+                        let stores = out.pulse_count(probes.input) == 1
+                            && out.pulse_count(probes.output) == 1;
+                        if stores {
+                            verdict.push(None);
+                            second.push(slot);
+                        } else {
+                            verdict.push(Some(Outcome::Fail));
+                        }
+                    }
+                    Err(_) => verdict.push(Some(scalar(i))),
+                }
+            }
+            if !second.is_empty() {
+                let mut probes2 = None;
+                let ckts2: Vec<Circuit> = second
+                    .iter()
+                    .map(|&slot| {
+                        let (c, pr) = dff(&[], &[100e-12], &ps[slot]);
+                        probes2 = Some(pr);
+                        c
+                    })
+                    .collect();
+                let probes2 = probes2?;
+                let runs2 = batch_phase(ckts2, 160e-12)?;
+                for (&slot, r) in second.iter().zip(runs2) {
+                    verdict[slot] = Some(match r {
+                        Ok(out) => {
+                            if out.pulse_count(probes2.output) == 0 {
+                                Outcome::Pass
+                            } else {
+                                Outcome::Fail
+                            }
+                        }
+                        Err(_) => scalar(idxs[slot]),
+                    });
+                }
+            }
+            verdict.into_iter().collect()
+        }
+        Cell::ClockedAnd => {
+            let ps: Vec<AndParams> = idxs
+                .iter()
+                .map(|&i| perturb_and(&AndParams::default(), &v, &mut rng_for(i)))
+                .collect();
+            let mut probes = None;
+            let ckts: Vec<Circuit> = ps
+                .iter()
+                .map(|p| {
+                    let (c, pr) = clocked_and(&[60e-12], &[60e-12], &[100e-12], p);
+                    probes = Some(pr);
+                    c
+                })
+                .collect();
+            let probes = probes?;
+            let runs = batch_phase(ckts, 170e-12)?;
+            let mut verdict: Vec<Option<Outcome>> = Vec::with_capacity(idxs.len());
+            let mut second: Vec<usize> = Vec::new();
+            for (slot, (&i, r)) in idxs.iter().zip(runs).enumerate() {
+                match r {
+                    Ok(out) => {
+                        if out.pulse_count(probes.output) == 1 {
+                            verdict.push(None);
+                            second.push(slot);
+                        } else {
+                            verdict.push(Some(Outcome::Fail));
+                        }
+                    }
+                    Err(_) => verdict.push(Some(scalar(i))),
+                }
+            }
+            if !second.is_empty() {
+                let mut probes2 = None;
+                let ckts2: Vec<Circuit> = second
+                    .iter()
+                    .map(|&slot| {
+                        let (c, pr) = clocked_and(&[60e-12], &[], &[100e-12], &ps[slot]);
+                        probes2 = Some(pr);
+                        c
+                    })
+                    .collect();
+                let probes2 = probes2?;
+                let runs2 = batch_phase(ckts2, 170e-12)?;
+                for (&slot, r) in second.iter().zip(runs2) {
+                    verdict[slot] = Some(match r {
+                        Ok(out) => {
+                            if out.pulse_count(probes2.output) == 0 {
+                                Outcome::Pass
+                            } else {
+                                Outcome::Fail
+                            }
+                        }
+                        Err(_) => scalar(idxs[slot]),
+                    });
+                }
+            }
+            verdict.into_iter().collect()
+        }
+    }
+}
+
+/// Per-sample scalar outcomes with individual panic isolation — the
+/// pre-batching behavior, used directly for injected groups and as the
+/// fallback when a batched group cannot run.
+fn scalar_group(
+    cell: Cell,
+    sigma: f64,
+    seed: u64,
+    idxs: &[usize],
+    opts: &McOptions,
+) -> Vec<Outcome> {
+    sfq_par::par_map_catch(idxs, |&i| run_sample(cell, sigma, seed, i, opts))
+        .into_iter()
+        .map(|r| match r {
+            Ok(o) => o,
+            Err(_panic) => Outcome::Panicked,
+        })
+        .collect()
+}
+
+/// One lane group of a Monte-Carlo chunk. Injected groups keep the
+/// scalar path (injection exercises the per-sample harness, which is
+/// exactly what must stay observable); clean groups run batched, with
+/// any genuine panic demoting the whole group to the per-sample scalar
+/// path so panic isolation still holds sample-by-sample.
+fn run_group(cell: Cell, sigma: f64, seed: u64, idxs: &[usize], opts: &McOptions) -> Vec<Outcome> {
+    let injected = idxs.iter().any(|i| {
+        opts.injection.panic_at.contains(i) || opts.injection.non_convergent_at.contains(i)
+    });
+    if idxs.len() < 2 || injected {
+        return scalar_group(cell, sigma, seed, idxs, opts);
+    }
+    let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        probe_group_batched(cell, sigma, seed, idxs, opts)
+    }));
+    match batched {
+        Ok(Some(outcomes)) => {
+            sfq_obs::inc("faults.mc.batched_groups");
+            outcomes
+        }
+        _ => scalar_group(cell, sigma, seed, idxs, opts),
+    }
+}
+
 fn load_checkpoint(
     path: &Path,
     cell: Cell,
@@ -371,13 +596,39 @@ pub fn run_outcomes(
     while outcomes.len() < n {
         let start = outcomes.len();
         let end = (start + chunk).min(n);
-        let idxs: Vec<usize> = (start..end).collect();
-        let results = sfq_par::par_map_catch(&idxs, |&i| run_sample(cell, sigma, seed, i, opts));
-        for r in results {
-            let outcome = match r {
-                Ok(o) => o,
-                Err(_panic) => Outcome::Panicked,
-            };
+        let width = jjsim::batch_width();
+        let results: Vec<Outcome> = if width < 2 {
+            // Batching disabled: the historical per-sample path.
+            let idxs: Vec<usize> = (start..end).collect();
+            sfq_par::par_map_catch(&idxs, |&i| run_sample(cell, sigma, seed, i, opts))
+                .into_iter()
+                .map(|r| match r {
+                    Ok(o) => o,
+                    Err(_panic) => Outcome::Panicked,
+                })
+                .collect()
+        } else {
+            // Lane groups keyed on the *absolute* sample index, so a
+            // resumed run regroups exactly like an uninterrupted one.
+            let groups: Vec<Vec<usize>> = sfq_par::lane_groups(start, end, width)
+                .into_iter()
+                .map(|r| r.collect())
+                .collect();
+            let per_group =
+                sfq_par::par_map_catch(&groups, |g| run_group(cell, sigma, seed, g, opts));
+            groups
+                .iter()
+                .zip(per_group)
+                .flat_map(|(g, r)| match r {
+                    Ok(outs) => outs,
+                    // A panic in the group *bookkeeping* (the probes
+                    // themselves are already contained): redo this
+                    // group sample-by-sample with panic isolation.
+                    Err(_panic) => scalar_group(cell, sigma, seed, g, opts),
+                })
+                .collect()
+        };
+        for outcome in results {
             if sfq_obs::enabled() {
                 sfq_obs::inc("faults.mc.samples");
                 sfq_obs::inc(match outcome {

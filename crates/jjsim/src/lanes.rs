@@ -1,0 +1,350 @@
+//! Hand-rolled lane arithmetic for the batched transient solver: a
+//! fixed-width `[f64; LANES]` "lane" type plus the banded-LU kernels
+//! rewritten to operate on every lane at once.
+//!
+//! The layout is structure-of-arrays at the matrix-entry level: where
+//! the scalar packed band stores entry `(i, j)` at
+//! `i·(2·bw + 1) + bw + j − i`, the lane form stores a `[f64; LANES]`
+//! at the same index — the same matrix slot of `LANES` independent,
+//! identically-structured systems, contiguous in memory. Every inner
+//! loop then walks contiguous lanes with no shuffles or gathers, which
+//! is exactly the shape LLVM's autovectorizer turns into packed SIMD
+//! (`mulpd`/`subpd` at the SSE2 baseline, `vfmadd...pd` with AVX2
+//! enabled); `scripts/check.sh` smoke-checks the disassembly of
+//! [`factor_banded_packed_lanes`] for packed instructions on x86_64.
+//!
+//! Per-lane arithmetic is fully independent — lane `l` of every output
+//! is bit-identical to running the scalar kernel on lane `l`'s system
+//! alone (asserted in the tests below). That independence is what lets
+//! the batched solver retire a diverging lane without perturbing its
+//! siblings by so much as an ULP.
+
+/// Number of parameter-perturbed instances advanced per batch group.
+///
+/// Four double-precision lanes fill one AVX2 register (two SSE2
+/// registers) and keep the SoA working set of a cell-scale MNA system
+/// inside L1.
+pub const LANES: usize = 4;
+
+/// One matrix/vector slot across all batch lanes.
+pub type Lane = [f64; LANES];
+
+/// A lane with every element zero.
+pub const ZERO: Lane = [0.0; LANES];
+
+/// Broadcast a scalar to every lane.
+#[inline]
+#[must_use]
+pub fn splat(x: f64) -> Lane {
+    [x; LANES]
+}
+
+/// Row width of the packed band layout for half-bandwidth `bw`
+/// (identical to the scalar layout; lanes widen the entries, not the
+/// rows).
+#[inline]
+#[must_use]
+pub fn band_width(bw: usize) -> usize {
+    2 * bw + 1
+}
+
+/// Smallest pivot magnitude the no-pivot elimination accepts; matches
+/// the scalar banded kernels.
+const PIVOT_MIN: f64 = 1e-300;
+
+/// Lane-batched in-place LU factorization of `LANES` packed band
+/// matrices (`a` has length `n · (2·bw + 1)`, each entry one [`Lane`]).
+/// Gaussian elimination without pivoting, multipliers stored in the
+/// zeroed positions — per lane the exact operation sequence of the
+/// scalar `factor_banded_packed`, so each lane's factors are
+/// bit-identical to factoring that lane's system alone.
+///
+/// Returns a per-lane success mask. A lane whose pivot magnitude drops
+/// below the scalar kernels' floor is marked `false` and its
+/// multiplier for that column is forced to zero so the elimination
+/// stays finite in every lane; the failed lane's factors are garbage
+/// and the caller must retire it (the batched solver finishes such
+/// instances on the scalar path, whose pivoting dense fallback is the
+/// golden reference for near-singular systems).
+///
+/// `#[inline(never)]` keeps a standalone symbol for the CI disassembly
+/// smoke check.
+#[inline(never)]
+#[must_use]
+pub fn factor_banded_packed_lanes(a: &mut [Lane], n: usize, bw: usize) -> [bool; LANES] {
+    let w = band_width(bw);
+    debug_assert_eq!(a.len(), n * w);
+    let mut ok = [true; LANES];
+    for col in 0..n {
+        let pivot = a[col * w + bw];
+        let mut inv = ZERO;
+        for l in 0..LANES {
+            if pivot[l].abs() < PIVOT_MIN {
+                ok[l] = false;
+                // Leave inv at 0: multipliers in this lane become 0 and
+                // the elimination is a finite no-op for it.
+            } else {
+                inv[l] = 1.0 / pivot[l];
+            }
+        }
+        let row_end = (col + bw + 1).min(n);
+        let len = row_end - (col + 1);
+        let (head, tail) = a.split_at_mut((col + 1) * w);
+        let crow = &head[col * w..];
+        let src = &crow[bw + 1..bw + 1 + len];
+        for (r, rrow) in tail.chunks_exact_mut(w).take(len).enumerate() {
+            // Column `col` of matrix row `col + 1 + r` in packed form.
+            let off = bw - (r + 1);
+            let mut factor = ZERO;
+            for l in 0..LANES {
+                factor[l] = rrow[off][l] * inv[l];
+            }
+            rrow[off] = factor;
+            // Columns `col+1..row_end` are contiguous in both rows:
+            // dst[k] -= factor * src[k], all lanes at once.
+            let dst = &mut rrow[off + 1..off + 1 + len];
+            for (d, s) in dst.iter_mut().zip(src) {
+                for l in 0..LANES {
+                    d[l] -= factor[l] * s[l];
+                }
+            }
+        }
+    }
+    ok
+}
+
+/// Lane-batched triangular solves against a factorization from
+/// [`factor_banded_packed_lanes`]; `b` holds the per-lane solutions on
+/// return. Per lane bit-identical to the scalar
+/// `solve_factored_packed`. Lanes whose factorization failed produce
+/// garbage (possibly non-finite) in their own lane only.
+pub fn solve_factored_packed_lanes(a: &[Lane], b: &mut [Lane], n: usize, bw: usize) {
+    let w = band_width(bw);
+    debug_assert_eq!(a.len(), n * w);
+    debug_assert_eq!(b.len(), n);
+    // Forward-eliminate b with the stored multipliers.
+    for col in 0..n {
+        let row_end = (col + bw + 1).min(n);
+        let bc = b[col];
+        for row in (col + 1)..row_end {
+            let factor = a[row * w + bw - (row - col)];
+            for l in 0..LANES {
+                b[row][l] -= factor[l] * bc[l];
+            }
+        }
+    }
+    // Back substitution: the superdiagonal of each row and the matching
+    // stretch of `b` are both contiguous.
+    for row in (0..n).rev() {
+        let k_end = (row + bw + 1).min(n);
+        let len = k_end - (row + 1);
+        let arow = &a[row * w..(row + 1) * w];
+        let mut sum = b[row];
+        for (ak, bk) in arow[bw + 1..bw + 1 + len].iter().zip(&b[row + 1..k_end]) {
+            for l in 0..LANES {
+                sum[l] -= ak[l] * bk[l];
+            }
+        }
+        for l in 0..LANES {
+            b[row][l] = sum[l] / arow[bw][l];
+        }
+    }
+}
+
+/// Lane-batched `sin`/`cos` of a small rotation angle, |x| ≲ 0.5 rad.
+///
+/// The batched Newton loop needs `sin`/`cos` of
+/// `φₖ = phase + Δ` where `phase` is constant within a step (its
+/// `sin`/`cos` are computed once per commit via libm) and
+/// `Δ = φ_coef·(vb + vb_prev)` is the small per-iteration phase
+/// advance. Evaluating the rotation by Taylor polynomial keeps the
+/// whole jj-linearization kernel branch-free and vectorizable; the
+/// truncation error (≤ 2·10⁻¹¹ abs at |x| = 0.5, terms through x⁹/x¹⁰)
+/// perturbs junction currents by ≲ 10⁻¹⁴·Ic — far below the 1 nV
+/// Newton tolerance, so converged iterates are unaffected at solver
+/// accuracy. Callers fall back to per-lane libm when |Δ| exceeds
+/// [`ROT_MAX`].
+#[inline]
+#[must_use]
+pub fn sin_cos_rot(x: Lane) -> (Lane, Lane) {
+    let mut s = ZERO;
+    let mut c = ZERO;
+    for l in 0..LANES {
+        let x2 = x[l] * x[l];
+        // sin x = x·(1 − x²/6 + x⁴/120 − x⁶/5040 + x⁸/362880)
+        s[l] = x[l]
+            * (1.0
+                + x2 * (-1.0 / 6.0
+                    + x2 * (1.0 / 120.0 + x2 * (-1.0 / 5040.0 + x2 * (1.0 / 362_880.0)))));
+        // cos x = 1 − x²/2 + x⁴/24 − x⁶/720 + x⁸/40320 − x¹⁰/3628800
+        c[l] = 1.0
+            + x2 * (-0.5
+                + x2 * (1.0 / 24.0
+                    + x2 * (-1.0 / 720.0 + x2 * (1.0 / 40_320.0 + x2 * (-1.0 / 3_628_800.0)))));
+    }
+    (s, c)
+}
+
+/// Rotation angle above which [`sin_cos_rot`]'s polynomial loses the
+/// accuracy headroom documented there; callers use per-lane libm
+/// beyond it. Accepted adaptive steps keep junction phase advances
+/// under `PHASE_MAX_STEP` = 0.35 rad, so the fallback only triggers on
+/// wild pre-rejection Newton iterates.
+pub const ROT_MAX: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar packed-band reference kernels (duplicated from
+    /// `linalg.rs`'s public-for-tests surface via the same algorithm;
+    /// `linalg`'s own are `pub(crate)` so we use them directly).
+    use crate::linalg::{factor_banded_packed, solve_factored_packed};
+
+    /// Deterministic diagonally dominant packed band system, distinct
+    /// per lane seed.
+    fn band_system_packed(n: usize, bw: usize, seed0: u64) -> (Vec<f64>, Vec<f64>) {
+        let w = band_width(bw);
+        let mut seed = seed0;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = vec![0.0; n * w];
+        for i in 0..n {
+            for j in i.saturating_sub(bw)..(i + bw + 1).min(n) {
+                let v = if i == j {
+                    4.0 + rnd().abs()
+                } else if (i + j) % 5 != 0 {
+                    rnd()
+                } else {
+                    0.0
+                };
+                a[i * w + bw + j - i] = v;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| rnd() * 3.0 + i as f64 * 0.1).collect();
+        (a, b)
+    }
+
+    fn interleave(mats: &[Vec<f64>]) -> Vec<Lane> {
+        let len = mats[0].len();
+        (0..len)
+            .map(|i| {
+                let mut lane = ZERO;
+                for (l, m) in mats.iter().enumerate() {
+                    lane[l] = m[i];
+                }
+                lane
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_factor_solve_bit_identical_per_lane() {
+        for (n, bw) in [(3usize, 1usize), (10, 1), (40, 1), (12, 2), (40, 3), (7, 6)] {
+            let systems: Vec<(Vec<f64>, Vec<f64>)> = (0..LANES as u64)
+                .map(|l| band_system_packed(n, bw, 0x9e3779b97f4a7c15 ^ (l * 0x1234_5678)))
+                .collect();
+            let mats: Vec<Vec<f64>> = systems.iter().map(|(a, _)| a.clone()).collect();
+            let rhss: Vec<Vec<f64>> = systems.iter().map(|(_, b)| b.clone()).collect();
+
+            let mut lanes_a = interleave(&mats);
+            let ok = factor_banded_packed_lanes(&mut lanes_a, n, bw);
+            assert_eq!(ok, [true; LANES], "n={n} bw={bw}");
+            let mut lanes_b = interleave(&rhss);
+            solve_factored_packed_lanes(&lanes_a, &mut lanes_b, n, bw);
+
+            for l in 0..LANES {
+                let mut lu_ref = mats[l].clone();
+                assert!(factor_banded_packed(&mut lu_ref, n, bw));
+                let mut x_ref = rhss[l].clone();
+                solve_factored_packed(&lu_ref, &mut x_ref, n, bw);
+                for i in 0..n * band_width(bw) {
+                    assert_eq!(
+                        lanes_a[i][l].to_bits(),
+                        lu_ref[i].to_bits(),
+                        "factor n={n} bw={bw} lane={l} idx={i}"
+                    );
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        lanes_b[i][l].to_bits(),
+                        x_ref[i].to_bits(),
+                        "solve n={n} bw={bw} lane={l} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_is_masked_without_disturbing_siblings() {
+        let (n, bw) = (12usize, 2usize);
+        let systems: Vec<(Vec<f64>, Vec<f64>)> = (0..LANES as u64)
+            .map(|l| band_system_packed(n, bw, 0xdead_beef ^ (l * 77)))
+            .collect();
+        let mut mats: Vec<Vec<f64>> = systems.iter().map(|(a, _)| a.clone()).collect();
+        let rhss: Vec<Vec<f64>> = systems.iter().map(|(_, b)| b.clone()).collect();
+        // Make lane 2 singular: zero a diagonal and its band row so
+        // elimination cannot rescue the pivot.
+        let w = band_width(bw);
+        let bad = 2usize;
+        for j in 0..w {
+            for row in 3..6 {
+                mats[bad][row * w + j] = 0.0;
+            }
+        }
+
+        let mut lanes_a = interleave(&mats);
+        let ok = factor_banded_packed_lanes(&mut lanes_a, n, bw);
+        assert!(!ok[bad], "singular lane not flagged");
+        for (l, &is_ok) in ok.iter().enumerate() {
+            if l != bad {
+                assert!(is_ok, "healthy lane {l} flagged");
+            }
+        }
+        let mut lanes_b = interleave(&rhss);
+        solve_factored_packed_lanes(&lanes_a, &mut lanes_b, n, bw);
+        // Healthy lanes must still match their solo scalar solve bit
+        // for bit.
+        for l in 0..LANES {
+            if l == bad {
+                continue;
+            }
+            let mut lu_ref = mats[l].clone();
+            assert!(factor_banded_packed(&mut lu_ref, n, bw));
+            let mut x_ref = rhss[l].clone();
+            solve_factored_packed(&lu_ref, &mut x_ref, n, bw);
+            for i in 0..n {
+                assert_eq!(
+                    lanes_b[i][l].to_bits(),
+                    x_ref[i].to_bits(),
+                    "lane {l} row {i} disturbed by singular sibling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_polynomial_accuracy() {
+        for k in 0..=100 {
+            let x = -ROT_MAX + 2.0 * ROT_MAX * (k as f64) / 100.0;
+            let (s, c) = sin_cos_rot(splat(x));
+            for l in 0..LANES {
+                assert!(
+                    (s[l] - x.sin()).abs() < 2e-11,
+                    "sin({x}) err {}",
+                    s[l] - x.sin()
+                );
+                assert!(
+                    (c[l] - x.cos()).abs() < 2e-11,
+                    "cos({x}) err {}",
+                    c[l] - x.cos()
+                );
+            }
+        }
+    }
+}

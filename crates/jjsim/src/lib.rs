@@ -40,9 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod circuit;
 mod error;
 pub mod extract;
+pub mod lanes;
 mod linalg;
 pub mod margins;
 pub mod netlist;
@@ -50,8 +52,10 @@ mod solver;
 pub mod stdlib;
 mod waveform;
 
+pub use batch::{batch_width, set_batch_width, BatchedTransient};
 pub use circuit::{Circuit, ElementId, JjParams, NodeId};
 pub use error::SimError;
+pub use lanes::LANES;
 pub use netlist::{parse_netlist, NetlistError, ParsedNetlist};
 pub use solver::{transient_runs, SimOptions, SimResult, Solver, StepControl};
 pub use waveform::Waveform;

@@ -419,8 +419,8 @@ pub struct SimResult {
     pub dt: f64,
     /// Final simulation time.
     pub t_end: f64,
-    pulse_times: Vec<Vec<f64>>,
-    final_phases: Vec<f64>,
+    pub(crate) pulse_times: Vec<Vec<f64>>,
+    pub(crate) final_phases: Vec<f64>,
     /// Total energy dissipated in all resistive elements, joules.
     pub dissipated_j: f64,
     /// Energy dissipated per junction shunt, joules (indexed like the

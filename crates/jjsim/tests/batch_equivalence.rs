@@ -1,0 +1,102 @@
+//! Property-based equivalence of lane-batched transient solving
+//! against the scalar golden path: for K parameter-perturbed
+//! `jtl_chain_40` instances, the batched run must reproduce the
+//! scalar run's pulse counts exactly and its pulse times within the
+//! BENCH_solver tolerance (0.5 ps) — including ragged K that pads or
+//! splits lane groups (K ∈ {1, 3, 4, 13}) and forced mid-run lane
+//! retirement, which must not disturb sibling lanes.
+
+use jjsim::stdlib::{jtl_chain, JtlParams};
+use jjsim::{BatchedTransient, SimOptions, Solver};
+use proptest::prelude::*;
+
+/// Batched pulse times may differ from scalar by at most this much.
+const PULSE_TOL_PS: f64 = 0.5;
+const N_STAGES: usize = 40;
+const T_END: f64 = 200e-12;
+
+/// Build K `jtl_chain_40` instances with critical currents spread
+/// evenly across `1 ± spread/2`.
+fn perturbed(k: usize, spread: f64) -> Vec<(jjsim::Circuit, Vec<jjsim::ElementId>)> {
+    (0..k)
+        .map(|i| {
+            let frac = if k > 1 {
+                i as f64 / (k - 1) as f64
+            } else {
+                0.5
+            };
+            let mut p = JtlParams::default();
+            p.ic *= 1.0 - spread / 2.0 + spread * frac;
+            jtl_chain(N_STAGES, &p)
+        })
+        .collect()
+}
+
+/// Assert every instance's batched pulses match its scalar run.
+fn assert_matches_scalar(
+    built: &[(jjsim::Circuit, Vec<jjsim::ElementId>)],
+    batch: &BatchedTransient,
+) {
+    let opts = SimOptions::adaptive();
+    let batched = batch.try_run(T_END);
+    assert_eq!(batched.len(), built.len());
+    for (i, ((ckt, stages), b)) in built.iter().zip(batched).enumerate() {
+        let b = b.expect("batched run converges");
+        let s = Solver::new(ckt.clone(), opts.clone())
+            .expect("scalar solver builds")
+            .try_run(T_END)
+            .expect("scalar run converges");
+        for &jj in stages {
+            let (bt, st) = (b.pulse_times(jj), s.pulse_times(jj));
+            assert_eq!(
+                bt.len(),
+                st.len(),
+                "instance {i} pulse count diverged from scalar"
+            );
+            for (tb, ts) in bt.iter().zip(st) {
+                let delta_ps = (tb - ts).abs() * 1e12;
+                assert!(
+                    delta_ps <= PULSE_TOL_PS,
+                    "instance {i} pulse delta {delta_ps:.4} ps exceeds {PULSE_TOL_PS} ps"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Ragged batch sizes — a lone scalar tail (K=1), a padded group
+    /// (K=3), a full group (K=4 = LANES), and full groups plus a
+    /// padded remainder (K=13) — all reproduce the scalar pulses.
+    #[test]
+    fn batched_pulses_match_scalar_across_ragged_k(spread in 0.0f64..0.10) {
+        jjsim::set_batch_width(Some(jjsim::LANES));
+        let opts = SimOptions::adaptive();
+        for &k in &[1usize, 3, 4, 13] {
+            let built = perturbed(k, spread);
+            let circuits = built.iter().map(|(c, _)| c.clone()).collect();
+            let batch = BatchedTransient::new(circuits, opts.clone())
+                .expect("perturbed instances share topology");
+            assert_matches_scalar(&built, &batch);
+        }
+    }
+
+    /// A forced mid-run Newton-failure retirement finishes the victim
+    /// on the scalar path (so it trivially matches) and must leave
+    /// every sibling lane's pulses untouched.
+    #[test]
+    fn forced_retirement_does_not_disturb_siblings(
+        victim in 0usize..4,
+        t_frac in 0.2f64..0.8,
+    ) {
+        jjsim::set_batch_width(Some(jjsim::LANES));
+        let built = perturbed(4, 0.06);
+        let circuits = built.iter().map(|(c, _)| c.clone()).collect();
+        let mut batch = BatchedTransient::new(circuits, SimOptions::adaptive())
+            .expect("perturbed instances share topology");
+        batch.inject_newton_failure(victim, t_frac * T_END);
+        assert_matches_scalar(&built, &batch);
+    }
+}

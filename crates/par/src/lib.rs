@@ -581,6 +581,31 @@ where
     out
 }
 
+/// Cut the index range `start..end` into contiguous groups aligned on
+/// absolute multiples of `width` — the batch-aware chunking for
+/// consumers that feed lane-batched solvers (`jjsim::BatchedTransient`
+/// callers fan out over these groups, one batched group per task).
+///
+/// Alignment is on the *absolute* index, not the range offset:
+/// `lane_groups(6, 14, 4)` yields `[6..8, 8..12, 12..14]`. Group
+/// membership therefore depends only on an item's index, so a resumed
+/// or differently-chunked run regroups (and batches) identically — the
+/// same invariant the pool's index-keyed reassembly gives scalar maps.
+///
+/// `width == 0` is treated as 1 (every item its own group).
+pub fn lane_groups(start: usize, end: usize, width: usize) -> Vec<std::ops::Range<usize>> {
+    let width = width.max(1);
+    let mut groups = Vec::new();
+    let mut i = start;
+    while i < end {
+        let boundary = (i / width + 1) * width;
+        let stop = boundary.min(end);
+        groups.push(i..stop);
+        i = stop;
+    }
+    groups
+}
+
 /// A task that panicked inside [`par_map_catch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskPanic {
@@ -666,6 +691,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_groups_align_on_absolute_indices() {
+        // Alignment depends only on the absolute index, not the range
+        // offset — the invariant that makes resumed runs regroup
+        // (and therefore batch) identically.
+        let whole = lane_groups(0, 14, 4);
+        assert_eq!(whole, vec![0..4, 4..8, 8..12, 12..14]);
+        let resumed = lane_groups(6, 14, 4);
+        assert_eq!(resumed, vec![6..8, 8..12, 12..14]);
+        // Every group of the resumed run is a suffix of (or equal to)
+        // the corresponding group of the full run.
+        for g in &resumed {
+            assert!(
+                whole.iter().any(|w| w.start <= g.start && w.end == g.end),
+                "group {g:?} is not nested in the full-run grouping"
+            );
+        }
+        assert_eq!(lane_groups(3, 3, 4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(lane_groups(0, 3, 0), vec![0..1, 1..2, 2..3]);
+    }
 
     #[test]
     fn matches_serial_exactly_and_handles_nesting() {

@@ -51,12 +51,43 @@ echo "== profiling smoke gate =="
 # and the kernel report must re-parse through the bench gate (a
 # self-compare). profile_report itself exits nonzero unless the
 # disabled path recorded zero frames before the profiler was enabled.
-cargo build --release -p supernpu-bench --bin profile_report --bin bench_compare
+cargo build --release -p supernpu-bench \
+    --bin profile_report --bin bench_compare --bin bench_batch
 target/release/profile_report --smoke \
     --out "$tmp/profile.json" --bench-out "$tmp/BENCH_profile.json" >/dev/null
 test -s "$tmp/profile.folded" || { echo "profiling smoke: empty profile.folded" >&2; exit 1; }
 target/release/bench_compare \
     --baseline "$tmp/BENCH_profile.json" --fresh "$tmp/BENCH_profile.json" >/dev/null
+
+echo "== batch smoke gate =="
+# Shrunken batched-vs-scalar run: outcome identity and pulse-time
+# equivalence are hard-checked inside bench_batch (the speedup floor
+# only binds on full runs); the emitted report must re-parse through
+# the bench gate (a self-compare).
+target/release/bench_batch --smoke --out "$tmp/BENCH_batch.json" >/dev/null
+target/release/bench_compare \
+    --baseline "$tmp/BENCH_batch.json" --fresh "$tmp/BENCH_batch.json" >/dev/null
+
+echo "== batch SIMD codegen check =="
+# The lane LU factor kernel must compile to packed SSE arithmetic on
+# x86_64 release builds — the whole point of the [f64; LANES] layout.
+# Skipped where objdump is missing or the target is not x86_64.
+if command -v objdump >/dev/null && [[ "$(uname -m)" == "x86_64" ]]; then
+    # (awk must read to EOF — an early exit would SIGPIPE objdump
+    # under `set -o pipefail`.)
+    factor_asm="$(objdump -d target/release/bench_batch \
+        | awk '/<.*factor_banded_packed_lanes.*>:/{f=1} f&&/^$/{f=0} f{print}')"
+    if [[ -z "$factor_asm" ]]; then
+        echo "batch SIMD check: factor_banded_packed_lanes symbol not found" >&2
+        exit 1
+    fi
+    if ! grep -Eq 'mulpd|subpd|divpd|vfmadd.*pd' <<<"$factor_asm"; then
+        echo "batch SIMD check: no packed double ops in factor_banded_packed_lanes" >&2
+        exit 1
+    fi
+else
+    echo "(skipped: objdump or x86_64 unavailable)"
+fi
 
 echo "== trace example end-to-end =="
 # The example writes a Chrome trace and exits nonzero unless the file
@@ -76,7 +107,8 @@ cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used -D clippy::
 if [[ $RUN_BENCH -eq 1 ]]; then
     echo "== bench-regression gate (--bench) =="
     cargo build --release -p supernpu-bench \
-        --bin bench_solver --bin bench_sweeps --bin bench_compare --bin profile_report
+        --bin bench_solver --bin bench_sweeps --bin bench_compare --bin profile_report \
+        --bin bench_batch
     repo="$(pwd)"
     (cd "$tmp" && "$repo/target/release/bench_solver" >/dev/null)
     # --points adds the granularity stress sweep: 1e5 synthetic design
@@ -96,6 +128,13 @@ if [[ $RUN_BENCH -eq 1 ]]; then
         --out "$tmp/profile_full.json" --bench-out "$tmp/BENCH_profile.json" >/dev/null
     target/release/bench_compare \
         --baseline BENCH_profile.json --fresh "$tmp/BENCH_profile.json"
+    # Full batched-vs-scalar run: bench_batch itself hard-fails if the
+    # yield workload's SIMD speedup misses its recorded floor or any
+    # outcome diverges from the scalar path; bench_compare re-checks
+    # against the committed baseline.
+    (cd "$tmp" && "$repo/target/release/bench_batch" >/dev/null)
+    target/release/bench_compare \
+        --baseline BENCH_batch.json --fresh "$tmp/BENCH_batch.json"
 fi
 
 echo "All checks passed."

@@ -108,7 +108,57 @@ fn profiling_end_to_end() {
         run.counters
     );
 
-    // --- 5. Exports: collapsed stacks and JSON round-trip --------------
+    // --- 5. Batched solver kernels attribute under solver.run ----------
+    // The lane-batched path must merge its kernel times under the same
+    // `solver.run` frame (inside a `solver.batch` wrapper) with the
+    // scalar kernel names, so the kernel-coverage gate counts batched
+    // work as ordinary solver work.
+    jjsim::set_batch_width(Some(jjsim::LANES));
+    {
+        let _f = prof::frame("test_batch");
+        let circuits: Vec<_> = [1.0, 0.97, 1.03, 1.06]
+            .iter()
+            .map(|s| {
+                let mut p = jjsim::stdlib::JtlParams::default();
+                p.ic *= s;
+                jjsim::stdlib::jtl_chain(10, &p).0
+            })
+            .collect();
+        let batch = jjsim::BatchedTransient::new(circuits, jjsim::SimOptions::adaptive())
+            .expect("batch builds");
+        for r in batch.try_run(100e-12) {
+            r.expect("batched transient converges");
+        }
+    }
+    jjsim::set_batch_width(None);
+    let report = prof::snapshot();
+    let batch_run = report
+        .path("test_batch;solver.batch;solver.run")
+        .expect("batched solver.run frame recorded under solver.batch");
+    assert_eq!(batch_run.calls, 1);
+    for kernel in ["stamp", "newton;jj_stamp_rhs", "newton;lu_factor", "commit"] {
+        let p = report
+            .path(&format!("test_batch;solver.batch;solver.run;{kernel}"))
+            .unwrap_or_else(|| panic!("batched kernel path '{kernel}' missing"));
+        assert!(p.calls > 0, "batched kernel '{kernel}' recorded zero calls");
+    }
+    assert!(
+        report.descendants_self_ms("test_batch;solver.batch;solver.run") > 0.0,
+        "batched kernel self-times all zero — coverage gate would see an opaque run"
+    );
+    let batch_frame = report
+        .path("test_batch;solver.batch")
+        .expect("solver.batch wrapper frame recorded");
+    assert!(
+        batch_frame
+            .counters
+            .iter()
+            .any(|c| c.name == "batch_lanes" && c.value > 0),
+        "batch lane-occupancy counters missing: {:?}",
+        batch_frame.counters
+    );
+
+    // --- 6. Exports: collapsed stacks and JSON round-trip --------------
     let folded = report.to_folded();
     assert!(!folded.is_empty());
     for line in folded.lines() {
