@@ -25,6 +25,7 @@ use jjsim::stdlib::{jtl_chain, JtlParams};
 use jjsim::{margins, BatchedTransient, SimOptions, Solver};
 use serde_json::Value;
 use sfq_faults::{run_outcomes, Cell, McOptions, Outcome};
+use supernpu_bench::report::{die, write_report};
 
 /// The yield workload must be at least this much faster batched.
 const MIN_SPEEDUP: f64 = 2.0;
@@ -73,7 +74,10 @@ fn bench<T: PartialEq>(
         batched_ms = batched_ms.min(ms);
     }
     jjsim::set_batch_width(None);
-    let identical = scalar_out.expect("reps >= 1") == batched_out.expect("reps >= 1");
+    let identical = match (scalar_out, batched_out) {
+        (Some(s), Some(b)) => s == b,
+        _ => die(format!("{name}: benchmark needs reps >= 1")),
+    };
     println!(
         "{name}: scalar {scalar_ms:8.1} ms | batched {batched_ms:8.1} ms | \
          speedup {:4.2}x | identical: {identical}",
@@ -112,18 +116,18 @@ fn equivalence(n_stages: usize) -> Equivalence {
 
     jjsim::set_batch_width(Some(jjsim::LANES));
     let batched = BatchedTransient::new(circuits.clone(), opts.clone())
-        .expect("equivalence circuits are valid")
+        .unwrap_or_else(|e| die(format!("equivalence circuits invalid: {e}")))
         .try_run(t_end);
     jjsim::set_batch_width(None);
 
     let mut counts_match = true;
     let mut max_delta_ps: f64 = 0.0;
     for ((ckt, stages), b) in built.iter().zip(batched) {
-        let b = b.expect("batched equivalence run converges");
+        let b = b.unwrap_or_else(|e| die(format!("batched equivalence run failed: {e}")));
         let s = Solver::new(ckt.clone(), opts.clone())
-            .expect("scalar solver builds")
+            .unwrap_or_else(|e| die(format!("scalar solver build failed: {e}")))
             .try_run(t_end)
-            .expect("scalar equivalence run converges");
+            .unwrap_or_else(|e| die(format!("scalar equivalence run failed: {e}")));
         for &jj in stages {
             let (bt, st) = (b.pulse_times(jj), s.pulse_times(jj));
             if bt.len() != st.len() {
@@ -154,7 +158,7 @@ fn main() {
         let mut path = "BENCH_batch.json".to_owned();
         while let Some(a) = args.next() {
             if a == "--out" {
-                path = args.next().expect("--out takes a path");
+                path = args.next().unwrap_or_else(|| die("--out takes a path"));
             }
         }
         path
@@ -169,14 +173,18 @@ fn main() {
 
     let (samples, reps) = if smoke { (40, 1) } else { (200, 5) };
     let mc = McOptions::new(samples);
-    let mut yield_run =
-        || -> Vec<Outcome> { run_outcomes(Cell::Jtl, 0.08, 42, &mc).expect("yield workload runs") };
+    let mut yield_run = || -> Vec<Outcome> {
+        run_outcomes(Cell::Jtl, 0.08, 42, &mc)
+            .unwrap_or_else(|e| die(format!("yield workload failed: {e}")))
+    };
     let yield_wl = bench("yield_200", reps, !smoke, &mut yield_run);
 
     let mut margins_run = || {
         margins::clear_probe_cache();
-        let jtl = margins::jtl_bias_margin().expect("jtl margin converges");
-        let dff = margins::dff_bias_margin().expect("dff margin converges");
+        let jtl =
+            margins::jtl_bias_margin().unwrap_or_else(|e| die(format!("jtl margin failed: {e}")));
+        let dff =
+            margins::dff_bias_margin().unwrap_or_else(|e| die(format!("dff margin failed: {e}")));
         [
             jtl.low.to_bits(),
             jtl.high.to_bits(),
@@ -220,8 +228,11 @@ fn main() {
             ]),
         ),
     ]);
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| die(format!("report serialization failed: {e}")));
+    if let Err(e) = write_report(&out_path, &json) {
+        die(e);
+    }
     println!("\nwrote {out_path}");
 
     // Self-gate, mirroring what bench_compare enforces: identity and

@@ -34,6 +34,7 @@ use std::path::PathBuf;
 use serde::Serialize as _;
 use serde_json::Value;
 use sfq_faults::{run_outcomes, yield_curve, Cell, Injection, McOptions, YieldPoint};
+use supernpu_bench::report::{die, write_report};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -111,7 +112,13 @@ fn resume_check(cell: Cell, sigma: f64, seed: u64, opts: &McOptions) -> bool {
     // outcomes in the checkpoint's JSON shape, then resume.
     let path = PathBuf::from("results/faults/resume_demo.checkpoint.json");
     let prefix = &reference[..reference.len() / 2];
-    let prefix_json = serde_json::to_string(&prefix.to_vec()).expect("serialize prefix");
+    let prefix_json = match serde_json::to_string(&prefix.to_vec()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("resume check prefix serialization failed: {e}");
+            return false;
+        }
+    };
     let text = format!(
         "{{\"cell\": \"{}\", \"sigma_bits\": {}, \"seed\": {seed}, \"samples\": {}, \
          \"outcomes\": {prefix_json}}}",
@@ -119,8 +126,10 @@ fn resume_check(cell: Cell, sigma: f64, seed: u64, opts: &McOptions) -> bool {
         sigma.to_bits(),
         opts.samples,
     );
-    std::fs::create_dir_all("results/faults").expect("mkdir results/faults");
-    std::fs::write(&path, text).expect("write prefix checkpoint");
+    if let Err(e) = write_report(&path, &text) {
+        eprintln!("resume check could not persist prefix checkpoint: {e}");
+        return false;
+    }
 
     let mut resume_opts = opts.clone();
     resume_opts.checkpoint_every = opts.checkpoint_every.max(1);
@@ -256,8 +265,11 @@ fn main() {
         ("resume_identical".into(), Value::Bool(resume_identical)),
         ("metrics".into(), metrics.serialize()),
     ]);
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| die(format!("report serialization failed: {e}")));
+    if let Err(e) = write_report("BENCH_faults.json", &json) {
+        die(e);
+    }
     println!("wrote BENCH_faults.json");
     supernpu_bench::write_metrics();
 

@@ -18,6 +18,7 @@ use jjsim::stdlib::{
 };
 use jjsim::{Circuit, ElementId, SimOptions, SimResult, Solver};
 use serde_json::Value;
+use supernpu_bench::report::{die, write_report};
 
 /// Maximum tolerated pulse-time shift between the two modes, seconds.
 const PULSE_TOL_S: f64 = 0.5e-12;
@@ -43,13 +44,19 @@ fn timed(build: &dyn Fn() -> Circuit, opts: &SimOptions, t_end: f64) -> (SimResu
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..3 {
-        let solver = Solver::new(build(), opts.clone()).expect("valid stdlib circuit");
+        let solver = Solver::new(build(), opts.clone())
+            .unwrap_or_else(|e| die(format!("stdlib circuit invalid: {e}")));
         let t0 = Instant::now();
-        let res = solver.try_run(t_end).expect("stdlib transient converges");
+        let res = solver
+            .try_run(t_end)
+            .unwrap_or_else(|e| die(format!("stdlib transient failed: {e}")));
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         out = Some(res);
     }
-    (out.expect("three iterations ran"), best)
+    match out {
+        Some(res) => (res, best),
+        None => die("timed(): zero iterations ran"),
+    }
 }
 
 fn bench(
@@ -236,8 +243,11 @@ fn main() {
         ("cells".into(), Value::Array(rows)),
         ("banded_cell".into(), Value::Object(banded_row)),
     ]);
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| die(format!("report serialization failed: {e}")));
+    if let Err(e) = write_report("BENCH_solver.json", &json) {
+        die(e);
+    }
     println!("wrote BENCH_solver.json");
 
     if !all_match {

@@ -31,6 +31,7 @@ use serde::Serialize as _;
 use serde_json::Value;
 use sfq_estimator::{estimate_uncached, NpuConfig};
 use supernpu::explore::{fig20_buffer_sweep, fig21_resource_sweep, fig22_register_sweep};
+use supernpu_bench::report::{die, write_report};
 
 const MB: u64 = 1024 * 1024;
 
@@ -230,7 +231,10 @@ fn main() {
     let n_points = std::env::args()
         .skip_while(|a| a != "--points")
         .nth(1)
-        .map(|v| v.parse::<usize>().expect("--points takes a count"));
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| die("--points takes a count"))
+        });
     sfq_obs::set_enabled(true);
     supernpu_bench::header(
         "BENCH sweeps",
@@ -248,13 +252,16 @@ fn main() {
 
     let sweeps: [(&'static str, &dyn Fn() -> String); 3] = [
         ("fig20_buffer_sweep", &|| {
-            serde_json::to_string(&fig20_buffer_sweep()).unwrap()
+            serde_json::to_string(&fig20_buffer_sweep())
+                .unwrap_or_else(|e| die(format!("fig20_buffer_sweep serialization failed: {e}")))
         }),
         ("fig21_resource_sweep", &|| {
-            serde_json::to_string(&fig21_resource_sweep()).unwrap()
+            serde_json::to_string(&fig21_resource_sweep())
+                .unwrap_or_else(|e| die(format!("fig21_resource_sweep serialization failed: {e}")))
         }),
         ("fig22_register_sweep", &|| {
-            serde_json::to_string(&fig22_register_sweep()).unwrap()
+            serde_json::to_string(&fig22_register_sweep())
+                .unwrap_or_else(|e| die(format!("fig22_register_sweep serialization failed: {e}")))
         }),
     ];
     let results: Vec<SweepResult> = sweeps
@@ -303,8 +310,11 @@ fn main() {
         report.push(("stress".into(), Value::Array(stress_rows)));
     }
     let report = Value::Object(report);
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    std::fs::write("BENCH_sweeps.json", &json).expect("write BENCH_sweeps.json");
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| die(format!("report serialization failed: {e}")));
+    if let Err(e) = write_report("BENCH_sweeps.json", &json) {
+        die(e);
+    }
     println!("\nwrote BENCH_sweeps.json");
 
     if results.iter().any(|r| !r.identical) {

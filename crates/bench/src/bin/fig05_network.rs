@@ -4,6 +4,7 @@
 use sfq_cells::CellLibrary;
 use sfq_estimator::netdesign::{fig5_sweep, NetworkDesign};
 use supernpu::report::{f, render_table};
+use supernpu_bench::report::die;
 
 fn main() {
     supernpu_bench::header("Fig. 5", "network-unit comparison (§III-A)");
@@ -17,14 +18,14 @@ fn main() {
             let p = points
                 .iter()
                 .find(|p| p.width == width && p.design == design)
-                .expect("sweep covers all combinations");
+                .unwrap_or_else(|| die(format!("fig5 sweep missing width {width} / {design:?}")));
             row.push(f(p.critical_path_ps, 1));
         }
         for design in NetworkDesign::ALL {
             let p = points
                 .iter()
                 .find(|p| p.width == width && p.design == design)
-                .expect("sweep covers all combinations");
+                .unwrap_or_else(|| die(format!("fig5 sweep missing width {width} / {design:?}")));
             row.push(f(p.area_mm2, 2));
         }
         rows.push(row);

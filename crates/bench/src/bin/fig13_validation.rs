@@ -17,6 +17,7 @@ use sfq_cells::{CellLibrary, GateKind};
 use sfq_estimator::clocking::feedback_comparison;
 use sfq_estimator::{estimate, NpuConfig};
 use supernpu::report::{f, render_table};
+use supernpu_bench::report::die;
 
 fn err_pct(model: f64, golden: f64) -> String {
     format!("{:+.1}%", 100.0 * (model - golden) / golden)
@@ -26,14 +27,16 @@ fn main() {
     supernpu_bench::header("Fig. 13", "model validation (§IV-A.4)");
     let lib = CellLibrary::aist_10um();
 
-    let jtl = jtl_characteristics(8, &JtlParams::default()).expect("JTL transient converges");
-    let spl = splitter_delay(&JtlParams::default()).expect("splitter transient converges");
-    let dff_d = dff_clock_to_q(&DffParams::default()).expect("DFF transient converges");
-    let dff_e = dff_cycle_energy(&DffParams::default()).expect("DFF transient converges");
+    let fail =
+        |what: &str, e: jjsim::SimError| -> ! { die(format!("{what} transient failed: {e}")) };
+    let jtl = jtl_characteristics(8, &JtlParams::default()).unwrap_or_else(|e| fail("JTL", e));
+    let spl = splitter_delay(&JtlParams::default()).unwrap_or_else(|e| fail("splitter", e));
+    let dff_d = dff_clock_to_q(&DffParams::default()).unwrap_or_else(|e| fail("DFF", e));
+    let dff_e = dff_cycle_energy(&DffParams::default()).unwrap_or_else(|e| fail("DFF", e));
     let sr_f = max_shift_frequency(&DffParams::default(), 5.0, 50.0)
-        .expect("shift-register bisection converges");
-    let and_d = and_clock_to_q(&AndParams::default()).expect("AND transient converges");
-    let and_e = and_cycle_energy(&AndParams::default()).expect("AND transient converges");
+        .unwrap_or_else(|e| fail("shift-register", e));
+    let and_d = and_clock_to_q(&AndParams::default()).unwrap_or_else(|e| fail("AND", e));
+    let and_e = and_cycle_energy(&AndParams::default()).unwrap_or_else(|e| fail("AND", e));
 
     let model_sr_ghz = feedback_comparison(&lib).sr_feedback_ghz;
     let rows = vec![

@@ -3,6 +3,7 @@
 
 use supernpu::explore::fig22_register_sweep;
 use supernpu::report::{f, render_table};
+use supernpu_bench::report::die;
 
 fn main() {
     let _metrics = sfq_obs::dump_on_exit();
@@ -13,7 +14,7 @@ fn main() {
         let perf = |w: u32| {
             pts.iter()
                 .find(|p| p.width == w && p.regs == regs)
-                .expect("sweep covers the grid")
+                .unwrap_or_else(|| die(format!("fig22 sweep missing width {w} / regs {regs}")))
                 .performance
         };
         rows.push(vec![regs.to_string(), f(perf(64), 1), f(perf(128), 1)]);

@@ -33,6 +33,7 @@ use jjsim::stdlib::{jtl_chain, JtlParams};
 use jjsim::{SimOptions, Solver};
 use serde_json::Value;
 use sfq_obs::prof;
+use supernpu_bench::report::die;
 
 /// Required fraction of `banded_cell;solver.run` inclusive time
 /// explained by profiled descendant self-times (full mode).
@@ -47,8 +48,11 @@ fn usage() -> ! {
 fn banded_transient(stages: usize, t_end: f64) {
     let _pf = prof::frame("banded_cell");
     let (circuit, _probes) = jtl_chain(stages, &JtlParams::default());
-    let solver = Solver::new(circuit, SimOptions::adaptive()).expect("valid stdlib circuit");
-    solver.try_run(t_end).expect("stdlib transient converges");
+    let solver = Solver::new(circuit, SimOptions::adaptive())
+        .unwrap_or_else(|e| die(format!("stdlib circuit rejected: {e}")));
+    solver
+        .try_run(t_end)
+        .unwrap_or_else(|e| die(format!("stdlib transient failed: {e}")));
 }
 
 fn main() {
@@ -102,8 +106,9 @@ fn main() {
     } else {
         supernpu::explore::fig20_buffer_sweep();
         sfq_chars::clear_measure_cache();
-        sfq_chars::characterize().expect("stdlib characterization converges");
-        sfq_chars::measure().expect("cached measurement is infallible"); // cache hit
+        sfq_chars::characterize()
+            .unwrap_or_else(|e| die(format!("stdlib characterization failed: {e}")));
+        sfq_chars::measure().unwrap_or_else(|e| die(format!("cached measurement failed: {e}"))); // cache hit
         banded_transient(40, 400e-12);
         "fig20 sweep + stdlib characterization + banded-cell transient"
     };
@@ -169,9 +174,7 @@ fn main() {
         ("total_self_ms".into(), Value::F64(report.total_self_ms)),
         ("kernels".into(), Value::Array(kernels)),
     ]);
-    let json = serde_json::to_string_pretty(&bench).expect("bench report serializes");
-    std::fs::write(&bench_out, &json).expect("write bench report");
-    println!("wrote {bench_out}");
+    supernpu_bench::report::write_json_report(&bench_out, &bench).unwrap_or_else(|e| die(e));
 
     // JSON + collapsed-stack exports (path set above or via env).
     match prof::flush() {

@@ -28,9 +28,14 @@ pub const EXPERIMENTS: &[&str] = &[
     "full_report",
 ];
 
+use supernpu_bench::report::die;
+
 fn main() -> ExitCode {
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("binary directory");
+    let me = std::env::current_exe()
+        .unwrap_or_else(|e| die(format!("cannot locate own executable: {e}")));
+    let dir = me
+        .parent()
+        .unwrap_or_else(|| die("executable has no parent directory"));
     for name in EXPERIMENTS {
         let bin = dir.join(name);
         let status = Command::new(&bin).status();

@@ -47,7 +47,9 @@ fn parse_args() -> Result<Args, String> {
                 // Write the SuperNPU architecture description as a
                 // template the user can edit and pass back via --arch.
                 let cfg = SimConfig::paper_supernpu();
-                println!("{}", serde_json::to_string_pretty(&cfg).expect("config serializes"));
+                let json = supernpu_bench::report::to_json_pretty("config", &cfg)
+                    .unwrap_or_else(|e| supernpu_bench::report::die(e));
+                println!("{json}");
                 std::process::exit(0);
             }
             "--help" | "-h" => {
@@ -121,7 +123,8 @@ fn main() -> ExitCode {
     if args.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&stats).expect("stats serialize")
+            supernpu_bench::report::to_json_pretty("stats", &stats)
+                .unwrap_or_else(|e| supernpu_bench::report::die(e))
         );
     } else {
         println!("{net}");

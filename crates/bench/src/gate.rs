@@ -379,8 +379,82 @@ fn compare_batch(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Gat
     }
 }
 
+fn compare_robust(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut GateReport) {
+    let base_entries = entries(base, "robust");
+    let fresh_entries = entries(fresh, "robust");
+    report.check(!fresh_entries.is_empty(), || {
+        "robust report: no sweep entries in fresh report".into()
+    });
+
+    // Hard correctness of the fresh run alone: no point is ever
+    // silently lost, and the five terminal-state counters must
+    // account for every point — a gap would mean the runner dropped a
+    // point without labeling it, the exact failure mode the guard
+    // layer exists to remove.
+    for (name, f) in &fresh_entries {
+        let lost = num(f, "lost").unwrap_or(f64::NAN);
+        report.check(lost == 0.0, || {
+            format!("robust '{name}': {lost} point(s) silently lost")
+        });
+        let points = num(f, "points").unwrap_or(f64::NAN);
+        let sum: f64 = ["completed", "degraded", "timed_out", "cancelled", "failed"]
+            .iter()
+            .map(|k| num(f, k).unwrap_or(f64::NAN))
+            .sum();
+        report.check(sum == points, || {
+            format!("robust '{name}': state counts ({sum}) do not cover all {points} points")
+        });
+    }
+
+    // Overhead section: guards-disabled parity (bit-identical values,
+    // within the producer's own overhead budget).
+    match get(fresh, "overhead") {
+        Some(ov) => {
+            report.check(
+                get(ov, "values_match").and_then(Value::as_bool) == Some(true),
+                || "robust overhead: unguarded resilient sweep diverged from plain sweep".into(),
+            );
+            report.check(
+                get(ov, "within_overhead").and_then(Value::as_bool) == Some(true),
+                || {
+                    format!(
+                        "robust overhead: guards-disabled overhead {:.1}% exceeds budget {:.0}%",
+                        num(ov, "overhead_frac").unwrap_or(f64::NAN) * 100.0,
+                        num(ov, "max_overhead_frac").unwrap_or(f64::NAN) * 100.0
+                    )
+                },
+            );
+        }
+        None => report.check(false, || {
+            "robust report: fresh report lacks an overhead section".into()
+        }),
+    }
+
+    // Resume section: a killed-then-resumed sweep must reproduce the
+    // uninterrupted run byte-for-byte.
+    match get(fresh, "resume") {
+        Some(rs) => report.check(
+            get(rs, "resume_identical").and_then(Value::as_bool) == Some(true),
+            || "robust resume: resumed sweep diverged from the uninterrupted reference".into(),
+        ),
+        None => report.check(false, || {
+            "robust report: fresh report lacks a resume section".into()
+        }),
+    }
+
+    for (name, b) in &base_entries {
+        let Some((_, f)) = fresh_entries.iter().find(|(n, _)| n == name) else {
+            report.check(false, || {
+                format!("robust '{name}': present in baseline, missing in fresh report")
+            });
+            continue;
+        };
+        check_timing(report, "robust", name, "ms", b, f, tol);
+    }
+}
+
 /// The top-level key identifying each known report schema.
-const KNOWN_SCHEMAS: [&str; 4] = ["sweeps", "cells", "kernels", "batch"];
+const KNOWN_SCHEMAS: [&str; 5] = ["sweeps", "cells", "kernels", "batch", "robust"];
 
 /// Compare a fresh bench report against its baseline. The schema
 /// (sweep vs solver vs profile vs batch) is detected from each
@@ -423,6 +497,7 @@ pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
         "sweeps" => compare_sweeps(base, fresh, tol, &mut report),
         "kernels" => compare_profile(base, fresh, tol, &mut report),
         "batch" => compare_batch(base, fresh, tol, &mut report),
+        "robust" => compare_robust(base, fresh, tol, &mut report),
         _ => compare_solver(base, fresh, tol, &mut report),
     }
     report
@@ -720,6 +795,93 @@ mod tests {
         // Both sides are diagnosed independently.
         assert!(
             r.failures.iter().any(|f| f.starts_with("fresh report")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    fn robust(lost: u64, completed: u64, within: bool, values: bool, resume: bool) -> String {
+        format!(
+            r#"{{"robust":[{{"name":"fig20_unguarded","points":8,"completed":{completed},"degraded":0,"timed_out":0,"cancelled":0,"failed":{lost},"lost":{lost},"restored":0,"ms":12.0}}],
+               "chaos_seed":2024,
+               "overhead":{{"plain_ms":12.0,"guarded_ms":12.2,"overhead_frac":0.016,"max_overhead_frac":0.02,"within_overhead":{within},"values_match":{values}}},
+               "resume":{{"resume_identical":{resume},"restored":2}}}}"#
+        )
+    }
+
+    #[test]
+    fn robust_reports_are_gated() {
+        let tol = Tolerances::default();
+        let good = robust(0, 8, true, true, true);
+        let r = compare_json(&good, &good, &tol).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+
+        // A silently lost point fails hard.
+        let r = compare_json(&good, &robust(1, 7, true, true, true), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("silently lost")),
+            "{:?}",
+            r.failures
+        );
+
+        // State counts that fail to cover every point fail hard.
+        let r = compare_json(&good, &robust(0, 5, true, true, true), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("do not cover")),
+            "{:?}",
+            r.failures
+        );
+
+        // Overhead beyond the producer's budget, value divergence, and
+        // a non-identical resume each fail hard.
+        let r = compare_json(&good, &robust(0, 8, false, true, true), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("overhead")),
+            "{:?}",
+            r.failures
+        );
+        let r = compare_json(&good, &robust(0, 8, true, false, true), &tol).unwrap();
+        assert!(!r.passed());
+        let r = compare_json(&good, &robust(0, 8, true, true, false), &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("resume")),
+            "{:?}",
+            r.failures
+        );
+
+        // Missing overhead/resume sections fail rather than pass
+        // vacuously; a baseline entry vanishing from the fresh report
+        // fails.
+        let bare = r#"{"robust":[{"name":"fig20_unguarded","points":8,"completed":8,"degraded":0,"timed_out":0,"cancelled":0,"failed":0,"lost":0,"restored":0,"ms":12.0}]}"#;
+        let r = compare_json(&good, bare, &tol).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures.iter().any(|f| f.contains("overhead section")));
+        assert!(r.failures.iter().any(|f| f.contains("resume section")));
+        let renamed = good.replace("fig20_unguarded", "fig20_other");
+        let r = compare_json(&good, &renamed, &tol).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("missing in fresh report")),
+            "{:?}",
+            r.failures
+        );
+
+        // Wall-clock regression beyond tolerance fails.
+        let tight = Tolerances {
+            factor: 1.5,
+            abs_ms: 1.0,
+        };
+        let slow = good.replace("\"ms\":12.0", "\"ms\":120.0");
+        let r = compare_json(&good, &slow, &tight).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("ms regressed")),
             "{:?}",
             r.failures
         );

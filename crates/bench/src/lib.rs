@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod report;
 
 /// Print the standard experiment header.
 pub fn header(id: &str, paper_ref: &str) {

@@ -1,0 +1,110 @@
+//! Typed report I/O for the experiment binaries.
+//!
+//! The bench bins' job is to leave artifacts (`BENCH_*.json`,
+//! `results/*`) on disk; losing one to a torn write or a swallowed
+//! error defeats the point of running them. This module gives every
+//! bin the same two primitives:
+//!
+//! * [`write_report`] — serialize-and-persist through the guard
+//!   layer's atomic writer (temp sibling + fsync + rename), with a
+//!   typed [`ReportError`] instead of a bare `expect` on `fs::write`;
+//! * [`die`] — the graceful exit for unrecoverable setup failures
+//!   (bad CLI flag, non-convergent reference transient): message to
+//!   stderr, nonzero exit code, no panic backtrace noise.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Why a report could not be produced.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Serialization failed (a bug in the report structs, surfaced
+    /// with its source).
+    Serialize {
+        /// Which report was being serialized.
+        what: String,
+        /// Serializer error text.
+        message: String,
+    },
+    /// The filesystem refused the write.
+    Io {
+        /// Destination path.
+        path: PathBuf,
+        /// I/O error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Serialize { what, message } => {
+                write!(f, "could not serialize {what}: {message}")
+            }
+            ReportError::Io { path, message } => {
+                write!(f, "could not write {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Serialize `value` as pretty JSON, with a typed error naming the
+/// report instead of a panic.
+///
+/// # Errors
+///
+/// [`ReportError::Serialize`] when the value does not serialize.
+pub fn to_json_pretty<T: Serialize>(what: &str, value: &T) -> Result<String, ReportError> {
+    serde_json::to_string_pretty(value).map_err(|e| ReportError::Serialize {
+        what: what.to_owned(),
+        message: e.to_string(),
+    })
+}
+
+/// Write `contents` to `path` atomically (parent dirs created, temp
+/// sibling + fsync + rename via [`sfq_guard::checkpoint`]): a crash
+/// or full disk mid-write leaves either the old artifact or the new
+/// one, never a torn file.
+///
+/// # Errors
+///
+/// [`ReportError::Io`] with the destination path on any filesystem
+/// failure.
+pub fn write_report(path: impl AsRef<Path>, contents: &str) -> Result<(), ReportError> {
+    let path = path.as_ref();
+    sfq_guard::checkpoint::atomic_write(path, contents.as_bytes()).map_err(|e| ReportError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
+}
+
+/// Serialize and atomically persist in one step, then echo the path.
+///
+/// # Errors
+///
+/// Either [`ReportError`] variant.
+pub fn write_json_report<T: Serialize>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), ReportError> {
+    let path = path.as_ref();
+    let json = to_json_pretty(&path.display().to_string(), value)?;
+    write_report(path, &json)?;
+    println!("\nreport written to {}", path.display());
+    Ok(())
+}
+
+/// Exit the binary with a message on stderr and a nonzero code — the
+/// bench bins' replacement for `expect` on unrecoverable setup
+/// failures (CLI misuse, a reference transient that refuses to
+/// converge). Unlike a panic it produces one readable line, and
+/// unlike `unwrap` it cannot be mistaken for a reachable-by-design
+/// path by the clippy gate.
+pub fn die(msg: impl fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -8,6 +8,7 @@ use sfq_npu_sim::SimConfig;
 use sfq_par::{par_map_catch, par_map_catch_keyed};
 
 use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
+use crate::resilient::{run_resilient, sweep_identity, ResilientOpts, SweepError, SweepReport};
 
 const MB: u64 = 1024 * 1024;
 
@@ -57,25 +58,49 @@ pub struct BufferSweepPoint {
     pub area: f64,
 }
 
-/// The buffer-optimization sweep (Fig. 20): buffer integration, then
-/// increasing division degrees, in performance (single and max batch)
-/// and area, all normalized to Baseline.
-pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
-    let _sweep = sfq_obs::span("explore.fig20.ms");
-    let _prof = sfq_obs::prof::frame("explore.fig20");
-    let _trace = sfq_obs::trace::span("sweep", "fig20 buffer sweep");
-    sfq_obs::log(sfq_obs::Level::Info, || {
-        "fig20: buffer-division sweep starting".into()
-    });
-    let lib = CellLibrary::aist_10um();
-    let nets = paper_workloads();
-    let baseline_cfg = SimConfig::paper_baseline();
-    let base_single = geomean_tmacs(&baseline_cfg, &nets, true);
-    let base_max = geomean_tmacs(&baseline_cfg, &nets, false);
-    let base_area = estimate(&baseline_cfg.npu, &lib).area_mm2_native;
+/// The division degrees swept by Fig. 20 (plus the implicit
+/// division-1 Baseline bar).
+const FIG20_DIVISIONS: [u32; 7] = [2, 4, 16, 64, 256, 1024, 4096];
 
-    let divisions = [2u32, 4, 16, 64, 256, 1024, 4096];
-    let swept = par_map_catch(&divisions, |&division| {
+/// Shared per-sweep context: immutable inputs plus the Baseline
+/// normalizers, built once and reused by every point (and by both
+/// the plain and the resilient sweep drivers).
+struct Fig20Ctx {
+    lib: CellLibrary,
+    nets: Vec<Network>,
+    base_single: f64,
+    base_max: f64,
+    base_area: f64,
+}
+
+impl Fig20Ctx {
+    fn new() -> Self {
+        let lib = CellLibrary::aist_10um();
+        let nets = paper_workloads();
+        let baseline_cfg = SimConfig::paper_baseline();
+        let base_single = geomean_tmacs(&baseline_cfg, &nets, true);
+        let base_max = geomean_tmacs(&baseline_cfg, &nets, false);
+        let base_area = estimate(&baseline_cfg.npu, &lib).area_mm2_native;
+        Fig20Ctx {
+            lib,
+            nets,
+            base_single,
+            base_max,
+            base_area,
+        }
+    }
+
+    fn baseline_point() -> BufferSweepPoint {
+        BufferSweepPoint {
+            label: "Baseline".into(),
+            division: 1,
+            single_batch: 1.0,
+            max_batch: 1.0,
+            area: 1.0,
+        }
+    }
+
+    fn point(&self, division: u32) -> BufferSweepPoint {
         let _point = sfq_obs::span("explore.fig20.point_ms");
         let _ppoint = if sfq_obs::prof::detail_enabled() {
             sfq_obs::prof::frame(&format!("fig20 d={division}"))
@@ -92,25 +117,69 @@ pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
         } else {
             format!("+Division {division}")
         };
-        let cfg = SimConfig::from_npu(npu, &lib);
+        let cfg = SimConfig::from_npu(npu, &self.lib);
         BufferSweepPoint {
             label,
             division,
-            single_batch: geomean_tmacs(&cfg, &nets, true) / base_single,
-            max_batch: geomean_tmacs(&cfg, &nets, false) / base_max,
-            area: estimate(&cfg.npu, &lib).area_mm2_native / base_area,
+            single_batch: geomean_tmacs(&cfg, &self.nets, true) / self.base_single,
+            max_batch: geomean_tmacs(&cfg, &self.nets, false) / self.base_max,
+            area: estimate(&cfg.npu, &self.lib).area_mm2_native / self.base_area,
         }
-    });
+    }
+}
 
-    let mut points = vec![BufferSweepPoint {
-        label: "Baseline".into(),
-        division: 1,
-        single_batch: 1.0,
-        max_batch: 1.0,
-        area: 1.0,
-    }];
+/// The buffer-optimization sweep (Fig. 20): buffer integration, then
+/// increasing division degrees, in performance (single and max batch)
+/// and area, all normalized to Baseline.
+pub fn fig20_buffer_sweep() -> Vec<BufferSweepPoint> {
+    let _sweep = sfq_obs::span("explore.fig20.ms");
+    let _prof = sfq_obs::prof::frame("explore.fig20");
+    let _trace = sfq_obs::trace::span("sweep", "fig20 buffer sweep");
+    sfq_obs::log(sfq_obs::Level::Info, || {
+        "fig20: buffer-division sweep starting".into()
+    });
+    let ctx = Fig20Ctx::new();
+    let swept = par_map_catch(&FIG20_DIVISIONS, |&division| ctx.point(division));
+    let mut points = vec![Fig20Ctx::baseline_point()];
     points.extend(collect_sweep("fig20", swept));
     points
+}
+
+/// [`fig20_buffer_sweep`] under execution guards: deadline/cancel
+/// budget, retry-with-backoff, per-point terminal labels and
+/// checkpoint/resume, via [`crate::resilient::run_resilient`]. Point
+/// 0 is the Baseline bar; points 1..=7 are the division degrees. The
+/// fallback rung re-evaluates the point inline (the evaluation is
+/// deterministic closed-form work, so an inline retry outside the
+/// parallel dispatch is the reliable bottom of the ladder).
+///
+/// # Errors
+///
+/// Checkpoint-layer trouble only; see [`SweepError`].
+pub fn fig20_buffer_sweep_resilient(
+    opts: &ResilientOpts,
+) -> Result<SweepReport<BufferSweepPoint>, SweepError> {
+    let _sweep = sfq_obs::span("explore.fig20.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig20 buffer sweep (resilient)");
+    let ctx = Fig20Ctx::new();
+    let eval = |i: usize| {
+        if i == 0 {
+            Fig20Ctx::baseline_point()
+        } else {
+            ctx.point(FIG20_DIVISIONS[i - 1])
+        }
+    };
+    let mut ident: Vec<u64> = vec![FIG20_DIVISIONS.len() as u64 + 1];
+    ident.extend(FIG20_DIVISIONS.iter().map(|&d| u64::from(d)));
+    let eval = &eval;
+    run_resilient(
+        "fig20",
+        sweep_identity(&ident),
+        FIG20_DIVISIONS.len() + 1,
+        opts,
+        eval,
+        Some(eval),
+    )
 }
 
 // ---------------------------------------------------------------- Fig 21
@@ -133,31 +202,36 @@ pub struct ResourceSweepPoint {
     pub intensity: f64,
 }
 
-/// The resource-balancing sweep (Fig. 21): shrink the PE-array width,
-/// reinvest the area into buffer capacity (the paper's capacity
-/// schedule), and measure max-batch performance and intensity.
-pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
-    let _sweep = sfq_obs::span("explore.fig21.ms");
-    let _prof = sfq_obs::prof::frame("explore.fig21");
-    let _trace = sfq_obs::trace::span("sweep", "fig21 resource sweep");
-    sfq_obs::log(sfq_obs::Level::Info, || {
-        "fig21: resource-balancing sweep starting".into()
-    });
-    let lib = CellLibrary::aist_10um();
-    let nets = paper_workloads();
-    let baseline_cfg = SimConfig::paper_baseline();
-    let base_max = geomean_tmacs(&baseline_cfg, &nets, false);
-    let base_intensity = geomean(
-        &nets
-            .iter()
-            .map(|n| dnn_models::intensity::network_intensity(n, 1))
-            .collect::<Vec<_>>(),
-    );
+/// The paper's width → total-buffer schedule (Fig. 21 x-axis).
+const FIG21_SCHEDULE: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
 
-    // The paper's width → total-buffer schedule (Fig. 21 x-axis).
-    let schedule: [(u32, u32); 5] = [(256, 24), (128, 38), (64, 46), (32, 50), (16, 51)];
+struct Fig21Ctx {
+    lib: CellLibrary,
+    nets: Vec<Network>,
+    base_max: f64,
+    base_intensity: f64,
+}
 
-    let swept = par_map_catch(&schedule, |&(width, buffer_mb)| {
+impl Fig21Ctx {
+    fn new() -> Self {
+        let lib = CellLibrary::aist_10um();
+        let nets = paper_workloads();
+        let base_max = geomean_tmacs(&SimConfig::paper_baseline(), &nets, false);
+        let base_intensity = geomean(
+            &nets
+                .iter()
+                .map(|n| dnn_models::intensity::network_intensity(n, 1))
+                .collect::<Vec<_>>(),
+        );
+        Fig21Ctx {
+            lib,
+            nets,
+            base_max,
+            base_intensity,
+        }
+    }
+
+    fn point(&self, width: u32, buffer_mb: u32) -> ResourceSweepPoint {
         let _point = sfq_obs::span("explore.fig21.point_ms");
         let _ppoint = if sfq_obs::prof::detail_enabled() {
             sfq_obs::prof::frame(&format!("fig21 w={width} b={buffer_mb}MB"))
@@ -177,30 +251,78 @@ pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
                 division: 64 * (256 / width).max(1),
                 ..NpuConfig::paper_baseline()
             };
-            SimConfig::from_npu(npu, &lib)
+            SimConfig::from_npu(npu, &self.lib)
         };
         let fixed = make(24);
         let added = make(u64::from(buffer_mb));
 
         let intensity = geomean(
-            &nets
+            &self
+                .nets
                 .iter()
                 .map(|n| {
                     let b = sfq_npu_sim::structural_max_batch(&added.npu, n);
                     dnn_models::intensity::network_intensity(n, b)
                 })
                 .collect::<Vec<_>>(),
-        ) / base_intensity;
+        ) / self.base_intensity;
 
         ResourceSweepPoint {
             width,
             buffer_mb,
-            max_batch_fixed_buffer: geomean_tmacs(&fixed, &nets, false) / base_max,
-            max_batch_added_buffer: geomean_tmacs(&added, &nets, false) / base_max,
+            max_batch_fixed_buffer: geomean_tmacs(&fixed, &self.nets, false) / self.base_max,
+            max_batch_added_buffer: geomean_tmacs(&added, &self.nets, false) / self.base_max,
             intensity,
         }
+    }
+}
+
+/// The resource-balancing sweep (Fig. 21): shrink the PE-array width,
+/// reinvest the area into buffer capacity (the paper's capacity
+/// schedule), and measure max-batch performance and intensity.
+pub fn fig21_resource_sweep() -> Vec<ResourceSweepPoint> {
+    let _sweep = sfq_obs::span("explore.fig21.ms");
+    let _prof = sfq_obs::prof::frame("explore.fig21");
+    let _trace = sfq_obs::trace::span("sweep", "fig21 resource sweep");
+    sfq_obs::log(sfq_obs::Level::Info, || {
+        "fig21: resource-balancing sweep starting".into()
+    });
+    let ctx = Fig21Ctx::new();
+    let swept = par_map_catch(&FIG21_SCHEDULE, |&(width, buffer_mb)| {
+        ctx.point(width, buffer_mb)
     });
     collect_sweep("fig21", swept)
+}
+
+/// [`fig21_resource_sweep`] under execution guards (see
+/// [`fig20_buffer_sweep_resilient`] for the ladder).
+///
+/// # Errors
+///
+/// Checkpoint-layer trouble only; see [`SweepError`].
+pub fn fig21_resource_sweep_resilient(
+    opts: &ResilientOpts,
+) -> Result<SweepReport<ResourceSweepPoint>, SweepError> {
+    let _sweep = sfq_obs::span("explore.fig21.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig21 resource sweep (resilient)");
+    let ctx = Fig21Ctx::new();
+    let eval = |i: usize| {
+        let (width, buffer_mb) = FIG21_SCHEDULE[i];
+        ctx.point(width, buffer_mb)
+    };
+    let ident: Vec<u64> = FIG21_SCHEDULE
+        .iter()
+        .map(|&(w, b)| (u64::from(w) << 32) | u64::from(b))
+        .collect();
+    let eval = &eval;
+    run_resilient(
+        "fig21",
+        sweep_identity(&ident),
+        FIG21_SCHEDULE.len(),
+        opts,
+        eval,
+        Some(eval),
+    )
 }
 
 // ---------------------------------------------------------------- Fig 22
@@ -216,6 +338,62 @@ pub struct RegisterSweepPoint {
     pub performance: f64,
 }
 
+fn fig22_grid() -> Vec<(u32, u64, u32)> {
+    let mut grid = Vec::new();
+    for (width, buffer_mb) in [(64u32, 46u64), (128, 38)] {
+        for regs in [1u32, 2, 4, 8, 16, 32] {
+            grid.push((width, buffer_mb, regs));
+        }
+    }
+    grid
+}
+
+struct Fig22Ctx {
+    lib: CellLibrary,
+    nets: Vec<Network>,
+    base_max: f64,
+}
+
+impl Fig22Ctx {
+    fn new() -> Self {
+        let lib = CellLibrary::aist_10um();
+        let nets = paper_workloads();
+        let base_max = geomean_tmacs(&SimConfig::paper_baseline(), &nets, false);
+        Fig22Ctx {
+            lib,
+            nets,
+            base_max,
+        }
+    }
+
+    fn point(&self, width: u32, buffer_mb: u64, regs: u32) -> RegisterSweepPoint {
+        let _point = sfq_obs::span("explore.fig22.point_ms");
+        let _ppoint = if sfq_obs::prof::detail_enabled() {
+            sfq_obs::prof::frame(&format!("fig22 w={width} r={regs}"))
+        } else {
+            sfq_obs::prof::frame("fig22.point")
+        };
+        let npu = NpuConfig {
+            name: format!("w{width} r{regs}"),
+            array_width: width,
+            regs_per_pe: regs,
+            ifmap_buf_bytes: buffer_mb * MB / 2,
+            output_buf_bytes: buffer_mb * MB / 2,
+            psum_buf_bytes: 0,
+            integrated_output: true,
+            division: 64 * (256 / width).max(1),
+            weight_buf_bytes: 16 * 1024 * u64::from(regs),
+            ..NpuConfig::paper_baseline()
+        };
+        let cfg = SimConfig::from_npu(npu, &self.lib);
+        RegisterSweepPoint {
+            width,
+            regs,
+            performance: geomean_tmacs(&cfg, &self.nets, false) / self.base_max,
+        }
+    }
+}
+
 /// The per-PE register sweep (Fig. 22) at widths 64 and 128 with the
 /// Fig. 21 "added buffer" capacities.
 pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
@@ -225,15 +403,8 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
     sfq_obs::log(sfq_obs::Level::Info, || {
         "fig22: per-PE register sweep starting".into()
     });
-    let lib = CellLibrary::aist_10um();
-    let nets = paper_workloads();
-    let base_max = geomean_tmacs(&SimConfig::paper_baseline(), &nets, false);
-    let mut grid = Vec::new();
-    for (width, buffer_mb) in [(64u32, 46u64), (128, 38)] {
-        for regs in [1u32, 2, 4, 8, 16, 32] {
-            grid.push((width, buffer_mb, regs));
-        }
-    }
+    let ctx = Fig22Ctx::new();
+    let grid = fig22_grid();
     // Keyed by array width: every point of one width shares the same
     // characterization and estimate-cache working set, so steering a
     // width's points to one worker keeps those cache lines (and the
@@ -241,34 +412,41 @@ pub fn fig22_register_sweep() -> Vec<RegisterSweepPoint> {
     let swept = par_map_catch_keyed(
         &grid,
         |&(width, _, _)| u64::from(width),
-        |&(width, buffer_mb, regs)| {
-            let _point = sfq_obs::span("explore.fig22.point_ms");
-            let _ppoint = if sfq_obs::prof::detail_enabled() {
-                sfq_obs::prof::frame(&format!("fig22 w={width} r={regs}"))
-            } else {
-                sfq_obs::prof::frame("fig22.point")
-            };
-            let npu = NpuConfig {
-                name: format!("w{width} r{regs}"),
-                array_width: width,
-                regs_per_pe: regs,
-                ifmap_buf_bytes: buffer_mb * MB / 2,
-                output_buf_bytes: buffer_mb * MB / 2,
-                psum_buf_bytes: 0,
-                integrated_output: true,
-                division: 64 * (256 / width).max(1),
-                weight_buf_bytes: 16 * 1024 * u64::from(regs),
-                ..NpuConfig::paper_baseline()
-            };
-            let cfg = SimConfig::from_npu(npu, &lib);
-            RegisterSweepPoint {
-                width,
-                regs,
-                performance: geomean_tmacs(&cfg, &nets, false) / base_max,
-            }
-        },
+        |&(width, buffer_mb, regs)| ctx.point(width, buffer_mb, regs),
     );
     collect_sweep("fig22", swept)
+}
+
+/// [`fig22_register_sweep`] under execution guards (see
+/// [`fig20_buffer_sweep_resilient`] for the ladder).
+///
+/// # Errors
+///
+/// Checkpoint-layer trouble only; see [`SweepError`].
+pub fn fig22_register_sweep_resilient(
+    opts: &ResilientOpts,
+) -> Result<SweepReport<RegisterSweepPoint>, SweepError> {
+    let _sweep = sfq_obs::span("explore.fig22.ms");
+    let _trace = sfq_obs::trace::span("sweep", "fig22 register sweep (resilient)");
+    let ctx = Fig22Ctx::new();
+    let grid = fig22_grid();
+    let eval = |i: usize| {
+        let (width, buffer_mb, regs) = grid[i];
+        ctx.point(width, buffer_mb, regs)
+    };
+    let ident: Vec<u64> = grid
+        .iter()
+        .map(|&(w, b, r)| (u64::from(w) << 40) | (b << 8) | u64::from(r))
+        .collect();
+    let eval = &eval;
+    run_resilient(
+        "fig22",
+        sweep_identity(&ident),
+        grid.len(),
+        opts,
+        eval,
+        Some(eval),
+    )
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ pub mod export;
 pub mod latency;
 pub mod pareto;
 pub mod report;
+pub mod resilient;
 pub mod sensitivity;
 pub mod summary;
 

@@ -9,6 +9,7 @@ use sfq_npu_sim::SimConfig;
 use sfq_par::par_map_keyed;
 
 use crate::evaluator::{geomean_tmacs_over, paper_workloads};
+use crate::resilient::{run_resilient, sweep_identity, ResilientOpts, SweepError, SweepReport};
 
 const MB: u64 = 1024 * 1024;
 
@@ -49,14 +50,7 @@ impl Candidate {
 /// while stealing still rebalances if one width runs long.
 pub fn evaluate_grid() -> Vec<Candidate> {
     let _trace = sfq_obs::trace::span("sweep", "pareto grid");
-    let mut points = Vec::new();
-    for &width in &[32u32, 64, 128, 256] {
-        for &buffer_mb in &[24u64, 36, 48] {
-            for &regs in &[1u32, 8] {
-                points.push((width, buffer_mb, regs));
-            }
-        }
-    }
+    let points = grid_points();
 
     // Shared across candidates: the cell library and workload zoo are
     // immutable inputs, built once instead of once per grid point.
@@ -66,32 +60,84 @@ pub fn evaluate_grid() -> Vec<Candidate> {
     par_map_keyed(
         &points,
         |&(width, _, _)| u64::from(width),
-        |&(width, buffer_mb, regs)| {
-            let division = 64 * (256 / width).max(1);
-            let npu = NpuConfig {
-                name: format!("w{width}/b{buffer_mb}/r{regs}"),
-                array_width: width,
-                regs_per_pe: regs,
-                division,
-                ifmap_buf_bytes: buffer_mb * MB / 2,
-                output_buf_bytes: buffer_mb * MB / 2,
-                psum_buf_bytes: 0,
-                integrated_output: true,
-                ..NpuConfig::paper_baseline()
-            };
-            let est = estimate(&npu, &lib);
-            let cfg = SimConfig::from_npu(npu.clone(), &lib);
-            let tmacs = geomean_tmacs_over(&cfg, &nets, false);
-            Candidate {
-                name: npu.name,
-                width,
-                division,
-                regs,
-                buffer_mb,
-                tmacs,
-                area_mm2: est.area_mm2_28nm,
+        |&(width, buffer_mb, regs)| candidate(&lib, &nets, width, buffer_mb, regs),
+    )
+}
+
+fn grid_points() -> Vec<(u32, u64, u32)> {
+    let mut points = Vec::new();
+    for &width in &[32u32, 64, 128, 256] {
+        for &buffer_mb in &[24u64, 36, 48] {
+            for &regs in &[1u32, 8] {
+                points.push((width, buffer_mb, regs));
             }
-        },
+        }
+    }
+    points
+}
+
+fn candidate(
+    lib: &CellLibrary,
+    nets: &[dnn_models::Network],
+    width: u32,
+    buffer_mb: u64,
+    regs: u32,
+) -> Candidate {
+    let division = 64 * (256 / width).max(1);
+    let npu = NpuConfig {
+        name: format!("w{width}/b{buffer_mb}/r{regs}"),
+        array_width: width,
+        regs_per_pe: regs,
+        division,
+        ifmap_buf_bytes: buffer_mb * MB / 2,
+        output_buf_bytes: buffer_mb * MB / 2,
+        psum_buf_bytes: 0,
+        integrated_output: true,
+        ..NpuConfig::paper_baseline()
+    };
+    let est = estimate(&npu, lib);
+    let cfg = SimConfig::from_npu(npu.clone(), lib);
+    let tmacs = geomean_tmacs_over(&cfg, nets, false);
+    Candidate {
+        name: npu.name,
+        width,
+        division,
+        regs,
+        buffer_mb,
+        tmacs,
+        area_mm2: est.area_mm2_28nm,
+    }
+}
+
+/// [`evaluate_grid`] under execution guards: whole-grid
+/// deadline/cancel budget, retry-with-backoff, per-candidate terminal
+/// labels, and crash-safe checkpoint/resume, via
+/// [`crate::resilient::run_resilient`].
+///
+/// # Errors
+///
+/// Checkpoint-layer trouble only; see [`SweepError`].
+pub fn evaluate_grid_resilient(opts: &ResilientOpts) -> Result<SweepReport<Candidate>, SweepError> {
+    let _trace = sfq_obs::trace::span("sweep", "pareto grid (resilient)");
+    let points = grid_points();
+    let lib = CellLibrary::aist_10um();
+    let nets = paper_workloads();
+    let eval = |i: usize| {
+        let (width, buffer_mb, regs) = points[i];
+        candidate(&lib, &nets, width, buffer_mb, regs)
+    };
+    let ident: Vec<u64> = points
+        .iter()
+        .map(|&(w, b, r)| (u64::from(w) << 40) | (b << 8) | u64::from(r))
+        .collect();
+    let eval = &eval;
+    run_resilient(
+        "pareto_grid",
+        sweep_identity(&ident),
+        points.len(),
+        opts,
+        eval,
+        Some(eval),
     )
 }
 

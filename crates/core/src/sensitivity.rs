@@ -18,6 +18,7 @@ use sfq_par::par_map;
 
 use crate::designs::DesignPoint;
 use crate::evaluator::{geomean, geomean_tmacs_over, paper_workloads};
+use crate::resilient::{run_resilient, sweep_identity, ResilientOpts, SweepError, SweepReport};
 
 use sfq_npu_sim::SimConfig;
 
@@ -43,28 +44,58 @@ impl BandwidthPoint {
     }
 }
 
+/// The link bandwidths swept (GB/s; 300 is the paper's operating
+/// point).
+const BANDWIDTH_LINKS: [f64; 6] = [75.0, 150.0, 300.0, 600.0, 1200.0, 2400.0];
+
+fn bandwidth_point(nets: &[Network], bw: f64) -> BandwidthPoint {
+    let mut sfq = DesignPoint::SuperNpu.sim_config();
+    sfq.mem_bandwidth_gbs = bw;
+    let mut tpu = scale_sim::CmosNpuConfig::tpu_core();
+    tpu.mem_bandwidth_gbs = bw;
+    let tpu_tmacs = geomean(
+        &nets
+            .iter()
+            .map(|n| scale_sim::simulate_network(&tpu, n).effective_tmacs())
+            .collect::<Vec<_>>(),
+    );
+    BandwidthPoint {
+        bandwidth_gbs: bw,
+        supernpu_tmacs: geomean_tmacs(&sfq, nets),
+        tpu_tmacs,
+    }
+}
+
 /// Sweep the off-chip bandwidth for both machines.
 pub fn bandwidth_sweep() -> Vec<BandwidthPoint> {
     let _trace = sfq_obs::trace::span("sweep", "bandwidth sweep");
     let nets = paper_workloads();
-    let links = [75.0f64, 150.0, 300.0, 600.0, 1200.0, 2400.0];
-    par_map(&links, |&bw| {
-        let mut sfq = DesignPoint::SuperNpu.sim_config();
-        sfq.mem_bandwidth_gbs = bw;
-        let mut tpu = scale_sim::CmosNpuConfig::tpu_core();
-        tpu.mem_bandwidth_gbs = bw;
-        let tpu_tmacs = geomean(
-            &nets
-                .iter()
-                .map(|n| scale_sim::simulate_network(&tpu, n).effective_tmacs())
-                .collect::<Vec<_>>(),
-        );
-        BandwidthPoint {
-            bandwidth_gbs: bw,
-            supernpu_tmacs: geomean_tmacs(&sfq, &nets),
-            tpu_tmacs,
-        }
-    })
+    par_map(&BANDWIDTH_LINKS, |&bw| bandwidth_point(&nets, bw))
+}
+
+/// [`bandwidth_sweep`] under execution guards: budgeted, retried,
+/// labeled and checkpointable via
+/// [`crate::resilient::run_resilient`].
+///
+/// # Errors
+///
+/// Checkpoint-layer trouble only; see [`SweepError`].
+pub fn bandwidth_sweep_resilient(
+    opts: &ResilientOpts,
+) -> Result<SweepReport<BandwidthPoint>, SweepError> {
+    let _trace = sfq_obs::trace::span("sweep", "bandwidth sweep (resilient)");
+    let nets = paper_workloads();
+    let eval = |i: usize| bandwidth_point(&nets, BANDWIDTH_LINKS[i]);
+    let ident: Vec<u64> = BANDWIDTH_LINKS.iter().map(|b| b.to_bits()).collect();
+    let eval = &eval;
+    run_resilient(
+        "bandwidth",
+        sweep_identity(&ident),
+        BANDWIDTH_LINKS.len(),
+        opts,
+        eval,
+        Some(eval),
+    )
 }
 
 /// One process-node point.

@@ -545,17 +545,15 @@ fn write_checkpoint(
         path: path.to_path_buf(),
         message: format!("serialize failed: {e}"),
     })?;
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| FaultError::Checkpoint {
-                path: path.to_path_buf(),
-                message: format!("create dir failed: {e}"),
-            })?;
+    // Atomic persistence (temp sibling + fsync + rename): a crash
+    // mid-write can never leave a torn checkpoint where the old one
+    // stood — the file either still holds the previous prefix or
+    // already holds the new one, both resumable.
+    sfq_guard::checkpoint::atomic_write(path, text.as_bytes()).map_err(|e| {
+        FaultError::Checkpoint {
+            path: path.to_path_buf(),
+            message: e.to_string(),
         }
-    }
-    std::fs::write(path, text).map_err(|e| FaultError::Checkpoint {
-        path: path.to_path_buf(),
-        message: format!("write failed: {e}"),
     })?;
     sfq_obs::inc("faults.mc.checkpoints");
     Ok(())

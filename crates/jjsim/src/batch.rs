@@ -153,6 +153,10 @@ enum Retire {
     Newton,
     /// The no-pivot banded factorization hit a tiny pivot in this lane.
     Singular,
+    /// The ambient execution budget ran out mid-batch; the lanes fall
+    /// back to the scalar path, which re-checks the (monotone) budget
+    /// and surfaces the typed error.
+    Budget,
 }
 
 /// Pre-resolved packed-band stamp positions of one element
@@ -638,7 +642,7 @@ fn run_group(
     let mut retired: [Option<Retire>; LANES] = [None; LANES];
 
     let h = opts.dt;
-    let (adaptive, dt_min, dt_max, lte_tol) = match opts.step {
+    let (adaptive, mut dt_min, dt_max, mut lte_tol) = match opts.step {
         StepControl::Fixed => (false, h, h, f64::INFINITY),
         StepControl::Adaptive {
             dt_min,
@@ -646,6 +650,18 @@ fn run_group(
             lte_tol,
         } => (true, dt_min, dt_max, lte_tol),
     };
+    // Same retry-ladder relaxation as the scalar path (see
+    // `Solver::try_run`), so a relaxed retry behaves identically no
+    // matter which path serves it.
+    if adaptive {
+        let relax = sfq_guard::relax_level().min(4);
+        if relax > 0 {
+            #[allow(clippy::cast_possible_wrap)]
+            let scale = 4f64.powi(relax as i32);
+            dt_min /= scale;
+            lte_tol *= scale;
+        }
+    }
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let fixed_steps = (t_end / h).ceil() as usize;
 
@@ -791,6 +807,12 @@ fn run_group(
     let any_counted = |counted: &[bool; LANES]| counted.iter().any(|&c| c);
     let first_counted = |counted: &[bool; LANES]| counted.iter().position(|&c| c);
 
+    // Ambient execution guard, sampled once per group (one relaxed
+    // load when never used). On a stop the still-live lanes retire to
+    // the scalar golden path, which re-checks the budget (deadline and
+    // cancel are monotone) and surfaces the typed error.
+    let budget = sfq_guard::active().filter(|b| !b.is_unlimited());
+
     'time: loop {
         // Termination.
         if adaptive {
@@ -799,6 +821,22 @@ fn run_group(
             }
         } else if step_idx >= fixed_steps {
             break;
+        }
+
+        // Execution guard: poll once per step attempt.
+        if let Some(b) = budget.as_ref() {
+            if b.poll(metrics.steps + metrics.rejected(), metrics.newton_iters)
+                .is_some()
+            {
+                sfq_obs::inc("guard.batch_stop");
+                for (l, r) in retired.iter_mut().enumerate() {
+                    if counted[l] {
+                        *r = Some(Retire::Budget);
+                        counted[l] = false;
+                    }
+                }
+                break 'time;
+            }
         }
 
         // Test-hook retirements at step boundaries.

@@ -37,6 +37,39 @@ pub enum SimError {
         /// What failed to converge (human-readable, static).
         what: &'static str,
     },
+    /// The run's execution budget (wall-clock deadline or step/Newton
+    /// cap from an ambient [`sfq_guard::RunBudget`]) ran out before
+    /// `t_end`. Retryable: a relaxed retry or the closed-form
+    /// estimator can stand in for the lost transient.
+    BudgetExceeded {
+        /// Which limit tripped (`deadline`, `step_budget`,
+        /// `newton_budget`).
+        what: &'static str,
+        /// Simulation time reached before the stop, seconds.
+        time: f64,
+    },
+    /// The run's [`sfq_guard::CancelToken`] was triggered. Not
+    /// retryable: the caller asked the whole computation to stop.
+    Cancelled {
+        /// Simulation time reached before the stop, seconds.
+        time: f64,
+    },
+}
+
+impl SimError {
+    /// True for budget stops that a retry (with relaxed solver
+    /// settings) or a degraded closed-form fallback may recover from.
+    /// Cancellation is *not* retryable — it propagates.
+    #[must_use]
+    pub fn is_budget(&self) -> bool {
+        matches!(self, SimError::BudgetExceeded { .. })
+    }
+
+    /// True when the run stopped because its cancel token fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SimError::Cancelled { .. })
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -60,6 +93,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::NonConvergent { what } => {
                 write!(f, "non-convergent probe: {what}")
+            }
+            SimError::BudgetExceeded { what, time } => {
+                write!(f, "execution budget exceeded ({what}) at t = {time:e} s")
+            }
+            SimError::Cancelled { time } => {
+                write!(f, "run cancelled at t = {time:e} s")
             }
         }
     }

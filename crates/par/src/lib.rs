@@ -510,13 +510,21 @@ where
 
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     let run = &run;
+    // Capture the caller's ambient execution budget (if any) and
+    // re-install it inside every worker thread, so a deadline or
+    // cancel token set around a sweep reaches the transients its
+    // tasks spawn. One relaxed load when guards were never used.
+    let ambient_budget = sfq_guard::active();
+    let ambient_budget = &ambient_budget;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..=spawned)
             .map(|worker| {
                 scope.spawn(move || {
-                    let mut out = Vec::new();
-                    run(worker, &mut out);
-                    out
+                    sfq_guard::scope_opt(ambient_budget.as_ref(), || {
+                        let mut out = Vec::new();
+                        run(worker, &mut out);
+                        out
+                    })
                 })
             })
             .collect();
@@ -638,7 +646,21 @@ fn catch_one<T, R, F>(items: &[T], i: usize, f: &F) -> Result<R, TaskPanic>
 where
     F: Fn(&T) -> R,
 {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(|payload| {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Chaos harness (seed-gated, off = one relaxed load): the
+        // fault-tolerant paths deliberately inject panics and stalls
+        // so the recovery machinery is exercised on purpose. Forced
+        // timeouts only exist on the deadline path.
+        match sfq_guard::chaos::decide(i as u64, 0) {
+            Some(sfq_guard::chaos::ChaosAction::Panic) => {
+                sfq_guard::chaos::injected_panic(i as u64)
+            }
+            Some(sfq_guard::chaos::ChaosAction::Stall(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+        f(&items[i])
+    }))
+    .map_err(|payload| {
         sfq_obs::inc("par.task_panics");
         sfq_obs::trace::instant("par", "task panic");
         TaskPanic {
@@ -686,6 +708,153 @@ where
 {
     let idx: Vec<usize> = (0..items.len()).collect();
     par_map_keyed(&idx, |&i| key(&items[i]), |&i| catch_one(items, i, &f))
+}
+
+/// Per-item terminal state of a [`par_map_deadline`] region. Every
+/// input item gets exactly one outcome — nothing is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R> {
+    /// The task ran to completion.
+    Completed(R),
+    /// The region's deadline (or a chaos-forced timeout) hit before
+    /// this task started; it was skipped, not run.
+    TimedOut,
+    /// The region's cancel token fired before this task started.
+    Cancelled,
+    /// The task panicked; siblings were unaffected.
+    Panicked(TaskPanic),
+}
+
+impl<R> TaskOutcome<R> {
+    /// True for [`TaskOutcome::Completed`].
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TaskOutcome::Completed(_))
+    }
+
+    /// The completed value, consuming the outcome.
+    #[must_use]
+    pub fn completed(self) -> Option<R> {
+        match self {
+            TaskOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Static label for reports and counters.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskOutcome::Completed(_) => "completed",
+            TaskOutcome::TimedOut => "timed_out",
+            TaskOutcome::Cancelled => "cancelled",
+            TaskOutcome::Panicked(_) => "panicked",
+        }
+    }
+}
+
+fn deadline_one<T, R, F>(
+    items: &[T],
+    i: usize,
+    budget: &sfq_guard::RunBudget,
+    f: &F,
+) -> TaskOutcome<R>
+where
+    F: Fn(&T) -> R,
+{
+    // Dispatch gate: once the deadline passes or the token fires,
+    // every not-yet-started task (including chunks already queued or
+    // stolen) short-circuits here, so the region stops taking on new
+    // work and drains cleanly — in-flight tasks finish, skipped ones
+    // get a labeled outcome instead of vanishing.
+    match budget.check_now() {
+        Some(sfq_guard::BudgetStop::Cancelled) => {
+            sfq_obs::inc("guard.par.cancelled");
+            return TaskOutcome::Cancelled;
+        }
+        Some(_) => {
+            sfq_obs::inc("guard.par.timed_out");
+            return TaskOutcome::TimedOut;
+        }
+        None => {}
+    }
+    let chaos = sfq_guard::chaos::decide(i as u64, 0);
+    if chaos == Some(sfq_guard::chaos::ChaosAction::Timeout) {
+        sfq_obs::inc("guard.par.timed_out");
+        return TaskOutcome::TimedOut;
+    }
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The task runs under the region budget, so transients it
+        // spawns observe the same deadline/cancel state.
+        sfq_guard::scope(budget, || {
+            match chaos {
+                Some(sfq_guard::chaos::ChaosAction::Panic) => {
+                    sfq_guard::chaos::injected_panic(i as u64)
+                }
+                Some(sfq_guard::chaos::ChaosAction::Stall(d)) => std::thread::sleep(d),
+                _ => {}
+            }
+            f(&items[i])
+        })
+    }));
+    match caught {
+        Ok(r) => TaskOutcome::Completed(r),
+        Err(payload) => {
+            sfq_obs::inc("par.task_panics");
+            sfq_obs::trace::instant("par", "task panic");
+            TaskOutcome::Panicked(TaskPanic {
+                index: i,
+                message: panic_message(payload),
+            })
+        }
+    }
+}
+
+/// [`par_map_catch`] extended with an execution budget: the region
+/// stops dispatching new tasks once `budget`'s deadline passes or its
+/// cancel token fires, drains cleanly (in-flight tasks complete), and
+/// reports a terminal [`TaskOutcome`] for **every** item —
+/// `Completed`, `TimedOut`, `Cancelled` or `Panicked`. The budget is
+/// also installed as the ambient guard around each task, so solver
+/// runs inside observe the same deadline.
+///
+/// Determinism caveat: which items time out depends on wall-clock
+/// timing, inherently. With an unlimited budget (and chaos off) the
+/// outcomes are deterministic and equal to [`par_map_catch`]'s.
+pub fn par_map_deadline<T, R, F>(
+    items: &[T],
+    budget: &sfq_guard::RunBudget,
+    f: F,
+) -> Vec<TaskOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..items.len()).collect();
+    par_map(&idx, |&i| deadline_one(items, i, budget, &f))
+}
+
+/// [`par_map_deadline`] with [`par_map_keyed`]'s cache-affine
+/// scheduling.
+pub fn par_map_deadline_keyed<T, R, F, K>(
+    items: &[T],
+    budget: &sfq_guard::RunBudget,
+    key: K,
+    f: F,
+) -> Vec<TaskOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    K: Fn(&T) -> u64,
+{
+    let idx: Vec<usize> = (0..items.len()).collect();
+    par_map_keyed(
+        &idx,
+        |&i| key(&items[i]),
+        |&i| deadline_one(items, i, budget, &f),
+    )
 }
 
 #[cfg(test)]

@@ -8,12 +8,16 @@ cd "$(dirname "$0")/.."
 # Opt-in extras: --bench reruns the solver/sweep benches in a scratch
 # directory and diffs them against the committed BENCH_*.json
 # baselines with bench_compare (fails on wall-clock or correctness
-# regression).
+# regression). --chaos runs the robustness smoke gate: the resilient
+# sweep runner under deterministic fault injection (zero lost points,
+# bit-identical kill/resume, guards-disabled overhead parity).
 RUN_BENCH=0
+RUN_CHAOS=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
-        *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+        --chaos) RUN_CHAOS=1 ;;
+        *) echo "usage: $0 [--bench] [--chaos]" >&2; exit 2 ;;
     esac
 done
 
@@ -104,11 +108,32 @@ echo "== cargo clippy (library unwrap/expect gate) =="
 # exempt (--lib only checks library targets).
 cargo clippy --workspace --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+echo "== cargo clippy (bench-binary unwrap/expect gate) =="
+# The experiment binaries held the last bare unwraps on I/O paths;
+# they now route through report::{die, write_report}, and this gate
+# keeps it that way.
+cargo clippy -p supernpu-bench --bins -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+if [[ $RUN_CHAOS -eq 1 ]]; then
+    echo "== chaos smoke gate (--chaos) =="
+    # Shrunken robustness run: chaos-injected panics/timeouts/stalls
+    # must leave zero lost points, a cancelled sweep must resume
+    # bit-identically from its atomic checkpoint, and the unguarded
+    # resilient path must match the plain sweep. bench_robust itself
+    # exits nonzero on any violated invariant; the emitted report must
+    # re-parse through the bench gate (a self-compare).
+    cargo build --release -p supernpu-bench --bin bench_robust --bin bench_compare
+    repo="$(pwd)"
+    (cd "$tmp" && "$repo/target/release/bench_robust" --smoke >/dev/null)
+    target/release/bench_compare \
+        --baseline "$tmp/BENCH_robust.json" --fresh "$tmp/BENCH_robust.json" >/dev/null
+fi
+
 if [[ $RUN_BENCH -eq 1 ]]; then
     echo "== bench-regression gate (--bench) =="
     cargo build --release -p supernpu-bench \
         --bin bench_solver --bin bench_sweeps --bin bench_compare --bin profile_report \
-        --bin bench_batch
+        --bin bench_batch --bin bench_robust
     repo="$(pwd)"
     (cd "$tmp" && "$repo/target/release/bench_solver" >/dev/null)
     # --points adds the granularity stress sweep: 1e5 synthetic design
@@ -135,6 +160,13 @@ if [[ $RUN_BENCH -eq 1 ]]; then
     (cd "$tmp" && "$repo/target/release/bench_batch" >/dev/null)
     target/release/bench_compare \
         --baseline BENCH_batch.json --fresh "$tmp/BENCH_batch.json"
+    # Full robustness run: bench_robust hard-fails internally on any
+    # lost point, non-identical resume, or guards-disabled overhead
+    # beyond budget; bench_compare re-checks against the committed
+    # baseline.
+    (cd "$tmp" && "$repo/target/release/bench_robust" >/dev/null)
+    target/release/bench_compare \
+        --baseline BENCH_robust.json --fresh "$tmp/BENCH_robust.json"
 fi
 
 echo "All checks passed."

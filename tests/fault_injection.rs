@@ -151,3 +151,46 @@ fn interrupted_sweep_resumes_bit_identically() {
     assert_eq!(resumed, reference, "resume must not change any outcome");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Torn-write regression (the checkpoint writer is atomic: temp
+/// sibling + fsync + rename). A garbage `.tmp` left by a crash
+/// mid-write must never be mistaken for the checkpoint, and a
+/// checkpointed run over it must leave a clean, parseable, resumable
+/// checkpoint with no temp residue.
+#[test]
+fn torn_checkpoint_write_never_corrupts_resume() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join("supernpu_fault_injection_torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ckpt.json");
+    let tmp = dir.join("ckpt.json.tmp");
+
+    let (cell, sigma, seed) = (Cell::Dff, 0.05f64, 11u64);
+    let reference = run_outcomes(cell, sigma, seed, &McOptions::new(6)).expect("harness ok");
+
+    // Simulate the crash the old non-atomic writer was vulnerable to:
+    // a torn, unparseable temp file beside the checkpoint target.
+    std::fs::write(&tmp, "{\"cell\": \"DF").expect("write torn tmp");
+
+    let mut opts = McOptions::new(6);
+    opts.checkpoint_every = 2;
+    opts.checkpoint_path = Some(path.clone());
+    opts.resume = true;
+    let outcomes =
+        run_outcomes(cell, sigma, seed, &opts).expect("cold start despite torn tmp file");
+    assert_eq!(outcomes, reference, "torn tmp must not perturb outcomes");
+
+    // The atomic writer renamed its temp over the target: the final
+    // checkpoint parses, covers every sample, and nothing torn
+    // lingers.
+    assert!(!tmp.exists(), "temp file must be consumed by the rename");
+    let text = std::fs::read_to_string(&path).expect("final checkpoint readable");
+    assert!(
+        text.contains("\"outcomes\""),
+        "final checkpoint has outcomes"
+    );
+    let resumed = run_outcomes(cell, sigma, seed, &opts).expect("resume from final checkpoint");
+    assert_eq!(resumed, reference, "resume after atomic write is clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
