@@ -7,6 +7,7 @@ use supernpu::ablations::all_ablations;
 use supernpu::report::{f, ratio, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("ablations");
     supernpu_bench::header(
         "Ablations",
         "the §III design choices, quantified end-to-end",

@@ -152,6 +152,7 @@ fn equivalence(n_stages: usize) -> Equivalence {
 }
 
 fn main() {
+    let _session = supernpu_bench::session::begin("bench_batch");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let out_path = {
         let mut args = std::env::args();
@@ -215,6 +216,10 @@ fn main() {
         })
         .collect();
     let report = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("lanes".into(), Value::U64(jjsim::LANES as u64)),
         ("smoke".into(), Value::Bool(smoke)),
         ("pulse_tol_ps".into(), Value::F64(PULSE_TOL_PS)),
@@ -266,6 +271,6 @@ fn main() {
         failed = true;
     }
     if failed {
-        std::process::exit(1);
+        supernpu_bench::session::fail("batch speedup/equivalence checks failed (see above)");
     }
 }

@@ -145,6 +145,7 @@ fn resume_check(cell: Cell, sigma: f64, seed: u64, opts: &McOptions) -> bool {
 }
 
 fn main() {
+    let _session = supernpu_bench::session::begin("bench_faults");
     sfq_obs::set_enabled(true);
     supernpu_bench::header(
         "BENCH faults",
@@ -216,8 +217,7 @@ fn main() {
             }
             Err(e) => {
                 std::panic::set_hook(hook);
-                eprintln!("ERROR: {} sweep died: {e}", cell.name());
-                std::process::exit(1);
+                supernpu_bench::session::fail(format!("{} sweep died: {e}", cell.name()));
             }
         }
     }
@@ -246,6 +246,10 @@ fn main() {
     }
 
     let report = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("seed".into(), Value::U64(seed)),
         ("samples_per_point".into(), Value::U64(u64::from(samples))),
         ("retries".into(), Value::U64(u64::from(retries))),
@@ -277,6 +281,9 @@ fn main() {
         for c in &complaints {
             eprintln!("ERROR: {c}");
         }
-        std::process::exit(1);
+        supernpu_bench::session::fail(format!(
+            "{} Monte-Carlo invariant(s) violated",
+            complaints.len()
+        ));
     }
 }

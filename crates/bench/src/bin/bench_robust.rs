@@ -114,6 +114,7 @@ fn resilient_fig20(opts: &ResilientOpts) -> SweepReport<supernpu::explore::Buffe
 }
 
 fn main() {
+    let _session = supernpu_bench::session::begin("bench_robust");
     supernpu_bench::header("bench_robust", "execution-guard robustness gates");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let passes = if smoke { 1 } else { 3 };
@@ -249,6 +250,10 @@ fn main() {
 
     // ------------------------------------------------- report
     let bench = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("robust".into(), Value::Array(entries)),
         ("chaos_seed".into(), Value::U64(CHAOS_SEED)),
         (
@@ -278,7 +283,10 @@ fn main() {
         for f in &failures {
             eprintln!("FAIL: {f}");
         }
-        std::process::exit(1);
+        supernpu_bench::session::fail(format!(
+            "{} robustness invariant(s) violated",
+            failures.len()
+        ));
     }
     println!("all robustness invariants hold");
 }

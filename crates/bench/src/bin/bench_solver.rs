@@ -108,7 +108,7 @@ fn bench(
 }
 
 fn main() {
-    let _obs = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("bench_solver");
     sfq_obs::set_enabled(true);
     supernpu_bench::header(
         "BENCH solver",
@@ -231,6 +231,10 @@ fn main() {
     banded_row.push(("lu_factor".into(), Value::U64(banded_lu_factor)));
     banded_row.push(("lu_reuse".into(), Value::U64(banded_lu_reuse)));
     let report = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("pulse_tol_ps".into(), Value::F64(PULSE_TOL_S * 1e12)),
         ("min_step_ratio".into(), Value::F64(MIN_STEP_RATIO)),
         ("fixed_steps_total".into(), Value::U64(fixed_total)),
@@ -251,23 +255,21 @@ fn main() {
     println!("wrote BENCH_solver.json");
 
     if !all_match {
-        eprintln!("ERROR: adaptive pulse counts diverged from fixed-step");
-        std::process::exit(1);
+        supernpu_bench::session::fail("adaptive pulse counts diverged from fixed-step");
     }
     if worst_delta > PULSE_TOL_S {
-        eprintln!(
-            "ERROR: pulse time moved {:.3} ps (tolerance {:.3} ps)",
+        supernpu_bench::session::fail(format!(
+            "pulse time moved {:.3} ps (tolerance {:.3} ps)",
             worst_delta * 1e12,
             PULSE_TOL_S * 1e12
-        );
-        std::process::exit(1);
+        ));
     }
     if ratio < MIN_STEP_RATIO {
-        eprintln!("ERROR: step reduction {ratio:.2}x below required {MIN_STEP_RATIO}x");
-        std::process::exit(1);
+        supernpu_bench::session::fail(format!(
+            "step reduction {ratio:.2}x below required {MIN_STEP_RATIO}x"
+        ));
     }
     if banded_lu_factor == 0 {
-        eprintln!("ERROR: jtl_chain_40 never hit the banded factorization path");
-        std::process::exit(1);
+        supernpu_bench::session::fail("jtl_chain_40 never hit the banded factorization path");
     }
 }

@@ -220,7 +220,7 @@ fn stress_sweep(n_points: usize, pool: usize, logical_cores: usize) -> Vec<Stres
 }
 
 fn main() {
-    let _obs = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("bench_sweeps");
     // Pool size actually used for the parallel runs (honors
     // SUPERNPU_THREADS) and the machine's detected parallelism are
     // recorded separately: on a one-core box an oversubscribed pool
@@ -287,6 +287,10 @@ fn main() {
     let stress = n_points.map(|n| stress_sweep(n, pool, logical_cores));
 
     let mut report = vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("threads".into(), Value::U64(pool as u64)),
         ("logical_cores".into(), Value::U64(logical_cores as u64)),
         ("speedup_meaningful".into(), Value::Bool(speedup_meaningful)),
@@ -318,19 +322,16 @@ fn main() {
     println!("\nwrote BENCH_sweeps.json");
 
     if results.iter().any(|r| !r.identical) {
-        eprintln!("ERROR: parallel output diverged from serial");
-        std::process::exit(1);
+        supernpu_bench::session::fail("parallel output diverged from serial");
     }
     if let Some(rungs) = &stress {
         if rungs.iter().any(|r| !r.identical) {
-            eprintln!("ERROR: stress-sweep output diverged from serial");
-            std::process::exit(1);
+            supernpu_bench::session::fail("stress-sweep output diverged from serial");
         }
         if rungs.iter().any(|r| !r.meets_scaling) {
-            eprintln!(
-                "ERROR: stress-sweep speedup fell below {STRESS_SCALING_FRAC} x effective cores"
-            );
-            std::process::exit(1);
+            supernpu_bench::session::fail(format!(
+                "stress-sweep speedup fell below {STRESS_SCALING_FRAC} x effective cores"
+            ));
         }
     }
 }

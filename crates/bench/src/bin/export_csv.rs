@@ -4,6 +4,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let _session = supernpu_bench::session::begin("export_csv");
     supernpu_bench::header("CSV export", "plot-ready series for every figure");
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("creating results/: {e}");

@@ -10,6 +10,7 @@ use supernpu::designs::DesignPoint;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("ext_accelerators");
     supernpu_bench::header("Extensions", "broader accelerators and workloads");
 
     let cmos = [

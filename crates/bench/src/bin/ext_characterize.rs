@@ -7,16 +7,14 @@ use sfq_estimator::{estimate, NpuConfig};
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("ext_characterize");
     supernpu_bench::header(
         "Characterization loop",
         "§IV-A.1's JSIM flow, executed end-to-end",
     );
     let measured = match sfq_chars::characterize() {
         Ok(lib) => lib,
-        Err(e) => {
-            eprintln!("characterization failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => supernpu_bench::session::fail(format!("characterization failed: {e}")),
     };
     let reference = CellLibrary::aist_10um();
 

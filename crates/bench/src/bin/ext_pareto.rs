@@ -8,6 +8,7 @@ use supernpu::pareto::{evaluate_grid, pareto_front};
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("ext_pareto");
     supernpu_bench::header("Extensions", "Pareto frontier and batching latency");
 
     println!("A. Performance vs area over the design grid (Pareto-optimal points):");

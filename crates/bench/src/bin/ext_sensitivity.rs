@@ -6,6 +6,7 @@ use supernpu::report::{f, ratio, render_table};
 use supernpu::sensitivity::{bandwidth_sweep, cooling_sweep, process_sweep};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("ext_sensitivity");
     supernpu_bench::header("Extensions", "bandwidth / process / cooling sensitivity");
 
     println!("A. Off-chip bandwidth (both machines re-simulated):");

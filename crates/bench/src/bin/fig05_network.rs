@@ -7,6 +7,7 @@ use supernpu::report::{f, render_table};
 use supernpu_bench::report::die;
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig05_network");
     supernpu_bench::header("Fig. 5", "network-unit comparison (§III-A)");
     let lib = CellLibrary::aist_10um();
     let points = fig5_sweep(8, &lib);

@@ -9,6 +9,7 @@ use sfq_estimator::clocking::feedback_comparison;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig07_feedback");
     supernpu_bench::header("Fig. 7(c)", "feedback-loop frequency impact (§III-B)");
     let lib = CellLibrary::aist_10um();
     let r = feedback_comparison(&lib);

@@ -6,6 +6,7 @@ use dnn_models::zoo;
 use supernpu::report::{pct, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig08_duplication");
     supernpu_bench::header("Fig. 8", "ifmap duplication breakdown (§III-C)");
     let mut rows = Vec::new();
     // The paper plots AlexNet, ResNet50 and VGG16; we print all six.

@@ -24,6 +24,7 @@ fn err_pct(model: f64, golden: f64) -> String {
 }
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig13_validation");
     supernpu_bench::header("Fig. 13", "model validation (§IV-A.4)");
     let lib = CellLibrary::aist_10um();
 

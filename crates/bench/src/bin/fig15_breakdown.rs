@@ -4,6 +4,7 @@ use supernpu::evaluator::fig15_cycle_breakdown;
 use supernpu::report::{pct, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig15_breakdown");
     supernpu_bench::header("Fig. 15", "Baseline cycle breakdown (§V-A.2)");
     let rows: Vec<Vec<String>> = fig15_cycle_breakdown()
         .into_iter()

@@ -4,6 +4,7 @@ use supernpu::evaluator::fig17_roofline;
 use supernpu::report::{f, pct, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig17_roofline");
     supernpu_bench::header("Fig. 17", "roofline / compute-intensity analysis (§V-A.3)");
     let rows_data = fig17_roofline();
     let peak = rows_data[0].peak_gmacs;

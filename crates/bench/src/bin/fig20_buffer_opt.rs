@@ -5,7 +5,7 @@ use supernpu::explore::fig20_buffer_sweep;
 use supernpu::report::{f, render_table};
 
 fn main() {
-    let _metrics = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("fig20_buffer_opt");
     supernpu_bench::header("Fig. 20", "buffer integration/division sweep (§V-B.1)");
     let rows: Vec<Vec<String>> = fig20_buffer_sweep()
         .into_iter()

@@ -5,7 +5,7 @@ use supernpu::explore::fig21_resource_sweep;
 use supernpu::report::{f, render_table};
 
 fn main() {
-    let _metrics = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("fig21_resource_balance");
     supernpu_bench::header("Fig. 21", "resource-balancing sweep (§V-B.2)");
     let rows: Vec<Vec<String>> = fig21_resource_sweep()
         .into_iter()

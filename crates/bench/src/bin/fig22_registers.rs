@@ -6,7 +6,7 @@ use supernpu::report::{f, render_table};
 use supernpu_bench::report::die;
 
 fn main() {
-    let _metrics = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("fig22_registers");
     supernpu_bench::header("Fig. 22", "weight-registers-per-PE sweep (§V-B.3)");
     let pts = fig22_register_sweep();
     let mut rows = Vec::new();

@@ -6,6 +6,7 @@ use supernpu::evaluator::{average_speedup, fig23_performance};
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("fig23_performance");
     supernpu_bench::header("Fig. 23", "performance evaluation (§VI-B)");
     let rows_data = fig23_performance();
 

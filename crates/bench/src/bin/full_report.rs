@@ -4,7 +4,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let _metrics = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("full_report");
     supernpu_bench::header("Full report", "every table and figure in one pass");
     let report = supernpu::summary::full_report();
     print!("{report}");

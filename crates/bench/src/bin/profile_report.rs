@@ -56,7 +56,7 @@ fn banded_transient(stages: usize, t_end: f64) {
 }
 
 fn main() {
-    let _obs = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("profile_report");
     sfq_obs::set_enabled(true);
 
     let mut smoke = false;
@@ -86,8 +86,9 @@ fn main() {
         banded_transient(8, 60e-12);
         let trees = prof::threads_registered();
         if trees != 0 {
-            eprintln!("ERROR: disabled profiler recorded {trees} thread trees (want 0)");
-            std::process::exit(1);
+            supernpu_bench::session::fail(format!(
+                "disabled profiler recorded {trees} thread trees (want 0)"
+            ));
         }
         println!("disabled path: 0 frames recorded");
         prof::set_profile(Some(&out));
@@ -120,8 +121,9 @@ fn main() {
     // Coverage: profiled kernel self-times vs the banded solver run.
     let run_path = "banded_cell;solver.run";
     let Some(run) = report.path(run_path) else {
-        eprintln!("ERROR: profile has no '{run_path}' path — solver frames missing");
-        std::process::exit(1);
+        supernpu_bench::session::fail(format!(
+            "profile has no '{run_path}' path — solver frames missing"
+        ));
     };
     let kernel_self_ms = report.descendants_self_ms(run_path);
     let coverage = if run.incl_ms > 0.0 {
@@ -162,6 +164,10 @@ fn main() {
         .collect();
     let floor = if smoke { 0.0 } else { MIN_SELF_COVERAGE };
     let bench = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(sfq_obs::SCHEMA_VERSION)),
+        ),
         ("workload".into(), Value::Str(workload.into())),
         ("smoke".into(), Value::Bool(smoke)),
         ("threads".into(), Value::U64(report.threads)),
@@ -186,10 +192,7 @@ fn main() {
             );
         }
         Ok(None) => eprintln!("WARNING: profiler has no output path; nothing written"),
-        Err(e) => {
-            eprintln!("ERROR: writing profile: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => supernpu_bench::session::fail(format!("writing profile: {e}")),
     }
 
     // Perfetto counter tracks: top self-time paths as counter samples
@@ -206,11 +209,10 @@ fn main() {
     }
 
     if !smoke && coverage < MIN_SELF_COVERAGE {
-        eprintln!(
-            "ERROR: kernel self-time coverage {:.1}% below required {:.0}%",
+        supernpu_bench::session::fail(format!(
+            "kernel self-time coverage {:.1}% below required {:.0}%",
             coverage * 100.0,
             MIN_SELF_COVERAGE * 100.0
-        );
-        std::process::exit(1);
+        ));
     }
 }

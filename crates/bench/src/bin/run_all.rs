@@ -31,6 +31,7 @@ pub const EXPERIMENTS: &[&str] = &[
 use supernpu_bench::report::die;
 
 fn main() -> ExitCode {
+    let _session = supernpu_bench::session::begin("run_all");
     let me = std::env::current_exe()
         .unwrap_or_else(|e| die(format!("cannot locate own executable: {e}")));
     let dir = me

@@ -92,7 +92,7 @@ fn load_arch(spec: Option<&str>) -> Result<SimConfig, String> {
 }
 
 fn main() -> ExitCode {
-    let _metrics = sfq_obs::dump_on_exit();
+    let _session = supernpu_bench::session::begin("simulate");
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

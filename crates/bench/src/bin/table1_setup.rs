@@ -5,6 +5,7 @@ use supernpu::evaluator::table1_setup;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("table1_setup");
     supernpu_bench::header("Table I", "evaluation setup (§VI-A)");
     let rows: Vec<Vec<String>> = table1_setup()
         .into_iter()

@@ -4,6 +4,7 @@ use supernpu::evaluator::table2_batches;
 use supernpu::report::render_table;
 
 fn main() {
+    let _session = supernpu_bench::session::begin("table2_batches");
     supernpu_bench::header("Table II", "workload batch setup (§VI-A)");
     let rows: Vec<Vec<String>> = table2_batches()
         .into_iter()

@@ -5,6 +5,7 @@ use supernpu::evaluator::table3_power;
 use supernpu::report::{f, render_table};
 
 fn main() {
+    let _session = supernpu_bench::session::begin("table3_power");
     supernpu_bench::header("Table III", "power-efficiency evaluation (§VI-C)");
     let rows: Vec<Vec<String>> = table3_power()
         .into_iter()

@@ -10,6 +10,7 @@ use std::process::ExitCode;
 use jjsim::{parse_netlist, Solver};
 
 fn main() -> ExitCode {
+    let _session = supernpu_bench::session::begin("transient");
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
         eprintln!("usage: transient <netlist.cir> [--trace NODE[,NODE...] --out FILE.csv]");

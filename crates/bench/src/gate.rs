@@ -454,7 +454,25 @@ fn compare_robust(base: &Value, fresh: &Value, tol: &Tolerances, report: &mut Ga
 }
 
 /// The top-level key identifying each known report schema.
-const KNOWN_SCHEMAS: [&str; 5] = ["sweeps", "cells", "kernels", "batch", "robust"];
+pub const KNOWN_SCHEMAS: [&str; 5] = ["sweeps", "cells", "kernels", "batch", "robust"];
+
+/// Detect which [`KNOWN_SCHEMAS`] entry a report matches, or
+/// `"unknown"`. Shared by [`compare`] and the observatory's baseline
+/// inventory.
+#[must_use]
+pub fn schema_of(v: &Value) -> &'static str {
+    KNOWN_SCHEMAS
+        .iter()
+        .copied()
+        .find(|&k| get(v, k).is_some())
+        .unwrap_or("unknown")
+}
+
+/// The `schema_version` a report declares (0 = pre-versioned).
+#[must_use]
+pub fn schema_version_of(v: &Value) -> u64 {
+    num(v, "schema_version").map_or(0u64, |x| x as u64)
+}
 
 /// Compare a fresh bench report against its baseline. The schema
 /// (sweep vs solver vs profile vs batch) is detected from each
@@ -464,19 +482,12 @@ const KNOWN_SCHEMAS: [&str; 5] = ["sweeps", "cells", "kernels", "batch", "robust
 /// error, not a vacuous PASS.
 pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     let mut report = GateReport::default();
-    let schema = |v: &Value| {
-        KNOWN_SCHEMAS
-            .iter()
-            .copied()
-            .find(|&k| get(v, k).is_some())
-            .unwrap_or("unknown")
-    };
     fn keys(v: &Value) -> Vec<&str> {
         v.as_object()
             .map(|o| o.iter().map(|(k, _)| k.as_str()).collect())
             .unwrap_or_default()
     }
-    let (bs, fs) = (schema(base), schema(fresh));
+    let (bs, fs) = (schema_of(base), schema_of(fresh));
     for (which, s, v) in [("baseline", bs, base), ("fresh", fs, fresh)] {
         report.check(s != "unknown", || {
             format!(
@@ -489,6 +500,20 @@ pub fn compare(base: &Value, fresh: &Value, tol: &Tolerances) -> GateReport {
     }
     report.check(bs == fs, || {
         format!("schema mismatch: baseline is '{bs}', fresh is '{fs}'")
+    });
+    if !report.passed() {
+        return report;
+    }
+    // Schema *version* gate: a report written under a different field
+    // layout must fail with one clear line, not a field-by-field
+    // mismatch spray from the per-schema comparators below. Missing
+    // field = v0 (pre-versioned report).
+    let (bv, fv) = (schema_version_of(base), schema_version_of(fresh));
+    report.check(bv == fv, || {
+        format!(
+            "baseline schema v{bv} vs fresh v{fv}: regenerate the baseline \
+             with the current binaries before comparing fields"
+        )
     });
     if !report.passed() {
         return report;
@@ -542,6 +567,28 @@ mod tests {
             &tol,
         )
         .unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_one_clear_failure() {
+        let tol = Tolerances::default();
+        // Same detected schema, different declared versions: the gate
+        // must stop with the single version line, not descend into a
+        // field-by-field mismatch spray.
+        let v0 = sweeps(5.0, true);
+        let v1 = format!(r#"{{"schema_version":1,{}"#, &sweeps(999.0, false)[1..]);
+        let r = compare_json(&v0, &v1, &tol).unwrap();
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(
+            r.failures[0].contains("baseline schema v0 vs fresh v1"),
+            "{:?}",
+            r.failures
+        );
+        // Equal versions sail through to the per-schema comparison.
+        let a = format!(r#"{{"schema_version":1,{}"#, &sweeps(5.0, true)[1..]);
+        let b = format!(r#"{{"schema_version":1,{}"#, &sweeps(5.0, true)[1..]);
+        let r = compare_json(&a, &b, &tol).unwrap();
         assert!(r.passed(), "{:?}", r.failures);
     }
 

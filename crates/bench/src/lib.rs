@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod observatory;
 pub mod report;
+pub mod session;
 
 /// Print the standard experiment header.
 pub fn header(id: &str, paper_ref: &str) {
@@ -40,7 +42,10 @@ pub fn write_metrics() {
     let written =
         std::fs::create_dir_all(dir).and_then(|()| supernpu::export::write_metrics_json(dir));
     match written {
-        Ok(Some(path)) => eprintln!("metrics written to {}", path.display()),
+        Ok(Some(path)) => {
+            sfq_obs::ledger::record_artifact(&path);
+            eprintln!("metrics written to {}", path.display());
+        }
         Ok(None) => {}
         Err(e) => eprintln!("could not write metrics.json: {e}"),
     }

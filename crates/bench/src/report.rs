@@ -76,10 +76,16 @@ pub fn to_json_pretty<T: Serialize>(what: &str, value: &T) -> Result<String, Rep
 /// failure.
 pub fn write_report(path: impl AsRef<Path>, contents: &str) -> Result<(), ReportError> {
     let path = path.as_ref();
-    sfq_guard::checkpoint::atomic_write(path, contents.as_bytes()).map_err(|e| ReportError::Io {
-        path: path.to_path_buf(),
-        message: e.to_string(),
-    })
+    sfq_guard::checkpoint::atomic_write(path, contents.as_bytes()).map_err(|e| {
+        ReportError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }
+    })?;
+    // Every artifact a bin persists through this writer shows up in
+    // the run's ledger manifest (no-op when the ledger is off).
+    sfq_obs::ledger::record_artifact(path);
+    Ok(())
 }
 
 /// Serialize and atomically persist in one step, then echo the path.
@@ -103,8 +109,8 @@ pub fn write_json_report<T: Serialize>(
 /// failures (CLI misuse, a reference transient that refuses to
 /// converge). Unlike a panic it produces one readable line, and
 /// unlike `unwrap` it cannot be mistaken for a reachable-by-design
-/// path by the clippy gate.
+/// path by the clippy gate. Routes through [`crate::session::fail`],
+/// so the obs sinks and the run ledger flush before the exit.
 pub fn die(msg: impl fmt::Display) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(1);
+    crate::session::fail(msg)
 }

@@ -1,0 +1,54 @@
+//! One-call run wrapper for the bench/figure bins.
+//!
+//! [`begin`] replaces the bare `sfq_obs::dump_on_exit()` preamble:
+//! it installs the same exit/panic flush guard *and* opens the run's
+//! ledger record ([`sfq_obs::ledger`]), feeding it the resolved
+//! thread/chunk/lane configuration from `sfq_par`/`jjsim` (the raw
+//! env strings alone miss programmatic overrides). When the returned
+//! [`Session`] drops — clean exit or unwind — every obs sink flushes
+//! and the manifest lands in `results/ledger/`.
+//!
+//! [`fail`] is the single error exit for the bins. `process::exit`
+//! skips `Drop`, so the pre-ledger pattern of
+//! `eprintln!(...); exit(1)` silently lost the buffered trace/profile
+//! tails and would lose the manifest too; `fail` flushes every sink
+//! (with the ledger outcome set to `GateFail`) before exiting.
+
+use std::fmt;
+
+/// Guard for one bench/figure run: obs sinks flush and the run
+/// manifest lands when this drops. Bind it at the top of `main`:
+///
+/// ```no_run
+/// let _session = supernpu_bench::session::begin("fig20_buffer_opt");
+/// ```
+#[must_use = "bind the session for the lifetime of main"]
+#[derive(Debug)]
+pub struct Session {
+    _obs: sfq_obs::DumpOnExit,
+}
+
+/// Start the run record for `bin` and install the exit/panic flush
+/// guard. Call once, first thing in `main`.
+pub fn begin(bin: &str) -> Session {
+    let obs = sfq_obs::dump_on_exit();
+    sfq_obs::ledger::begin(bin);
+    sfq_obs::ledger::set_config(
+        sfq_par::threads() as u64,
+        sfq_par::chunk_hint().unwrap_or(0) as u64,
+        jjsim::batch::batch_width() as u64,
+    );
+    Session { _obs: obs }
+}
+
+/// The single error exit for bench bins: message to stderr, ledger
+/// outcome `GateFail`, every obs sink flushed (trace, profile,
+/// metrics json, ledger), then `exit(1)`. Replaces ad-hoc
+/// `eprintln!("ERROR: ..."); exit(1)` blocks, which skipped the
+/// flushes because `process::exit` never runs `Drop`.
+pub fn fail(msg: impl fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    sfq_obs::ledger::set_outcome(sfq_obs::ledger::RunOutcome::GateFail);
+    sfq_obs::flush_all();
+    std::process::exit(1);
+}

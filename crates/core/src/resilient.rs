@@ -457,6 +457,14 @@ where
     resolved.truncate(n);
     let restored = resolved.len();
 
+    // Progress: the sweep narrates itself under its own name; the
+    // par_map regions underneath see the slot taken and stay quiet.
+    // Restored points count as done immediately.
+    let progress = sfq_obs::progress::Region::enter(name, n as u64);
+    if progress.is_claimed() {
+        sfq_obs::progress::tick(restored as u64);
+    }
+
     // Chunk size: the checkpoint cadence, or everything at once (a
     // single dispatch with the same scheduling as `par_map_catch`)
     // when checkpointing is off.
@@ -493,6 +501,15 @@ where
                     PointState::Cancelled => "resilient.cancelled",
                     PointState::Failed { .. } => "resilient.failed",
                 });
+            }
+            // A point the budget clipped marks the whole run's ledger
+            // outcome — the manifest should say the sweep was cut
+            // short even though the report itself is well-formed.
+            if matches!(rp.state, PointState::TimedOut | PointState::Cancelled) {
+                sfq_obs::ledger::note_budget_exceeded();
+            }
+            if progress.is_claimed() {
+                sfq_obs::progress::tick(1);
             }
             resolved.push(rp);
         }

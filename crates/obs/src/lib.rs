@@ -61,8 +61,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
 pub mod prof;
+pub mod progress;
 pub mod trace;
+
+/// Schema version stamped into every persisted snapshot this crate
+/// (and the bench reports downstream) writes: [`MetricsReport`],
+/// [`prof::ProfileReport`], [`ledger::RunManifest`] and the
+/// `BENCH_*.json` files. Bump on any field change so the bench gate
+/// can reject cross-version comparisons with one clear error instead
+/// of a field-by-field mismatch spray.
+pub const SCHEMA_VERSION: u32 = 1;
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -98,7 +108,7 @@ fn init_metrics_state() -> bool {
     on
 }
 
-fn truthy(v: &str) -> bool {
+pub(crate) fn truthy(v: &str) -> bool {
     let v = v.trim();
     !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
 }
@@ -628,6 +638,8 @@ pub struct HistogramSnapshot {
 /// of `metrics.json`.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsReport {
+    /// Snapshot schema version ([`SCHEMA_VERSION`]; 0 = pre-versioned).
+    pub schema_version: u32,
     /// All counters.
     pub counters: Vec<CounterSnapshot>,
     /// All gauges.
@@ -666,7 +678,10 @@ impl MetricsReport {
 /// equal.
 pub fn snapshot() -> MetricsReport {
     let map = registry().read().unwrap_or_else(|e| e.into_inner());
-    let mut report = MetricsReport::default();
+    let mut report = MetricsReport {
+        schema_version: SCHEMA_VERSION,
+        ..MetricsReport::default()
+    };
     for (name, m) in map.iter() {
         match m {
             Metric::Counter(c) => report.counters.push(CounterSnapshot {
@@ -778,23 +793,41 @@ pub fn write_metrics_json_env() -> Option<PathBuf> {
 }
 
 /// Flush every sink that persists to disk: the trace ring buffers, the
-/// profiler trees and the `SUPERNPU_METRICS_JSON` snapshot. Each is a
-/// no-op when its gate is off; failures go to stderr. Shared by the
-/// clean-exit guard and the panic hook.
+/// profiler trees, the `SUPERNPU_METRICS_JSON` snapshot, and — last,
+/// so it has seen every artifact the others produced — the run
+/// ledger. Each is a no-op when its gate is off; failures go to
+/// stderr. Shared by the clean-exit guard and the panic hook.
 fn flush_sinks() {
     match trace::flush() {
-        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(Some(path)) => {
+            ledger::record_artifact(&path);
+            eprintln!("trace written to {}", path.display());
+        }
         Ok(None) => {}
         Err(e) => eprintln!("could not write trace file: {e}"),
     }
     match prof::flush() {
-        Ok(Some(path)) => eprintln!("profile written to {}", path.display()),
+        Ok(Some(path)) => {
+            ledger::record_artifact(&path);
+            ledger::record_artifact(&path.with_extension("folded"));
+            eprintln!("profile written to {}", path.display());
+        }
         Ok(None) => {}
         Err(e) => eprintln!("could not write profile file: {e}"),
     }
     if let Some(path) = write_metrics_json_env() {
+        ledger::record_artifact(&path);
         eprintln!("metrics json written to {}", path.display());
     }
+    ledger::flush();
+}
+
+/// Public entry to the same flush the exit guard and panic hook run:
+/// trace, profile, metrics-json, then the run ledger. Bench bins call
+/// this from their error exit (`process::exit` skips `Drop`, so a
+/// guard alone would lose the buffered tails).
+pub fn flush_all() {
+    flush_sinks();
 }
 
 /// Install (once) a panic hook that flushes the trace, profile and

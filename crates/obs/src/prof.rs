@@ -413,6 +413,9 @@ pub struct TopSelf {
 /// payload of `profile.json`.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ProfileReport {
+    /// Snapshot schema version ([`crate::SCHEMA_VERSION`]; 0 =
+    /// pre-versioned).
+    pub schema_version: u32,
     /// Threads that recorded at least one frame.
     pub threads: u64,
     /// Σ self milliseconds over all paths.
@@ -536,6 +539,7 @@ pub fn snapshot() -> ProfileReport {
         }
     }
     let mut report = ProfileReport {
+        schema_version: crate::SCHEMA_VERSION,
         threads,
         ..ProfileReport::default()
     };

@@ -332,11 +332,28 @@ where
         // Nested call or single-thread pool: degrade to inline serial.
         let _pf = sfq_obs::prof::frame("par.serial_fallback");
         sfq_obs::inc("par.serial_fallback");
+        // A 1-core sweep still narrates itself (a nested call finds
+        // the slot taken and stays quiet — its ticks would inflate
+        // the enclosing phase's done count).
+        let progress = sfq_obs::progress::Region::enter("par_map", n as u64);
+        let progress_on = progress.is_claimed();
+        let serial = |items: &[T]| {
+            items
+                .iter()
+                .map(|it| {
+                    let r = f(it);
+                    if progress_on {
+                        sfq_obs::progress::tick(1);
+                    }
+                    r
+                })
+                .collect()
+        };
         if sfq_obs::trace::enabled() {
             // Still mark the region on the timeline so a 1-core trace
             // shows where the fan-outs (serially) ran.
             let t0 = sfq_obs::trace::now_us();
-            let out = items.iter().map(&f).collect();
+            let out = serial(items);
             sfq_obs::trace::complete(
                 "par",
                 &format!("par_map region ({n} items, serial)"),
@@ -345,7 +362,7 @@ where
             );
             return out;
         }
-        return items.iter().map(&f).collect();
+        return serial(items);
     }
     // Metrics and trace gates, sampled once per region so every worker
     // of this region agrees (a mid-region toggle cannot skew the
@@ -394,6 +411,17 @@ where
         return out;
     }
     let chunk = pinned.unwrap_or_else(|| auto_chunk(probe_us, remaining, guard.0 + 1));
+
+    // Progress: claim the phase slot if no enclosing sweep (e.g. the
+    // resilient runner) already narrates this work. Only the claimer
+    // ticks — nested regions inside one logical point must not
+    // inflate the done count past the total.
+    let progress = sfq_obs::progress::Region::enter("par_map", n as u64);
+    let progress_on = progress.is_claimed();
+    if progress_on {
+        // The probe item already ran inline.
+        sfq_obs::progress::tick(1);
+    }
 
     // Spawn no more workers than there are chunks to run (the caller
     // drains queues too); surplus permits are returned by the guard.
@@ -469,6 +497,9 @@ where
                     }
                 }
                 drop(chunk_frame);
+                if progress_on {
+                    sfq_obs::progress::tick(u64::from(len));
+                }
                 if trace_on {
                     let name = if stealing {
                         format!("chunk ({len} items, stolen)")
@@ -540,6 +571,7 @@ where
         }
     });
     drop(guard);
+    drop(progress);
     if metrics_on {
         // The probe task ran on the caller before fan-out.
         sfq_obs::add("par.tasks", 1);

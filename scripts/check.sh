@@ -11,13 +11,18 @@ cd "$(dirname "$0")/.."
 # regression). --chaos runs the robustness smoke gate: the resilient
 # sweep runner under deterministic fault injection (zero lost points,
 # bit-identical kill/resume, guards-disabled overhead parity).
+# --report runs the run-ledger smoke gate: two quick bin runs must
+# leave two well-formed manifests, supernpu_report must aggregate them
+# cleanly, and a synthetic slowdown must come out flagged REGRESSION.
 RUN_BENCH=0
 RUN_CHAOS=0
+RUN_REPORT=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --chaos) RUN_CHAOS=1 ;;
-        *) echo "usage: $0 [--bench] [--chaos]" >&2; exit 2 ;;
+        --report) RUN_REPORT=1 ;;
+        *) echo "usage: $0 [--bench] [--chaos] [--report]" >&2; exit 2 ;;
     esac
 done
 
@@ -127,6 +132,49 @@ if [[ $RUN_CHAOS -eq 1 ]]; then
     (cd "$tmp" && "$repo/target/release/bench_robust" --smoke >/dev/null)
     target/release/bench_compare \
         --baseline "$tmp/BENCH_robust.json" --fresh "$tmp/BENCH_robust.json" >/dev/null
+fi
+
+if [[ $RUN_REPORT -eq 1 ]]; then
+    echo "== run-ledger smoke gate (--report) =="
+    # Two quick runs of the same bin against a scratch ledger must
+    # leave two well-formed manifests plus two jsonl lines, and
+    # supernpu_report must join them into a trend group. Then a
+    # synthetic two-run fixture with a huge slowdown must come out
+    # flagged with the literal REGRESSION marker.
+    cargo build --release -p supernpu-bench --bin table1_setup --bin supernpu_report
+    repo="$(pwd)"
+    ledger="$tmp/ledger"
+    (cd "$tmp" && SUPERNPU_LEDGER="$ledger" "$repo/target/release/table1_setup" >/dev/null)
+    (cd "$tmp" && SUPERNPU_LEDGER="$ledger" "$repo/target/release/table1_setup" >/dev/null)
+    manifests="$(find "$ledger" -name 'table1_setup-*.json' | wc -l)"
+    if [[ "$manifests" -ne 2 ]]; then
+        echo "ledger smoke: expected 2 manifests, found $manifests" >&2
+        exit 1
+    fi
+    lines="$(wc -l < "$ledger/ledger.jsonl")"
+    if [[ "$lines" -ne 2 ]]; then
+        echo "ledger smoke: expected 2 ledger.jsonl lines, found $lines" >&2
+        exit 1
+    fi
+    target/release/supernpu_report --ledger "$ledger" --out "$tmp" >/dev/null
+    grep -q 'table1_setup' "$tmp/report.md" || {
+        echo "ledger smoke: report.md has no table1_setup trend" >&2
+        exit 1
+    }
+    # Synthetic regression: same bin and knobs, 100 ms -> 60000 ms.
+    mkdir -p "$tmp/regress"
+    for run in '1, "duration_ms": 100.0' '2, "duration_ms": 60000.0'; do
+        printf '%s\n' "{\"schema_version\": 1, \"bin\": \"slow_bin\", \"seq\": ${run}, \
+\"args\": [], \"env\": [], \"threads\": 1, \"chunk\": 0, \"lanes\": 4, \"seeds\": [], \
+\"cargo_profile\": \"release\", \"target\": \"x86_64-linux\", \"outcome\": \"Ok\", \
+\"cache_hits\": 0, \"cache_misses\": 0, \"artifacts\": []}" >> "$tmp/regress/ledger.jsonl"
+    done
+    target/release/supernpu_report \
+        --ledger "$tmp/regress" --out "$tmp/regress" --bench-dir "$tmp/regress" >/dev/null
+    grep -q 'REGRESSION' "$tmp/regress/report.md" || {
+        echo "ledger smoke: synthetic slowdown not flagged REGRESSION" >&2
+        exit 1
+    }
 fi
 
 if [[ $RUN_BENCH -eq 1 ]]; then
